@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table/figure bench consumes the same full pipeline run (like the
+paper derives all analysis from one ground truth).  The run is cached at
+session scope; the first bench that needs it pays the ~seconds of cost.
+"""
+
+import pytest
+
+from repro.harness import PipelineResult, default_benchmark, default_pipeline_result
+
+
+@pytest.fixture(scope="session")
+def pipeline_result() -> PipelineResult:
+    return default_pipeline_result(seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_benchmark():
+    return default_benchmark(seed=7)

@@ -1,0 +1,76 @@
+"""Ablation — the ground-truth local search's design choices.
+
+Two choices called out in DESIGN.md:
+
+* the REMOVE-if-equal minimality rule ("we want the minimum set of
+  articles with the maximum quality");
+* random restarts (the paper runs once from a random article; restarts
+  tighten the approximation at linear cost).
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core import Evaluator, GroundTruthSearch
+from repro.harness import PipelineConfig, run_pipeline
+
+
+def _run_searches(pipeline_result, *, prefer_minimal: bool, restarts: int):
+    """Re-run the local search per topic from cached evaluators."""
+    sizes = []
+    qualities = []
+    for outcome in pipeline_result.outcomes:
+        evaluator = outcome.evaluator
+        assert evaluator is not None
+        search = GroundTruthSearch(
+            evaluator,
+            rng=random.Random(outcome.topic.topic_id),
+            prefer_minimal=prefer_minimal,
+            restarts=restarts,
+        )
+        pool = sorted(outcome.candidate_articles - outcome.seed_articles)[:40]
+        result = search.run(outcome.seed_articles, pool)
+        sizes.append(len(result.expansion_set))
+        qualities.append(result.score.mean)
+    return statistics.mean(sizes), statistics.mean(qualities)
+
+
+@pytest.mark.parametrize("prefer_minimal", [True, False],
+                         ids=["minimal-rule", "no-minimal-rule"])
+def test_ablation_minimality_rule(benchmark, pipeline_result, prefer_minimal):
+    mean_size, mean_quality = benchmark.pedantic(
+        _run_searches, args=(pipeline_result,),
+        kwargs={"prefer_minimal": prefer_minimal, "restarts": 1},
+        rounds=1, iterations=1,
+    )
+    print(f"\nprefer_minimal={prefer_minimal}: "
+          f"|A'|={mean_size:.2f}, O={mean_quality:.3f}")
+    assert mean_quality > 0.5
+
+
+def test_minimality_rule_shrinks_sets_without_losing_quality(pipeline_result):
+    size_with, quality_with = _run_searches(
+        pipeline_result, prefer_minimal=True, restarts=1)
+    size_without, quality_without = _run_searches(
+        pipeline_result, prefer_minimal=False, restarts=1)
+    assert size_with <= size_without + 1e-9
+    assert quality_with >= quality_without - 0.02
+
+
+@pytest.mark.parametrize("restarts", [1, 3], ids=["restarts-1", "restarts-3"])
+def test_ablation_restarts(benchmark, pipeline_result, restarts):
+    mean_size, mean_quality = benchmark.pedantic(
+        _run_searches, args=(pipeline_result,),
+        kwargs={"prefer_minimal": True, "restarts": restarts},
+        rounds=1, iterations=1,
+    )
+    print(f"\nrestarts={restarts}: |A'|={mean_size:.2f}, O={mean_quality:.3f}")
+    assert mean_quality > 0.5
+
+
+def test_restarts_never_hurt(pipeline_result):
+    _, quality_one = _run_searches(pipeline_result, prefer_minimal=True, restarts=1)
+    _, quality_three = _run_searches(pipeline_result, prefer_minimal=True, restarts=3)
+    assert quality_three >= quality_one - 1e-9

@@ -1,0 +1,29 @@
+"""Figure 5 — average contribution (%) vs cycle length.
+
+Paper: length 2 contributes most (~50.5%), length 3 least (~24.4%),
+lengths 4 and 5 in between (~32.7% / ~32.3%).
+
+Shape to hold: contribution(2) is the maximum and contribution(3) the
+minimum; everything is positive.
+"""
+
+from repro.harness import (
+    PAPER_FIG5,
+    fig5_contribution_by_length,
+    format_series_comparison,
+)
+
+
+def test_fig5_contribution_vs_length(benchmark, pipeline_result):
+    series = benchmark(fig5_contribution_by_length, pipeline_result)
+
+    print()
+    print(format_series_comparison(series, PAPER_FIG5,
+                                   "Figure 5 (measured vs paper)"))
+
+    assert set(series) == {2, 3, 4, 5}
+    assert all(value > 0 for value in series.values())
+    # The paper's headline: 2-cycles are the strongest contributors.
+    assert series[2] == max(series.values())
+    # And 3-cycles the weakest.
+    assert series[3] == min(series.values())

@@ -1,0 +1,22 @@
+"""Figure 6 — average number of cycles per query vs cycle length.
+
+Paper: 1.56 / 9.1 / 35.22 / 136.84 for lengths 2..5 — counts grow steeply
+with length, and 2-cycles are scarce (around 1-2 per query).
+
+Shape to hold: strictly increasing counts, small 2-cycle count.
+"""
+
+from repro.harness import PAPER_FIG6, fig6_cycle_counts, format_series_comparison
+
+
+def test_fig6_cycle_counts(benchmark, pipeline_result):
+    series = benchmark(fig6_cycle_counts, pipeline_result)
+
+    print()
+    print(format_series_comparison(series, PAPER_FIG6,
+                                   "Figure 6 (measured vs paper)"))
+
+    assert set(series) == {2, 3, 4, 5}
+    assert series[2] < series[3] < series[4] < series[5]
+    # 2-cycles are scarce: the paper counts ~1.6 per query.
+    assert series[2] <= 4.0

@@ -1,0 +1,27 @@
+"""Figure 7a — average category ratio vs cycle length.
+
+Paper: 0.366 / 0.375 / 0.382 for lengths 3..5 — roughly one category per
+three nodes, growing only very slowly with length (trend slope ~0).
+
+Shape to hold: all ratios in a band around 30-45%, and the spread across
+lengths small (the paper's "slope of the trend line is almost 0").
+"""
+
+from repro.harness import PAPER_FIG7A, fig7a_category_ratio, format_series_comparison
+
+
+def test_fig7a_category_ratio(benchmark, pipeline_result):
+    series = benchmark(fig7a_category_ratio, pipeline_result)
+
+    print()
+    print(format_series_comparison(series, PAPER_FIG7A,
+                                   "Figure 7a (measured vs paper)"))
+
+    assert set(series) == {3, 4, 5}
+    for length, value in series.items():
+        assert 0.25 <= value <= 0.55, (length, value)
+    # Near-flat trend: spread below 10 percentage points.
+    assert max(series.values()) - min(series.values()) < 0.10
+    # Cycles of length 3 carry about one category (3 * ratio ~= 1), the
+    # paper's reading of the figure.
+    assert 0.8 <= 3 * series[3] <= 1.6

@@ -1,0 +1,22 @@
+"""Figure 7b — average density of extra edges vs cycle length.
+
+Paper: 0.289 / 0.38 / 0.333 for lengths 3..5 — all cycles carry roughly a
+third of the possible chords.
+
+Shape to hold: densities for every length sit in a band around 0.25-0.45
+(cycles are substantially chorded but far from cliques).
+"""
+
+from repro.harness import PAPER_FIG7B, fig7b_density, format_series_comparison
+
+
+def test_fig7b_extra_edge_density(benchmark, pipeline_result):
+    series = benchmark(fig7b_density, pipeline_result)
+
+    print()
+    print(format_series_comparison(series, PAPER_FIG7B,
+                                   "Figure 7b (measured vs paper)"))
+
+    assert set(series) == {3, 4, 5}
+    for length, value in series.items():
+        assert 0.15 <= value <= 0.55, (length, value)

@@ -1,0 +1,24 @@
+"""Figure 9 — density of extra edges vs average contribution.
+
+Paper: a positive trend — "the denser the cycle, the better its
+contribution".
+
+Shape to hold: least-squares slope over (density, contribution) points is
+positive, and the binned trend ends higher than it starts.
+"""
+
+from repro.harness import fig9_density_vs_contribution
+
+
+def test_fig9_density_vs_contribution(benchmark, pipeline_result):
+    data = benchmark(fig9_density_vs_contribution, pipeline_result)
+
+    print()
+    print(f"Figure 9: slope {data.slope:+.2f} over {len(data.points)} cycles "
+          "(paper: positive)")
+    for center, mean in data.trend:
+        print(f"  density~{center:.2f}: avg contribution {mean:+.1f}%")
+
+    assert data.points, "no cycles with defined density"
+    assert data.slope > 0
+    assert data.trend[-1][1] > data.trend[0][1]

@@ -1,0 +1,24 @@
+"""End-to-end pipeline cost: benchmark + ground truth + analysis.
+
+Not a paper artefact, but the number a downstream user cares about: how
+long does the whole Section 2 + 3 pipeline take on the default 50-topic
+benchmark.
+"""
+
+from repro.harness import PipelineConfig, default_benchmark, run_pipeline
+
+
+def test_pipeline_end_to_end(benchmark):
+    bench = default_benchmark(seed=7)
+
+    def run():
+        return run_pipeline(bench, PipelineConfig(seed=97))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.num_queries == 50
+    assert all(o.best_score.mean >= o.base_score.mean for o in result.outcomes)
+
+
+def test_benchmark_generation(benchmark):
+    result = benchmark(default_benchmark, 7)
+    assert result.num_topics == 50

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the retrieval substrate (indexing, phrase search).
+
+Not a paper artefact; establishes that the INDRI stand-in is fast enough
+that the pipeline's cost is dominated by the local search, as in the
+paper (where INDRI queries, not graph mining, bounded ground-truth
+construction).
+"""
+
+import pytest
+
+from repro.retrieval import PositionalIndex, SearchEngine, DirichletSmoothing
+
+
+@pytest.fixture(scope="module")
+def texts(bench_benchmark):
+    return [
+        (doc_id, bench_benchmark.documents[doc_id].extraction_text())
+        for doc_id in sorted(bench_benchmark.documents)
+    ]
+
+
+def test_index_build(benchmark, texts):
+    def build():
+        index = PositionalIndex()
+        index.add_documents(texts)
+        return index
+
+    index = benchmark(build)
+    assert index.num_documents == len(texts)
+
+
+@pytest.fixture(scope="module")
+def engine(texts):
+    eng = SearchEngine(smoothing=DirichletSmoothing(mu=300))
+    eng.add_documents(texts)
+    return eng
+
+
+def test_term_query(benchmark, engine):
+    results = benchmark(engine.search, "harbor", 15)
+    assert isinstance(results, list)
+
+
+def test_phrase_query(benchmark, engine, bench_benchmark):
+    # Use a real article title so the phrase actually matches.
+    title = next(iter(bench_benchmark.graph.main_articles())).title
+    results = benchmark(engine.search, f'"{title}"', 15)
+    assert isinstance(results, list)
+
+
+def test_expansion_query_shape(benchmark, engine, bench_benchmark):
+    graph = bench_benchmark.graph
+    titles = [a.title for a in list(graph.main_articles())[:8]]
+    results = benchmark(engine.search_phrases, titles, 15)
+    assert isinstance(results, list)

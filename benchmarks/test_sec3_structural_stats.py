@@ -1,0 +1,32 @@
+"""Section 3 loose statistics: TPR, 2-cycle pair ratio, graph sizes.
+
+Paper: average TPR of the largest connected components ~0.3; 11.47 % of
+linked article pairs form 2-cycles; average query graph size 208.22 nodes
+(ours are smaller — the synthetic wiki is laptop-scale; the shape that
+matters is TPR and the pair ratio, which are scale-free).
+"""
+
+from repro.harness import PAPER_SEC3_STATS, sec3_structural_stats
+
+
+def test_sec3_structural_stats(benchmark, pipeline_result):
+    stats = benchmark(sec3_structural_stats, pipeline_result)
+
+    print()
+    print(f"TPR of LCCs:            {stats.average_tpr:.3f} "
+          f"(paper ~{PAPER_SEC3_STATS['tpr']})")
+    print(f"2-cycle pair ratio:     {stats.reciprocal_pair_ratio:.4f} "
+          f"(paper {PAPER_SEC3_STATS['reciprocal_pair_ratio']})")
+    print(f"avg query graph nodes:  {stats.average_query_graph_nodes:.1f} "
+          f"(paper {PAPER_SEC3_STATS['avg_query_graph_nodes']})")
+    print(f"avg cycle mining time:  {stats.average_cycle_seconds * 1000:.1f} ms/query "
+          "(paper ~6 min/query on a graph DB)")
+    print(f"avg improvement:        {stats.average_improvement_percent:+.1f}%")
+
+    # TPR is "particularly large" given tree-like categories: >= 0.15.
+    assert 0.15 <= stats.average_tpr <= 0.9
+    # Calibrated to the paper's 11.47 % within a tolerance band.
+    assert 0.08 <= stats.reciprocal_pair_ratio <= 0.16
+    # Expansion genuinely helps (the premise of the whole exercise).
+    assert stats.average_improvement_percent > 10.0
+    assert stats.average_query_graph_nodes > 5

@@ -1,0 +1,29 @@
+"""Table 3 — statistics of the query graphs' largest connected component.
+
+Paper values (min / 25% / 50% / 75% / max):
+
+    %size            0.164  0.477  0.587  0.688  1
+    %query nodes     0      1      1      1      1
+    %articles        0.025  0.148  0.217  0.269  0.5
+    %categories      0.5    0.731  0.783  0.852  0.975
+    expansion ratio  0      2.125  4.5    23.75  176
+
+Shapes to hold: the LCC contains (nearly) all query articles, categories
+dominate articles, and the expansion ratio sits well above 1.
+"""
+
+from repro.harness import PAPER_TABLE3, format_five_point_table, table3_largest_cc_stats
+
+
+def test_table3_largest_cc_stats(benchmark, pipeline_result):
+    rows = benchmark(table3_largest_cc_stats, pipeline_result)
+
+    print()
+    print(format_five_point_table(rows, "Table 3 (measured vs paper)", PAPER_TABLE3))
+
+    assert rows["%query nodes"].median == 1.0
+    assert rows["%categories"].median > rows["%articles"].median
+    assert rows["%categories"].median >= 0.5
+    assert rows["%articles"].maximum <= 0.55
+    assert rows["expansion ratio"].median > 1.0
+    assert 0.0 < rows["%size"].median <= 1.0

@@ -1,0 +1,54 @@
+"""Table 4 — precision of expansion features from cycles of given lengths.
+
+Paper values (top-1 / top-5 / top-10 / top-15):
+
+    2            0.826  0.539  0.539  0.552
+    3            0.833  0.578  0.519  0.513
+    4            0.703  0.589  0.541  0.494
+    5            0.788  0.624  0.588  0.547
+    2 & 3        0.944  0.656  0.583  0.621
+    2 & 3 & 4    0.944  0.667  0.594  0.629
+    2 & 3 & 4 & 5  0.944  0.667  0.622  0.658
+
+Shapes to hold: every configuration is strong (all articles come from the
+ground truth), combining lengths is at least as good at depth as any
+single length it includes, and the all-lengths configuration is the best
+(or tied) at top-15.  Our absolute numbers run higher than the paper's —
+the synthetic collection is smaller and cleaner than ImageCLEF (see
+EXPERIMENTS.md).
+"""
+
+from repro.harness import (
+    PAPER_TABLE4,
+    format_table4,
+    table4_cycle_expansion_precision,
+)
+
+
+def test_table4_cycle_expansion_precision(benchmark, pipeline_result):
+    rows = benchmark.pedantic(
+        table4_cycle_expansion_precision, args=(pipeline_result,),
+        rounds=3, iterations=1,
+    )
+
+    print()
+    print(format_table4(rows, pipeline_result.config.ranks, PAPER_TABLE4))
+
+    by_lengths = {row.lengths: row.precisions for row in rows}
+    assert set(by_lengths) == set(PAPER_TABLE4)
+
+    # Every configuration beats the unexpanded baseline at depth.
+    base_top15 = sum(
+        o.base_score.precision_at(15) for o in pipeline_result.outcomes
+    ) / pipeline_result.num_queries
+    for lengths, precisions in by_lengths.items():
+        assert precisions[15] > base_top15, lengths
+
+    # The all-lengths configuration is the best or tied at top-15 ...
+    full = by_lengths[(2, 3, 4, 5)][15]
+    assert all(full >= by_lengths[c][15] - 1e-9 for c in by_lengths)
+    # ... and combining 2 & 3 does not fall below 3 alone (paper's row order).
+    assert by_lengths[(2, 3)][15] >= by_lengths[(3,)][15]
+    # Early precision stays high everywhere, as in the paper's top-1 column.
+    for lengths, precisions in by_lengths.items():
+        assert precisions[1] >= 0.7, lengths

@@ -1,0 +1,46 @@
+"""Section 4 challenge — cycle mining cost grows steeply with max length.
+
+The paper reports ~6 minutes per query graph (avg 208 nodes) for cycles
+up to length 5 on a high-performance graph database, and names the
+exponential growth in the maximum length as the open challenge.  This
+bench measures our miner across the sweep max_length = 2..5 over all
+query graphs, so the growth curve is visible in the benchmark table.
+"""
+
+import pytest
+
+from repro.core import CycleFinder
+
+
+def _mine_all(pipeline_result, max_length: int) -> int:
+    total = 0
+    for outcome in pipeline_result.outcomes:
+        finder = CycleFinder(
+            outcome.query_graph.graph, min_length=2, max_length=max_length
+        )
+        total += len(finder.find(anchors=outcome.query_graph.seed_articles))
+    return total
+
+
+@pytest.mark.parametrize("max_length", [2, 3, 4, 5])
+def test_timing_cycle_mining(benchmark, pipeline_result, max_length):
+    total = benchmark(_mine_all, pipeline_result, max_length)
+    # Longer bounds can only find more cycles.
+    assert total >= 0
+    if max_length == 5:
+        assert total > 0
+
+
+def test_timing_full_graph_neighborhood(benchmark, bench_benchmark):
+    """Mining around a seed in the *full* graph (the deployed path)."""
+    from repro.core import NeighborhoodCycleExpander
+    from repro.linking import EntityLinker
+
+    graph = bench_benchmark.graph
+    linker = EntityLinker(graph)
+    topic = bench_benchmark.topics[0]
+    seeds = linker.link_keywords(topic.keywords)
+    expander = NeighborhoodCycleExpander()
+
+    result = benchmark(expander.expand, graph, seeds)
+    assert result.num_features >= 0

@@ -1,0 +1,5 @@
+"""Setup shim: lets the package install in environments without the
+``wheel`` package (offline), via ``python setup.py develop``."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Reproduction of *Understanding Graph Structure of Wikipedia for Query
+Expansion* (Guisado-Gamez & Prat-Perez, 2015, arXiv:1505.01306).
+
+Subpackages
+-----------
+``repro.wiki``
+    Wikipedia article/category graph substrate (schema of the paper's
+    Figure 1), dump IO and a calibrated synthetic generator.
+``repro.retrieval``
+    INDRI-like language-model search engine with exact phrase matching.
+``repro.linking``
+    Largest-substring entity linking with redirect-derived synonyms.
+``repro.collection``
+    ImageCLEF-2011-style document collection, topics and synthesis.
+``repro.core``
+    The paper's contribution: ground-truth construction, query graphs,
+    cycle enumeration/features, cycle-based query expansion and analysis.
+``repro.harness``
+    Experiment runner that regenerates every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

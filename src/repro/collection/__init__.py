@@ -1,0 +1,34 @@
+"""ImageCLEF-2011-style benchmark collection: documents, topics, synthesis,
+and the bundled :class:`Benchmark` artefact."""
+
+from repro.collection.benchmark import DEFAULT_ENGINE_MU, Benchmark
+from repro.collection.document import Caption, ImageDocument, TextSection
+from repro.collection.synthetic import (
+    SyntheticCollection,
+    SyntheticCollectionConfig,
+    generate_collection,
+)
+from repro.collection.topics import Topic, TopicSet
+from repro.collection.xml_io import (
+    document_from_string,
+    document_to_string,
+    read_documents,
+    write_documents,
+)
+
+__all__ = [
+    "Benchmark",
+    "DEFAULT_ENGINE_MU",
+    "ImageDocument",
+    "TextSection",
+    "Caption",
+    "Topic",
+    "TopicSet",
+    "SyntheticCollection",
+    "SyntheticCollectionConfig",
+    "generate_collection",
+    "document_to_string",
+    "document_from_string",
+    "read_documents",
+    "write_documents",
+]

@@ -1,0 +1,103 @@
+"""ImageCLEF-2011-style image metadata documents.
+
+The track's unit of retrieval is an XML metadata file describing one image
+(paper Figure 2): a file name, per-language text sections (description,
+comment, captions), a general comment and a license.  The paper extracts,
+per document,
+
+1. the file name without its extension,
+2. the information in the **English** section, and
+3. the description from the general comment field,
+
+concatenated into one string that both the entity linker and the retrieval
+index consume.  :meth:`ImageDocument.extraction_text` implements exactly
+that rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Caption", "TextSection", "ImageDocument"]
+
+# The general <comment> holds a MediaWiki-ish {{Information |Description=...}}
+# template; the paper takes only the Description value.
+_TEMPLATE_DESCRIPTION_RE = re.compile(r"\|\s*Description\s*=\s*(?P<value>[^|{}]*)")
+
+
+@dataclass(frozen=True, slots=True)
+class Caption:
+    """One caption of an image within a language section."""
+
+    text: str
+    article: str = ""  # source article path, e.g. "text/en/1/302887"
+
+
+@dataclass(frozen=True, slots=True)
+class TextSection:
+    """Language-specific text of an image document."""
+
+    lang: str
+    description: str = ""
+    comment: str = ""
+    captions: tuple[Caption, ...] = ()
+
+    def combined_text(self) -> str:
+        """Description, comment and caption texts joined by spaces."""
+        pieces = [self.description, self.comment]
+        pieces.extend(caption.text for caption in self.captions)
+        return " ".join(piece.strip() for piece in pieces if piece and piece.strip())
+
+
+@dataclass(frozen=True, slots=True)
+class ImageDocument:
+    """One image metadata record (one retrieval unit).
+
+    ``doc_id`` is the image id (a string, e.g. ``"82531"``); ``file`` the
+    image path; ``name`` the human-given file name.
+    """
+
+    doc_id: str
+    file: str = ""
+    name: str = ""
+    sections: tuple[TextSection, ...] = ()
+    comment: str = ""
+    license: str = ""
+    _extra: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def section(self, lang: str) -> TextSection | None:
+        """The text section for ``lang``, or None."""
+        for section in self.sections:
+            if section.lang == lang:
+                return section
+        return None
+
+    @property
+    def name_without_extension(self) -> str:
+        """File name with a trailing ``.ext`` stripped (item 1 of the rule)."""
+        base, dot, ext = self.name.rpartition(".")
+        if dot and base and len(ext) <= 4:
+            return base
+        return self.name
+
+    @property
+    def general_description(self) -> str:
+        """Description value of the general comment template (item 3)."""
+        match = _TEMPLATE_DESCRIPTION_RE.search(self.comment)
+        if match:
+            return match.group("value").strip()
+        return ""
+
+    def extraction_text(self, lang: str = "en") -> str:
+        """The paper's extraction rule: name + English section + general
+        description, combined into a single string."""
+        pieces = [self.name_without_extension]
+        section = self.section(lang)
+        if section is not None:
+            pieces.append(section.combined_text())
+        pieces.append(self.general_description)
+        return " ".join(piece for piece in pieces if piece)
+
+    def __str__(self) -> str:
+        return f"ImageDocument({self.doc_id}: {self.name!r})"

@@ -1,0 +1,125 @@
+"""Topics (queries) and relevance sets.
+
+A topic is the paper's tuple ``q = <k, D>``: a keyword list ``k`` and the
+set ``D`` of documents that are correct results for ``k`` (the *result
+set*).  Topic sets serialise to a small JSON format so benchmark artefacts
+can be stored next to the document XML.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DumpFormatError
+
+__all__ = ["Topic", "TopicSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Topic:
+    """One benchmark query.
+
+    ``domain_id`` records which synthetic domain generated the topic (or -1
+    for hand-made topics); analysis code treats it as opaque metadata.
+    """
+
+    topic_id: int
+    keywords: str
+    relevant: frozenset[str]
+    domain_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.keywords.strip():
+            raise ValueError(f"topic {self.topic_id} has empty keywords")
+
+    @property
+    def num_relevant(self) -> int:
+        return len(self.relevant)
+
+    def __str__(self) -> str:
+        return f"Topic #{self.topic_id}: {self.keywords!r} ({self.num_relevant} relevant)"
+
+
+@dataclass(slots=True)
+class TopicSet:
+    """An ordered collection of topics with JSON round-tripping."""
+
+    topics: list[Topic] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def __iter__(self):
+        return iter(self.topics)
+
+    def __getitem__(self, index: int) -> Topic:
+        return self.topics[index]
+
+    def by_id(self, topic_id: int) -> Topic:
+        """Topic with the given id (raises KeyError when absent)."""
+        for topic in self.topics:
+            if topic.topic_id == topic_id:
+                return topic
+        raise KeyError(f"no topic with id {topic_id}")
+
+    def add(self, topic: Topic) -> None:
+        """Append a topic, enforcing unique ids."""
+        if any(existing.topic_id == topic.topic_id for existing in self.topics):
+            raise ValueError(f"duplicate topic id {topic.topic_id}")
+        self.topics.append(topic)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (sorted doc ids, stable output)."""
+        payload = {
+            "format": "repro-topics",
+            "version": 1,
+            "topics": [
+                {
+                    "id": topic.topic_id,
+                    "keywords": topic.keywords,
+                    "relevant": sorted(topic.relevant),
+                    "domain_id": topic.domain_id,
+                }
+                for topic in self.topics
+            ],
+        }
+        return json.dumps(payload, indent=2, ensure_ascii=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TopicSet":
+        """Parse a JSON string written by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DumpFormatError(f"invalid topics JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != "repro-topics":
+            raise DumpFormatError("not a repro-topics document")
+        if payload.get("version") != 1:
+            raise DumpFormatError(f"unsupported topics version {payload.get('version')!r}")
+        topic_set = cls()
+        for record in payload.get("topics", []):
+            try:
+                topic_set.add(
+                    Topic(
+                        topic_id=int(record["id"]),
+                        keywords=record["keywords"],
+                        relevant=frozenset(record["relevant"]),
+                        domain_id=int(record.get("domain_id", -1)),
+                    )
+                )
+            except KeyError as exc:
+                raise DumpFormatError(f"topic record missing field {exc}") from exc
+        return topic_set
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TopicSet":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,134 @@
+"""XML serialisation of image documents, following the ImageCLEF layout.
+
+The emitted XML mirrors Figure 2 of the paper::
+
+    <image id="82531" file="images/9/82531.jpg">
+      <name>Field Hamois Belgium Luc Viatour.jpg</name>
+      <text xml:lang="en">
+        <description>...</description>
+        <comment/>
+        <caption article="text/en/1/302887">...</caption>
+      </text>
+      <comment>({{Information |Description= ... }})</comment>
+      <license>GFDL</license>
+    </image>
+
+Multiple documents are stored one file per image inside a directory, plus
+an ``images.xml`` bundle writer/reader used by the benchmark artefacts.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import DumpFormatError
+from repro.collection.document import Caption, ImageDocument, TextSection
+
+__all__ = [
+    "document_to_element",
+    "element_to_document",
+    "write_documents",
+    "read_documents",
+    "document_to_string",
+    "document_from_string",
+]
+
+_XML_LANG = "{http://www.w3.org/XML/1998/namespace}lang"
+
+
+def document_to_element(document: ImageDocument) -> ET.Element:
+    """Convert a document into an ``<image>`` element."""
+    image = ET.Element("image", {"id": document.doc_id, "file": document.file})
+    name = ET.SubElement(image, "name")
+    name.text = document.name
+    for section in document.sections:
+        text = ET.SubElement(image, "text", {_XML_LANG: section.lang})
+        description = ET.SubElement(text, "description")
+        description.text = section.description
+        comment = ET.SubElement(text, "comment")
+        comment.text = section.comment
+        for caption in section.captions:
+            attrs = {"article": caption.article} if caption.article else {}
+            caption_el = ET.SubElement(text, "caption", attrs)
+            caption_el.text = caption.text
+    comment = ET.SubElement(image, "comment")
+    comment.text = document.comment
+    license_el = ET.SubElement(image, "license")
+    license_el.text = document.license
+    return image
+
+
+def element_to_document(element: ET.Element) -> ImageDocument:
+    """Parse an ``<image>`` element back into a document."""
+    if element.tag != "image":
+        raise DumpFormatError(f"expected <image>, got <{element.tag}>")
+    doc_id = element.get("id")
+    if not doc_id:
+        raise DumpFormatError("<image> element is missing its id attribute")
+    sections = []
+    for text in element.findall("text"):
+        lang = text.get(_XML_LANG) or text.get("lang") or ""
+        captions = tuple(
+            Caption(text=(c.text or "").strip(), article=c.get("article", ""))
+            for c in text.findall("caption")
+        )
+        sections.append(
+            TextSection(
+                lang=lang,
+                description=(text.findtext("description") or "").strip(),
+                comment=(text.findtext("comment") or "").strip(),
+                captions=captions,
+            )
+        )
+    return ImageDocument(
+        doc_id=doc_id,
+        file=element.get("file", ""),
+        name=(element.findtext("name") or "").strip(),
+        sections=tuple(sections),
+        comment=(element.findtext("comment") or "").strip(),
+        license=(element.findtext("license") or "").strip(),
+    )
+
+
+def document_to_string(document: ImageDocument) -> str:
+    """Serialise one document to an XML string."""
+    return ET.tostring(document_to_element(document), encoding="unicode")
+
+
+def document_from_string(text: str) -> ImageDocument:
+    """Parse one document from an XML string."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DumpFormatError(f"invalid XML: {exc}") from exc
+    return element_to_document(element)
+
+
+def write_documents(documents: Iterable[ImageDocument], path: str | Path) -> int:
+    """Write documents into one ``<images>`` bundle file; returns the count."""
+    path = Path(path)
+    root = ET.Element("images")
+    count = 0
+    for document in documents:
+        root.append(document_to_element(document))
+        count += 1
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(path, encoding="unicode", xml_declaration=True)
+    return count
+
+
+def read_documents(path: str | Path) -> Iterator[ImageDocument]:
+    """Stream documents out of an ``<images>`` bundle file."""
+    path = Path(path)
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise DumpFormatError(f"invalid XML in {path}: {exc}") from exc
+    root = tree.getroot()
+    if root.tag != "images":
+        raise DumpFormatError(f"expected <images> root, got <{root.tag}>")
+    for element in root.findall("image"):
+        yield element_to_document(element)

@@ -1,0 +1,213 @@
+"""Undirected cycle enumeration (Section 3).
+
+The paper's cycle definition:
+
+    "We define a cycle C as a sequence of |C| nodes (either articles or
+    categories) starting and ending at the same node, with at least one
+    edge among each pair of consecutive nodes. [...] we do not consider
+    the direction of the edges, and we limit the length of the cycles to 5
+    [...]  Finally, we are interested in those cycles containing at least
+    one article of L(q.k)."
+
+Consequences implemented here:
+
+* Cycles of length **2** are pairs of articles linked in *both* directions
+  (two antiparallel LINK edges; a single undirected edge is not a cycle).
+  Only article pairs can form them — the schema has at most one edge
+  between an article and a category.
+* Cycles of length **3..5** are simple cycles in the undirected,
+  redirect-free view of the graph.  Chords are allowed (cycles are not
+  required to be chordless); chords are *measured* by the density feature,
+  not used to split the cycle.
+* Each cycle is reported once, in canonical order: lowest node id first,
+  then the direction whose second node has the smaller id.
+
+Enumeration is exponential in the maximum length, as the paper points out;
+the intended input is a per-query graph (hundreds of nodes), not all of
+Wikipedia.  A ``max_cycles`` guard protects against degenerate inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.wiki.graph import WikiGraph
+
+__all__ = ["Cycle", "CycleFinder", "find_cycles"]
+
+MAX_SUPPORTED_LENGTH = 8  # enumeration is exponential; hard stop well past 5
+
+
+@dataclass(frozen=True, slots=True)
+class Cycle:
+    """One cycle, as its canonical node sequence."""
+
+    nodes: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __str__(self) -> str:
+        return "(" + " - ".join(str(n) for n in self.nodes) + ")"
+
+
+class CycleFinder:
+    """Enumerates cycles of a WikiGraph through anchor articles.
+
+    Parameters
+    ----------
+    graph:
+        Typically a query graph ``G(q)``; any WikiGraph works.
+    max_length / min_length:
+        Bounds on cycle length, inclusive (paper: 2..5).
+    max_cycles:
+        Enumeration aborts with :class:`AnalysisError` beyond this many
+        cycles — a tripwire for accidentally passing a huge dense graph.
+    """
+
+    def __init__(
+        self,
+        graph: WikiGraph,
+        *,
+        min_length: int = 2,
+        max_length: int = 5,
+        max_cycles: int = 1_000_000,
+    ) -> None:
+        if min_length < 2:
+            raise AnalysisError("min_length must be >= 2 (a cycle needs two nodes)")
+        if max_length < min_length:
+            raise AnalysisError("max_length must be >= min_length")
+        if max_length > MAX_SUPPORTED_LENGTH:
+            raise AnalysisError(
+                f"max_length {max_length} exceeds the supported bound "
+                f"{MAX_SUPPORTED_LENGTH}; enumeration cost grows exponentially"
+            )
+        self._graph = graph
+        self._min_length = min_length
+        self._max_length = max_length
+        self._max_cycles = max_cycles
+        # Undirected adjacency snapshot, sorted for determinism.
+        self._adjacency: dict[int, tuple[int, ...]] = {
+            node_id: tuple(sorted(graph.undirected_neighbors(node_id)))
+            for node_id in graph.node_ids()
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def find(self, anchors: Iterable[int] | None = None) -> list[Cycle]:
+        """All cycles within the length bounds containing >= 1 anchor.
+
+        ``anchors`` defaults to *no filtering* (every cycle is returned).
+        The result is sorted by (length, nodes) so downstream analysis is
+        deterministic.
+        """
+        anchor_set = None if anchors is None else frozenset(anchors)
+        cycles = []
+        if self._min_length <= 2:
+            cycles.extend(self._two_cycles(anchor_set))
+        if self._max_length >= 3:
+            cycles.extend(self._simple_cycles(anchor_set))
+        cycles.sort(key=lambda c: (c.length, c.nodes))
+        return cycles
+
+    def count_by_length(self, anchors: Iterable[int] | None = None) -> dict[int, int]:
+        """Cycle census: ``{length: count}`` with zeros for empty lengths."""
+        census = {length: 0 for length in range(self._min_length, self._max_length + 1)}
+        for cycle in self.find(anchors):
+            census[cycle.length] += 1
+        return census
+
+    # ------------------------------------------------------------------
+    # Length-2: antiparallel article links
+    # ------------------------------------------------------------------
+
+    def _two_cycles(self, anchors: frozenset[int] | None) -> Iterator[Cycle]:
+        graph = self._graph
+        for article in graph.articles():
+            u = article.node_id
+            for v in graph.links_from(u):
+                if v <= u or v not in graph:
+                    continue
+                if anchors is not None and u not in anchors and v not in anchors:
+                    continue
+                if u in graph.links_from(v):
+                    yield Cycle((u, v))
+
+    # ------------------------------------------------------------------
+    # Length >= 3: DFS over the undirected view
+    # ------------------------------------------------------------------
+
+    def _simple_cycles(self, anchors: frozenset[int] | None) -> Iterator[Cycle]:
+        """Canonical enumeration: root is the smallest node id of the cycle,
+        neighbours on the path must exceed the root, and the orientation
+        with ``path[1] < path[-1]`` is kept (dedups the mirror image)."""
+        adjacency = self._adjacency
+        max_length = self._max_length
+        min_length = max(3, self._min_length)
+        emitted = 0
+        on_path: set[int] = set()
+
+        for root in sorted(adjacency):
+            root_neighbors = adjacency[root]
+            path = [root]
+            on_path = {root}
+
+            def dfs() -> Iterator[Cycle]:
+                nonlocal emitted
+                current = path[-1]
+                for neighbor in adjacency[current]:
+                    if neighbor <= root:
+                        continue
+                    if neighbor in on_path:
+                        continue
+                    path.append(neighbor)
+                    on_path.add(neighbor)
+                    length = len(path)
+                    if (
+                        length >= min_length
+                        and path[1] < path[-1]
+                        and root in adjacency[neighbor]
+                    ):
+                        nodes = tuple(path)
+                        if anchors is None or not anchors.isdisjoint(nodes):
+                            emitted += 1
+                            if emitted > self._max_cycles:
+                                raise AnalysisError(
+                                    f"more than {self._max_cycles} cycles; "
+                                    "pass a smaller graph or raise max_cycles"
+                                )
+                            yield Cycle(nodes)
+                    if length < max_length:
+                        yield from dfs()
+                    path.pop()
+                    on_path.discard(neighbor)
+
+            # A neighbour check avoids DFS on isolated/leaf roots.
+            if len(root_neighbors) >= 2:
+                yield from dfs()
+
+
+def find_cycles(
+    graph: WikiGraph,
+    anchors: Iterable[int] | None = None,
+    *,
+    min_length: int = 2,
+    max_length: int = 5,
+    max_cycles: int = 1_000_000,
+) -> list[Cycle]:
+    """Convenience wrapper over :class:`CycleFinder` for one-off calls."""
+    finder = CycleFinder(
+        graph, min_length=min_length, max_length=max_length, max_cycles=max_cycles
+    )
+    return finder.find(anchors)

@@ -1,0 +1,117 @@
+"""Structural features of cycles (Section 3).
+
+For a cycle ``C`` the paper uses:
+
+* ``A(C)``, ``C(C)``, ``E(C)`` — number of articles, categories, and edges
+  among the cycle's nodes;
+* the **category ratio** ``C(C) / |C|`` (Figure 7a);
+* the **maximum edge count**
+  ``M(C) = A(C)·(A(C)−1) + A(C)·C(C) + C(C)·(C(C)−1)/2``
+  — article-article links are directed (ordered pairs), article-category
+  memberships and category-category containments are single edges per pair
+  (``INSIDE`` counts unordered pairs because the hierarchy is tree-like);
+* the **density of extra edges** ``(E(C) − |C|) / (M(C) − |C|)``
+  (Figure 7b/9) — how many chords the cycle carries relative to the
+  maximum possible.  Undefined when ``M(C) = |C|`` (e.g. 2-cycles), in
+  which case :attr:`CycleFeatures.extra_edge_density` is ``None``.
+
+Edge counting follows the same conventions as ``M``: antiparallel article
+links count twice, every other relation once per unordered pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cycles import Cycle
+from repro.wiki.graph import WikiGraph
+
+__all__ = ["CycleFeatures", "compute_features", "count_edges", "max_edges"]
+
+
+@dataclass(frozen=True, slots=True)
+class CycleFeatures:
+    """All per-cycle structural features used by the analysis."""
+
+    cycle: Cycle
+    num_articles: int
+    num_categories: int
+    num_edges: int
+    max_possible_edges: int
+
+    @property
+    def length(self) -> int:
+        return self.cycle.length
+
+    @property
+    def category_ratio(self) -> float:
+        """``C(C) / |C|`` — 0.0 for article-only cycles."""
+        return self.num_categories / self.length
+
+    @property
+    def num_extra_edges(self) -> int:
+        """Edges beyond the ``|C|`` strictly necessary to form the cycle."""
+        return self.num_edges - self.length
+
+    @property
+    def extra_edge_density(self) -> float | None:
+        """``(E − |C|) / (M − |C|)``, or None when no chord can exist."""
+        slack = self.max_possible_edges - self.length
+        if slack <= 0:
+            return None
+        return self.num_extra_edges / slack
+
+    @property
+    def is_category_free(self) -> bool:
+        """True for cycles without categories (the Figure 8 hazard)."""
+        return self.num_categories == 0
+
+
+def max_edges(num_articles: int, num_categories: int) -> int:
+    """The paper's ``M(C)`` for a node set of the given composition."""
+    if num_articles < 0 or num_categories < 0:
+        raise ValueError("node counts must be non-negative")
+    return (
+        num_articles * (num_articles - 1)
+        + num_articles * num_categories
+        + num_categories * (num_categories - 1) // 2
+    )
+
+
+def count_edges(graph: WikiGraph, nodes: tuple[int, ...]) -> int:
+    """``E(C)``: edges among ``nodes``, counted with ``M``'s conventions.
+
+    Directed article->article links count individually (a reciprocal pair
+    contributes 2); BELONGS contributes 1 per (article, category) pair;
+    INSIDE contributes 1 per unordered category pair regardless of
+    direction(s).
+    """
+    node_set = set(nodes)
+    edges = 0
+    for index, u in enumerate(nodes):
+        if graph.is_article(u):
+            # Directed links from u to other cycle nodes.
+            edges += sum(1 for v in graph.links_from(u) if v in node_set)
+            # Belongs edges from u to cycle categories.
+            edges += sum(1 for v in graph.categories_of(u) if v in node_set)
+        else:
+            # Unordered containment pairs, counted from the lower index to
+            # avoid double counting when both directions exist.
+            for v in nodes[index + 1 :]:
+                if graph.is_category(v):
+                    if v in graph.parents_of(u) or v in graph.children_of(u):
+                        edges += 1
+    return edges
+
+
+def compute_features(graph: WikiGraph, cycle: Cycle) -> CycleFeatures:
+    """Compute every structural feature of ``cycle`` within ``graph``."""
+    num_articles = sum(1 for node in cycle.nodes if graph.is_article(node))
+    num_categories = cycle.length - num_articles
+    return CycleFeatures(
+        cycle=cycle,
+        num_articles=num_articles,
+        num_categories=num_categories,
+        num_edges=count_edges(graph, cycle.nodes),
+        max_possible_edges=max_edges(num_articles, num_categories),
+    )

@@ -1,0 +1,169 @@
+"""Retrieval-quality metrics of Section 2.2.
+
+* ``P(A, r, D)`` — top-r precision: the fraction of the top-r results that
+  are correct, ``|T(A,r) ∩ D| / r``.
+* ``O(A, D)`` — Equation 1: the mean of the top-r precisions over
+  ``R = {1, 5, 10, 15}``.
+* *contribution* of a cycle — "the percentual difference between
+  ``O(L(q.k), q.D)`` and ``O(L(q.k) ∪ C, q.D)``".
+
+:class:`Evaluator` binds the metrics to a search engine and a knowledge
+graph: it turns a set of article ids into the paper's exact-phrase INDRI
+query, runs it, and caches the quality per article set — the ground-truth
+local search re-evaluates thousands of near-identical sets, so the cache
+carries the workload.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import GroundTruthError
+from repro.retrieval.engine import SearchEngine
+from repro.wiki.graph import WikiGraph
+
+__all__ = [
+    "DEFAULT_RANKS",
+    "top_r_precision",
+    "mean_precision",
+    "contribution_percent",
+    "QualityScore",
+    "Evaluator",
+]
+
+#: The paper's R = {1, 5, 10, 15}.
+DEFAULT_RANKS: tuple[int, ...] = (1, 5, 10, 15)
+
+
+def top_r_precision(ranked_ids: Sequence[str], relevant: frozenset[str] | set[str], r: int) -> float:
+    """``P(A, r, D)``: precision of the first ``r`` ranked results.
+
+    When fewer than ``r`` results were returned the denominator stays
+    ``r`` — absent results are wrong results, exactly as a user sees it.
+    """
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    hits = sum(1 for doc_id in ranked_ids[:r] if doc_id in relevant)
+    return hits / r
+
+
+def mean_precision(
+    ranked_ids: Sequence[str],
+    relevant: frozenset[str] | set[str],
+    ranks: Iterable[int] = DEFAULT_RANKS,
+) -> float:
+    """``O(A, D)`` (Equation 1): mean of the top-r precisions over ``ranks``."""
+    ranks = tuple(ranks)
+    if not ranks:
+        raise ValueError("ranks must be non-empty")
+    return sum(top_r_precision(ranked_ids, relevant, r) for r in ranks) / len(ranks)
+
+
+def contribution_percent(base_quality: float, expanded_quality: float) -> float:
+    """Percentual difference between base and expanded quality.
+
+    Positive when the expansion helped.  When the base quality is zero any
+    improvement is an infinite relative gain; the paper's plots cap such
+    cases, and we follow the convention of reporting the absolute gain
+    times 100 (i.e. treating the base as 1.0) so a 0 → 0.5 improvement
+    reads as +50 %.
+    """
+    if base_quality <= 0.0:
+        return (expanded_quality - base_quality) * 100.0
+    return (expanded_quality - base_quality) / base_quality * 100.0
+
+
+@dataclass(frozen=True, slots=True)
+class QualityScore:
+    """Per-rank precisions plus their mean (Equation 1) for one query."""
+
+    precisions: dict[int, float]
+    mean: float
+
+    def precision_at(self, r: int) -> float:
+        try:
+            return self.precisions[r]
+        except KeyError:
+            raise KeyError(f"precision at rank {r} was not evaluated") from None
+
+
+class Evaluator:
+    """Scores article sets as expansion features against one topic.
+
+    Given a set of Wikipedia article ids, the evaluator writes the paper's
+    expansion query — one exact ``#1`` phrase per article title under a
+    ``#combine`` — runs it, and computes :class:`QualityScore` against the
+    topic's relevance set.
+
+    Instances are per-topic (they capture ``relevant``); build one per
+    query and share the engine across them.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        graph: WikiGraph,
+        relevant: frozenset[str] | set[str],
+        ranks: tuple[int, ...] = DEFAULT_RANKS,
+    ) -> None:
+        if not ranks:
+            raise GroundTruthError("ranks must be non-empty")
+        self._engine = engine
+        self._graph = graph
+        self._relevant = frozenset(relevant)
+        self._ranks = tuple(sorted(ranks))
+        self._max_rank = max(self._ranks)
+        self._cache: dict[frozenset[int], QualityScore] = {}
+        self.evaluations = 0  # total evaluate() calls, cache hits included
+        self.engine_calls = 0  # actual searches issued
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return self._ranks
+
+    @property
+    def relevant(self) -> frozenset[str]:
+        return self._relevant
+
+    def titles_of(self, article_ids: Iterable[int]) -> list[str]:
+        """Sorted titles of ``article_ids`` (sorted by id for determinism)."""
+        return [self._graph.title(a) for a in sorted(set(article_ids))]
+
+    def evaluate(self, article_ids: Iterable[int]) -> QualityScore:
+        """Quality of using the titles of ``article_ids`` as the query."""
+        key = frozenset(article_ids)
+        self.evaluations += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if not key:
+            score = QualityScore(precisions={r: 0.0 for r in self._ranks}, mean=0.0)
+            self._cache[key] = score
+            return score
+        self.engine_calls += 1
+        results = self._engine.search_phrases(self.titles_of(key), top_k=self._max_rank)
+        ranked = [result.doc_id for result in results]
+        precisions = {r: top_r_precision(ranked, self._relevant, r) for r in self._ranks}
+        score = QualityScore(
+            precisions=precisions,
+            mean=sum(precisions.values()) / len(precisions),
+        )
+        self._cache[key] = score
+        return score
+
+    def quality(self, article_ids: Iterable[int]) -> float:
+        """Shortcut for ``evaluate(...).mean`` (Equation 1)."""
+        return self.evaluate(article_ids).mean
+
+    def contribution_of(self, seed_ids: frozenset[int], extra_ids: Iterable[int]) -> float:
+        """Contribution (in %) of adding ``extra_ids`` to the seed set."""
+        base = self.quality(seed_ids)
+        expanded = self.quality(set(seed_ids) | set(extra_ids))
+        return contribution_percent(base, expanded)
+
+    def __repr__(self) -> str:
+        return (
+            f"Evaluator(relevant={len(self._relevant)}, ranks={self._ranks}, "
+            f"cached={len(self._cache)})"
+        )

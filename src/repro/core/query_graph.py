@@ -1,0 +1,165 @@
+"""Query graph assembly and statistics (Sections 2.3 and 3, Table 3).
+
+    "Each query graph G(q) is built by inducing the subgraph with nodes
+    X(q), their main articles in case of being a redirect, and their
+    categories."
+
+A :class:`QueryGraph` carries the induced :class:`WikiGraph` plus the roles
+of its articles (which ids came from ``L(q.k)``, which from ``A'``), and
+computes the largest-connected-component statistics reported in Table 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.wiki.graph import WikiGraph
+from repro.wiki.stats import (
+    composition,
+    largest_connected_component,
+    triangle_participation_ratio,
+)
+
+__all__ = ["QueryGraph", "QueryGraphStats", "build_query_graph"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryGraphStats:
+    """The Table 3 row for one query graph.
+
+    All ratios concern the *largest connected component* (LCC):
+
+    ``relative_size``     |LCC| / |G(q)|
+    ``query_node_ratio``  fraction of L(q.k) articles inside the LCC
+    ``article_ratio``     articles / |LCC|
+    ``category_ratio``    categories / |LCC|
+    ``expansion_ratio``   |X(q) ∩ LCC| / |L(q.k) ∩ LCC| — 0 when no query
+                          article made it into the LCC (paper's convention)
+    ``tpr``               triangle participation ratio of the LCC
+    """
+
+    num_nodes: int
+    lcc_size: int
+    relative_size: float
+    query_node_ratio: float
+    article_ratio: float
+    category_ratio: float
+    expansion_ratio: float
+    tpr: float
+
+
+class QueryGraph:
+    """The induced Wikipedia subgraph of one query."""
+
+    def __init__(
+        self,
+        graph: WikiGraph,
+        seed_articles: frozenset[int],
+        expansion_articles: frozenset[int],
+    ) -> None:
+        unknown = [a for a in (*seed_articles, *expansion_articles) if a not in graph]
+        if unknown:
+            raise AnalysisError(f"query graph is missing its own articles: {unknown[:3]}")
+        self.graph = graph
+        self.seed_articles = seed_articles
+        self.expansion_articles = expansion_articles
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def best_set(self) -> frozenset[int]:
+        """``X(q)``: seed plus expansion articles."""
+        return self.seed_articles | self.expansion_articles
+
+    def articles(self) -> frozenset[int]:
+        return frozenset(a.node_id for a in self.graph.articles())
+
+    def categories(self) -> frozenset[int]:
+        return frozenset(c.node_id for c in self.graph.categories())
+
+    # ------------------------------------------------------------------
+    # Table 3 statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> QueryGraphStats:
+        """Largest-connected-component statistics (one Table 3 row)."""
+        total = self.graph.num_nodes
+        if total == 0:
+            return QueryGraphStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        lcc = largest_connected_component(self.graph)
+        comp = composition(self.graph, lcc)
+        seeds_in = self.seed_articles & lcc
+        best_in = self.best_set & lcc
+        if self.seed_articles:
+            query_node_ratio = len(seeds_in) / len(self.seed_articles)
+        else:
+            query_node_ratio = 0.0
+        expansion_ratio = len(best_in) / len(seeds_in) if seeds_in else 0.0
+        lcc_graph = self.graph.to_networkx().subgraph(lcc)
+        return QueryGraphStats(
+            num_nodes=total,
+            lcc_size=len(lcc),
+            relative_size=len(lcc) / total,
+            query_node_ratio=query_node_ratio,
+            article_ratio=comp.article_ratio,
+            category_ratio=comp.category_ratio,
+            expansion_ratio=expansion_ratio,
+            tpr=triangle_participation_ratio(lcc_graph),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryGraph(nodes={self.num_nodes}, seeds={len(self.seed_articles)}, "
+            f"expansion={len(self.expansion_articles)})"
+        )
+
+
+def build_query_graph(
+    graph: WikiGraph,
+    seed_articles: Iterable[int],
+    expansion_articles: Iterable[int],
+) -> QueryGraph:
+    """Assemble ``G(q)`` per Section 2.3.
+
+    Node set: ``X(q)`` (= seeds ∪ expansion), the main article of any
+    redirect among them, the redirects pointing at those articles (they
+    appear in the paper's Figure 3 as satellite nodes), and the categories
+    of every article included.  The subgraph is induced — every edge of the
+    full graph between retained nodes is kept.
+    """
+    seeds = frozenset(seed_articles)
+    expansion = frozenset(expansion_articles) - seeds
+    nodes: set[int] = set()
+    resolved_seeds: set[int] = set()
+    resolved_expansion: set[int] = set()
+
+    for source_set, resolved in (
+        (seeds, resolved_seeds),
+        (expansion, resolved_expansion),
+    ):
+        for article_id in source_set:
+            if article_id not in graph:
+                raise AnalysisError(f"article {article_id} not in the knowledge graph")
+            main_id = graph.resolve(article_id)
+            nodes.add(article_id)
+            nodes.add(main_id)
+            resolved.add(main_id)
+
+    # Categories of every retained article (redirects have none).
+    for article_id in list(nodes):
+        nodes.update(graph.categories_of(article_id))
+
+    induced = graph.induced_subgraph(nodes)
+    return QueryGraph(
+        graph=induced,
+        seed_articles=frozenset(resolved_seeds),
+        expansion_articles=frozenset(resolved_expansion) - frozenset(resolved_seeds),
+    )

@@ -1,0 +1,104 @@
+"""Visual exports of query graphs and cycles (the paper's Figures 3 & 4).
+
+Emits Graphviz DOT text — no graphviz binary required; render with
+``dot -Tpng`` wherever available, or read the DOT directly.  Node shapes
+follow the paper's Figure 3 legend:
+
+* triangle — articles of ``L(q.k)`` (the query entities)
+* ellipse  — expansion articles (``A'``)
+* plain    — main articles pulled in by redirects / other articles
+* box      — categories
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.cycles import Cycle
+from repro.core.query_graph import QueryGraph
+from repro.wiki.graph import WikiGraph
+from repro.wiki.schema import EdgeKind
+
+__all__ = ["query_graph_to_dot", "cycle_to_dot", "describe_query_graph"]
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _node_line(graph: WikiGraph, node_id: int, shape: str) -> str:
+    label = _dot_escape(graph.title(node_id))
+    return f'  n{node_id} [label="{label}", shape={shape}];'
+
+
+def query_graph_to_dot(query_graph: QueryGraph, *, name: str = "query_graph") -> str:
+    """Render a query graph as DOT, shapes per the paper's Figure 3."""
+    graph = query_graph.graph
+    lines = [f"graph {_dot_escape(name)} {{", "  layout=neato;", "  overlap=false;"]
+    for node_id in sorted(graph.node_ids()):
+        if node_id in query_graph.seed_articles:
+            shape = "triangle"
+        elif node_id in query_graph.expansion_articles:
+            shape = "ellipse"
+        elif graph.is_category(node_id):
+            shape = "box"
+        else:
+            shape = "plaintext"
+        lines.append(_node_line(graph, node_id, shape))
+    seen: set[tuple[int, int, str]] = set()
+    for edge in graph.edges():
+        if edge.kind is EdgeKind.REDIRECT:
+            style = ' [style=dashed, label="redirects_to"]'
+            key = (edge.source, edge.target, "r")
+        else:
+            style = ""
+            key = (min(edge.source, edge.target), max(edge.source, edge.target), "u")
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(f"  n{edge.source} -- n{edge.target}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cycle_to_dot(graph: WikiGraph, cycle: Cycle, *, name: str = "cycle") -> str:
+    """Render one cycle (plus its chords) as DOT, like Figure 4."""
+    nodes = cycle.nodes
+    node_set = set(nodes)
+    lines = [f"graph {_dot_escape(name)} {{"]
+    for node_id in nodes:
+        shape = "box" if graph.is_category(node_id) else "ellipse"
+        lines.append(_node_line(graph, node_id, shape))
+    emitted: set[tuple[int, int]] = set()
+    for u in nodes:
+        for v in graph.undirected_neighbors(u):
+            if v not in node_set:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            lines.append(f"  n{u} -- n{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def describe_query_graph(query_graph: QueryGraph) -> str:
+    """Readable multi-line summary of a query graph (for CLIs/logs)."""
+    graph = query_graph.graph
+    stats = query_graph.stats()
+
+    def names(ids: Iterable[int]) -> str:
+        return ", ".join(graph.title(n) for n in sorted(ids)) or "(none)"
+
+    return "\n".join(
+        [
+            f"query graph: {graph.num_nodes} nodes / {graph.num_edges} edges",
+            f"  seeds (L(q.k)):   {names(query_graph.seed_articles)}",
+            f"  expansion (A'):   {names(query_graph.expansion_articles)}",
+            f"  LCC: {stats.lcc_size} nodes ({stats.relative_size:.0%} of graph), "
+            f"TPR {stats.tpr:.2f}",
+            f"  composition: {stats.article_ratio:.0%} articles, "
+            f"{stats.category_ratio:.0%} categories",
+        ]
+    )

@@ -1,0 +1,69 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+Subpackages define finer-grained subclasses here rather than locally so the
+hierarchy stays discoverable in a single module.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised deliberately by this library."""
+
+
+class SchemaError(ReproError):
+    """An entity or edge violates the Wikipedia schema of Figure 1.
+
+    Examples: an article that belongs to no category, a redirect with more
+    than one target, a category membership edge whose endpoint is not a
+    category.
+    """
+
+
+class UnknownNodeError(ReproError, KeyError):
+    """A node id was requested that is not present in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(node_id)
+        self.node_id = node_id
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable.
+        return f"unknown node: {self.node_id!r}"
+
+
+class DuplicateNodeError(SchemaError):
+    """A node with the same id or title was added twice."""
+
+
+class DumpFormatError(ReproError):
+    """A serialized graph/collection dump could not be parsed."""
+
+
+class QueryLanguageError(ReproError):
+    """A retrieval query string could not be parsed."""
+
+
+class IndexError_(ReproError):
+    """The inverted index was used inconsistently (e.g. duplicate doc id)."""
+
+
+class EmptyIndexError(IndexError_):
+    """A search was issued against an index with no documents."""
+
+
+class LinkingError(ReproError):
+    """The entity linker was misconfigured (e.g. empty knowledge base)."""
+
+
+class GroundTruthError(ReproError):
+    """The ground-truth local search received unusable inputs."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received inconsistent inputs."""
+
+
+class BenchmarkConfigError(ReproError):
+    """A synthetic benchmark configuration is invalid."""

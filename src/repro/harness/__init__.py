@@ -1,0 +1,102 @@
+"""Experiment harness: the pipeline runner, per-table/figure experiment
+functions, text rendering, and the default cached benchmark."""
+
+from functools import lru_cache
+
+from repro.collection.benchmark import Benchmark
+from repro.collection.synthetic import SyntheticCollectionConfig
+from repro.harness.experiments import (
+    PAPER_FIG5,
+    PAPER_FIG6,
+    PAPER_FIG7A,
+    PAPER_FIG7B,
+    PAPER_SEC3_STATS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Fig9Data,
+    StructuralStats,
+    Table4Row,
+    fig5_contribution_by_length,
+    fig6_cycle_counts,
+    fig7a_category_ratio,
+    fig7b_density,
+    fig9_density_vs_contribution,
+    sec3_structural_stats,
+    table2_ground_truth_precision,
+    table3_largest_cc_stats,
+    table4_cycle_expansion_precision,
+)
+from repro.harness.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    QueryOutcome,
+    run_pipeline,
+)
+from repro.harness.report import render_report, save_report
+from repro.harness.sweep import ShapeChecks, SweepOutcome, check_shapes, run_seed_sweep
+from repro.harness.tables import (
+    format_five_point_table,
+    format_series,
+    format_series_comparison,
+    format_table4,
+)
+from repro.wiki.synthetic import SyntheticWikiConfig
+
+__all__ = [
+    "default_benchmark",
+    "default_pipeline_result",
+    "PipelineConfig",
+    "PipelineResult",
+    "QueryOutcome",
+    "run_pipeline",
+    "table2_ground_truth_precision",
+    "table3_largest_cc_stats",
+    "table4_cycle_expansion_precision",
+    "Table4Row",
+    "fig5_contribution_by_length",
+    "fig6_cycle_counts",
+    "fig7a_category_ratio",
+    "fig7b_density",
+    "fig9_density_vs_contribution",
+    "Fig9Data",
+    "sec3_structural_stats",
+    "StructuralStats",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_FIG5",
+    "PAPER_FIG6",
+    "PAPER_FIG7A",
+    "PAPER_FIG7B",
+    "PAPER_SEC3_STATS",
+    "render_report",
+    "ShapeChecks",
+    "SweepOutcome",
+    "check_shapes",
+    "run_seed_sweep",
+    "save_report",
+    "format_five_point_table",
+    "format_series",
+    "format_series_comparison",
+    "format_table4",
+]
+
+
+def default_benchmark(seed: int = 7) -> Benchmark:
+    """The standard 50-topic synthetic benchmark used by every bench."""
+    return Benchmark.synthetic(
+        SyntheticWikiConfig(seed=seed),
+        SyntheticCollectionConfig(seed=seed + 6),
+    )
+
+
+@lru_cache(maxsize=4)
+def default_pipeline_result(seed: int = 7) -> PipelineResult:
+    """Cached full pipeline run over :func:`default_benchmark`.
+
+    The pipeline takes tens of seconds; benches for different tables and
+    figures share this single run, like the paper derives all its
+    analysis from one ground truth.
+    """
+    return run_pipeline(default_benchmark(seed), PipelineConfig(seed=seed + 90))

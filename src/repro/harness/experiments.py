@@ -1,0 +1,268 @@
+"""One function per table/figure of the paper.
+
+Every function consumes a :class:`~repro.harness.pipeline.PipelineResult`
+and returns plain data structures (dataclasses / dicts / lists) that the
+formatting layer renders and the benchmark suite asserts on.  The paper's
+measured values are included as ``PAPER_*`` constants so EXPERIMENTS.md and
+the benches can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import (
+    CycleRecord,
+    FivePointSummary,
+    average_category_ratio_by_length,
+    average_contribution_by_length,
+    average_count_by_length,
+    average_density_by_length,
+    binned_density_trend,
+    density_contribution_points,
+    five_point_summary,
+    linear_trend,
+)
+from repro.core.metrics import contribution_percent
+from repro.harness.pipeline import PipelineResult
+from repro.wiki.stats import reciprocal_link_ratio
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_FIG5",
+    "PAPER_FIG6",
+    "PAPER_FIG7A",
+    "PAPER_FIG7B",
+    "PAPER_SEC3_STATS",
+    "table2_ground_truth_precision",
+    "table3_largest_cc_stats",
+    "table4_cycle_expansion_precision",
+    "fig5_contribution_by_length",
+    "fig6_cycle_counts",
+    "fig7a_category_ratio",
+    "fig7b_density",
+    "fig9_density_vs_contribution",
+    "sec3_structural_stats",
+    "Table4Row",
+    "Fig9Data",
+    "StructuralStats",
+]
+
+# ----------------------------------------------------------------------
+# Paper-reported values (for side-by-side reporting, not for assertions
+# on exact equality — the substrate differs; see DESIGN.md)
+# ----------------------------------------------------------------------
+
+PAPER_TABLE2: dict[str, tuple[float, float, float, float, float]] = {
+    # top-r: (min, q1, median, q3, max)
+    "top-1": (0.0, 1.0, 1.0, 1.0, 1.0),
+    "top-5": (0.0, 1.0, 1.0, 1.0, 1.0),
+    "top-10": (0.2, 0.6, 0.9, 1.0, 1.0),
+    "top-15": (0.2, 0.65, 0.8, 0.85, 1.0),
+}
+
+PAPER_TABLE3: dict[str, tuple[float, float, float, float, float]] = {
+    "%size": (0.164, 0.477, 0.587, 0.688, 1.0),
+    "%query nodes": (0.0, 1.0, 1.0, 1.0, 1.0),
+    "%articles": (0.025, 0.148, 0.217, 0.269, 0.5),
+    "%categories": (0.5, 0.731, 0.783, 0.852, 0.975),
+    "expansion ratio": (0.0, 2.125, 4.5, 23.750, 176.0),
+}
+
+PAPER_TABLE4: dict[tuple[int, ...], tuple[float, float, float, float]] = {
+    # lengths: (top-1, top-5, top-10, top-15)
+    (2,): (0.826, 0.539, 0.539, 0.552),
+    (3,): (0.833, 0.578, 0.519, 0.513),
+    (4,): (0.703, 0.589, 0.541, 0.494),
+    (5,): (0.788, 0.624, 0.588, 0.547),
+    (2, 3): (0.944, 0.656, 0.583, 0.621),
+    (2, 3, 4): (0.944, 0.667, 0.594, 0.629),
+    (2, 3, 4, 5): (0.944, 0.667, 0.622, 0.658),
+}
+
+PAPER_FIG5: dict[int, float] = {2: 50.53, 3: 24.38, 4: 32.74, 5: 32.31}
+PAPER_FIG6: dict[int, float] = {2: 1.56, 3: 9.1, 4: 35.22, 5: 136.84}
+PAPER_FIG7A: dict[int, float] = {3: 0.366, 4: 0.375, 5: 0.382}
+PAPER_FIG7B: dict[int, float] = {3: 0.289, 4: 0.38, 5: 0.333}
+PAPER_SEC3_STATS = {
+    "tpr": 0.3,
+    "reciprocal_pair_ratio": 0.1147,
+    "avg_query_graph_nodes": 208.22,
+}
+
+
+# ----------------------------------------------------------------------
+# Table 2 — ground truth precision quartiles
+# ----------------------------------------------------------------------
+
+
+def table2_ground_truth_precision(result: PipelineResult) -> dict[str, FivePointSummary]:
+    """Quartiles of X(q)'s top-r precision across queries (Table 2)."""
+    out: dict[str, FivePointSummary] = {}
+    for rank in result.config.ranks:
+        values = [o.best_score.precision_at(rank) for o in result.outcomes]
+        out[f"top-{rank}"] = five_point_summary(values)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Table 3 — largest connected component statistics
+# ----------------------------------------------------------------------
+
+
+def table3_largest_cc_stats(result: PipelineResult) -> dict[str, FivePointSummary]:
+    """Quartiles of the per-query LCC statistics (Table 3)."""
+    stats = [o.query_graph.stats() for o in result.outcomes]
+    return {
+        "%size": five_point_summary(s.relative_size for s in stats),
+        "%query nodes": five_point_summary(s.query_node_ratio for s in stats),
+        "%articles": five_point_summary(s.article_ratio for s in stats),
+        "%categories": five_point_summary(s.category_ratio for s in stats),
+        "expansion ratio": five_point_summary(s.expansion_ratio for s in stats),
+    }
+
+
+# ----------------------------------------------------------------------
+# Table 4 — precision by cycle-length configuration
+# ----------------------------------------------------------------------
+
+TABLE4_CONFIGURATIONS: tuple[tuple[int, ...], ...] = (
+    (2,), (3,), (4,), (5,), (2, 3), (2, 3, 4), (2, 3, 4, 5),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Row:
+    """Average top-r precisions of one cycle-length configuration."""
+
+    lengths: tuple[int, ...]
+    precisions: dict[int, float]
+
+    def label(self) -> str:
+        return " & ".join(str(length) for length in self.lengths)
+
+
+def table4_cycle_expansion_precision(
+    result: PipelineResult,
+    configurations: tuple[tuple[int, ...], ...] = TABLE4_CONFIGURATIONS,
+) -> list[Table4Row]:
+    """Average precision using cycle articles as expansion features.
+
+    For each configuration of cycle lengths, each query is expanded with
+    the titles of all articles appearing in its anchored cycles of those
+    lengths; precisions are averaged over queries that have at least one
+    such cycle (queries without cycles of a length cannot use that
+    configuration, matching the paper's setup).
+    """
+    rows: list[Table4Row] = []
+    for lengths in configurations:
+        sums = {rank: 0.0 for rank in result.config.ranks}
+        used = 0
+        for outcome in result.outcomes:
+            articles: set[int] = set()
+            for record in outcome.records:
+                if record.length in lengths:
+                    articles.update(
+                        node
+                        for node in record.features.cycle.nodes
+                        if outcome.query_graph.graph.is_article(node)
+                    )
+            if not articles:
+                continue
+            assert outcome.evaluator is not None
+            score = outcome.evaluator.evaluate(outcome.seed_articles | articles)
+            for rank in result.config.ranks:
+                sums[rank] += score.precision_at(rank)
+            used += 1
+        if used:
+            precisions = {rank: sums[rank] / used for rank in result.config.ranks}
+        else:
+            precisions = {rank: 0.0 for rank in result.config.ranks}
+        rows.append(Table4Row(lengths=lengths, precisions=precisions))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 5, 6, 7a, 7b
+# ----------------------------------------------------------------------
+
+
+def fig5_contribution_by_length(result: PipelineResult) -> dict[int, float]:
+    return average_contribution_by_length(result.all_records())
+
+
+def fig6_cycle_counts(result: PipelineResult) -> dict[int, float]:
+    return average_count_by_length(result.all_records(), result.num_queries)
+
+
+def fig7a_category_ratio(result: PipelineResult) -> dict[int, float]:
+    return average_category_ratio_by_length(result.all_records())
+
+
+def fig7b_density(result: PipelineResult) -> dict[int, float]:
+    return average_density_by_length(result.all_records())
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — density of extra edges vs contribution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Fig9Data:
+    """Scatter points, binned trend and least-squares slope."""
+
+    points: list[tuple[float, float]]
+    trend: list[tuple[float, float]]
+    slope: float
+    intercept: float
+
+
+def fig9_density_vs_contribution(result: PipelineResult, num_bins: int = 5) -> Fig9Data:
+    points = density_contribution_points(result.all_records())
+    trend = binned_density_trend(points, num_bins=num_bins)
+    slope, intercept = linear_trend(points)
+    return Fig9Data(points=points, trend=trend, slope=slope, intercept=intercept)
+
+
+# ----------------------------------------------------------------------
+# Section 3 structural statistics
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StructuralStats:
+    """The loose numbers of Section 3 (TPR, 2-cycle ratio, graph size)."""
+
+    average_tpr: float
+    reciprocal_pair_ratio: float
+    average_query_graph_nodes: float
+    average_cycle_seconds: float
+    average_base_quality: float
+    average_best_quality: float
+    average_improvement_percent: float
+
+
+def sec3_structural_stats(result: PipelineResult) -> StructuralStats:
+    outcomes = result.outcomes
+    tprs = [o.query_graph.stats().tpr for o in outcomes]
+    base = [o.base_score.mean for o in outcomes]
+    best = [o.best_score.mean for o in outcomes]
+    improvements = [
+        contribution_percent(b, x) for b, x in zip(base, best)
+    ]
+    return StructuralStats(
+        average_tpr=sum(tprs) / len(tprs),
+        reciprocal_pair_ratio=reciprocal_link_ratio(result.benchmark.graph),
+        average_query_graph_nodes=(
+            sum(o.query_graph.num_nodes for o in outcomes) / len(outcomes)
+        ),
+        average_cycle_seconds=(
+            sum(o.cycle_wall_seconds for o in outcomes) / len(outcomes)
+        ),
+        average_base_quality=sum(base) / len(base),
+        average_best_quality=sum(best) / len(best),
+        average_improvement_percent=sum(improvements) / len(improvements),
+    )

@@ -1,0 +1,204 @@
+"""End-to-end pipeline: benchmark -> ground truth -> query graphs -> cycles.
+
+This is the orchestration of Sections 2 and 3:
+
+1. index the collection, build the entity linker;
+2. per topic: link the keywords (``L(q.k)``) and the relevant documents
+   (``L(q.D)``);
+3. run the ground-truth local search for ``X(q)``;
+4. assemble the query graph ``G(q)``;
+5. enumerate anchored cycles and measure each cycle's features and
+   contribution.
+
+The result object holds everything the experiment functions (one per
+table/figure) need, so the expensive pipeline runs once per benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.collection.benchmark import Benchmark
+from repro.collection.topics import Topic
+from repro.core.analysis import CycleRecord
+from repro.core.cycles import CycleFinder
+from repro.core.features import compute_features
+from repro.core.ground_truth import GroundTruthResult, GroundTruthSearch
+from repro.core.metrics import DEFAULT_RANKS, Evaluator, QualityScore
+from repro.core.query_graph import QueryGraph, build_query_graph
+from repro.errors import GroundTruthError
+from repro.linking.linker import EntityLinker
+from repro.retrieval.engine import SearchEngine
+
+__all__ = ["PipelineConfig", "QueryOutcome", "PipelineResult", "run_pipeline"]
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Knobs of the end-to-end run."""
+
+    seed: int = 97
+    ranks: tuple[int, ...] = DEFAULT_RANKS
+    max_cycle_length: int = 5
+    use_synonyms: bool = True
+    prefer_minimal: bool = True
+    restarts: int = 1
+    max_candidates: int = 60  # cap |L(q.D)| fed to the local search
+    max_search_iterations: int = 120
+
+
+@dataclass(slots=True)
+class QueryOutcome:
+    """Everything measured for one topic."""
+
+    topic: Topic
+    seed_articles: frozenset[int]  # L(q.k)
+    candidate_articles: frozenset[int]  # L(q.D)
+    ground_truth: GroundTruthResult
+    query_graph: QueryGraph
+    base_score: QualityScore  # O(L(q.k))
+    records: list[CycleRecord] = field(default_factory=list)
+    cycle_wall_seconds: float = 0.0
+    evaluator: Evaluator | None = None
+
+    @property
+    def best_score(self) -> QualityScore:
+        return self.ground_truth.score
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.records)
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Outcomes for every topic, plus the shared machinery."""
+
+    benchmark: Benchmark
+    outcomes: list[QueryOutcome]
+    engine: SearchEngine
+    linker: EntityLinker
+    config: PipelineConfig
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.outcomes)
+
+    def all_records(self) -> list[CycleRecord]:
+        records: list[CycleRecord] = []
+        for outcome in self.outcomes:
+            records.extend(outcome.records)
+        return records
+
+
+def _link_topic(
+    linker: EntityLinker, benchmark: Benchmark, topic: Topic
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Compute ``L(q.k)`` and ``L(q.D)`` for one topic."""
+    seed_articles = linker.link_keywords(topic.keywords)
+    candidates: set[int] = set()
+    for doc_id in sorted(topic.relevant):
+        document = benchmark.documents[doc_id]
+        candidates |= linker.link(document.extraction_text()).article_ids
+    return frozenset(seed_articles), frozenset(candidates)
+
+
+def run_pipeline(
+    benchmark: Benchmark, config: PipelineConfig | None = None
+) -> PipelineResult:
+    """Run the whole paper pipeline over ``benchmark``.
+
+    Deterministic given ``config.seed``.  Topics whose keywords link to no
+    article at all are skipped with a :class:`GroundTruthError` only if
+    *every* topic fails; individual failures are recorded as outcomes with
+    empty seed sets so aggregate statistics stay honest about them.
+    """
+    config = config or PipelineConfig()
+    engine = benchmark.build_engine()
+    linker = EntityLinker(benchmark.graph, use_synonyms=config.use_synonyms)
+    rng = random.Random(config.seed)
+
+    outcomes: list[QueryOutcome] = []
+    for topic in benchmark.topics:
+        outcome = _run_topic(benchmark, engine, linker, topic, config, rng)
+        outcomes.append(outcome)
+
+    if outcomes and all(not o.seed_articles for o in outcomes):
+        raise GroundTruthError(
+            "no topic's keywords linked to any article; benchmark and graph "
+            "are inconsistent"
+        )
+    return PipelineResult(
+        benchmark=benchmark,
+        outcomes=outcomes,
+        engine=engine,
+        linker=linker,
+        config=config,
+    )
+
+
+def _run_topic(
+    benchmark: Benchmark,
+    engine: SearchEngine,
+    linker: EntityLinker,
+    topic: Topic,
+    config: PipelineConfig,
+    rng: random.Random,
+) -> QueryOutcome:
+    seeds, candidates = _link_topic(linker, benchmark, topic)
+    evaluator = Evaluator(engine, benchmark.graph, topic.relevant, ranks=config.ranks)
+
+    pool = sorted(candidates - seeds)
+    if len(pool) > config.max_candidates:
+        # Deterministic subsample: keeps the search tractable on dense
+        # benchmarks while remaining reproducible.
+        pool = sorted(rng.sample(pool, config.max_candidates))
+
+    search = GroundTruthSearch(
+        evaluator,
+        rng=random.Random(rng.randrange(1 << 30)),
+        max_iterations=config.max_search_iterations,
+        prefer_minimal=config.prefer_minimal,
+        restarts=config.restarts,
+    )
+    ground_truth = search.run(seeds, pool)
+
+    query_graph = build_query_graph(
+        benchmark.graph, seeds, ground_truth.expansion_set
+    )
+
+    base_score = evaluator.evaluate(seeds)
+
+    started = time.perf_counter()
+    finder = CycleFinder(
+        query_graph.graph, min_length=2, max_length=config.max_cycle_length
+    )
+    records = []
+    for cycle in finder.find(anchors=query_graph.seed_articles):
+        features = compute_features(query_graph.graph, cycle)
+        cycle_articles = [
+            node for node in cycle.nodes if query_graph.graph.is_article(node)
+        ]
+        contribution = evaluator.contribution_of(seeds, cycle_articles)
+        records.append(
+            CycleRecord(
+                query_id=topic.topic_id,
+                features=features,
+                contribution=contribution,
+            )
+        )
+    elapsed = time.perf_counter() - started
+
+    return QueryOutcome(
+        topic=topic,
+        seed_articles=seeds,
+        candidate_articles=candidates,
+        ground_truth=ground_truth,
+        query_graph=query_graph,
+        base_score=base_score,
+        records=records,
+        cycle_wall_seconds=elapsed,
+        evaluator=evaluator,
+    )

@@ -1,0 +1,158 @@
+"""Robustness sweeps: do the paper's shapes hold across seeds and scales?
+
+A reproduction built on a synthetic substrate must show its findings are
+not an artefact of one lucky seed.  :func:`run_seed_sweep` regenerates the
+whole pipeline for several seeds and records, per seed, whether each
+headline *shape* of the paper holds:
+
+* Figure 5 — 2-cycles contribute most and 3-cycles least;
+* Figure 6 — cycle counts grow monotonically with length;
+* Figure 9 — density/contribution slope positive;
+* Table 4 — the all-lengths configuration best (or tied) at top-15;
+* expansion helps — mean O(X(q)) > mean O(L(q.k)).
+
+``ShapeChecks.holds_majority`` is what the robustness bench asserts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.collection.benchmark import Benchmark
+from repro.collection.synthetic import SyntheticCollectionConfig
+from repro.harness.experiments import (
+    fig5_contribution_by_length,
+    fig6_cycle_counts,
+    fig9_density_vs_contribution,
+    table4_cycle_expansion_precision,
+)
+from repro.harness.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.wiki.synthetic import SyntheticWikiConfig
+
+__all__ = ["ShapeChecks", "SweepOutcome", "run_seed_sweep", "check_shapes"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeChecks:
+    """Truth values of the headline shapes for one pipeline run.
+
+    ``fig5_two_best_per_article`` is the seed-robust form of the paper's
+    2-cycle claim: a 2-cycle introduces a single article, so its
+    contribution *per added article* must top every other length.  The
+    raw peak (``fig5_two_peak``) also holds on the default benchmark but
+    fluctuates across seeds, because longer cycles aggregate several
+    ground-truth articles (see EXPERIMENTS.md).
+    """
+
+    fig5_two_peak: bool
+    fig5_two_best_per_article: bool
+    fig5_three_min: bool
+    fig6_monotone: bool
+    fig9_positive_slope: bool
+    table4_full_best_at_depth: bool
+    expansion_helps: bool
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "fig5_two_peak": self.fig5_two_peak,
+            "fig5_two_best_per_article": self.fig5_two_best_per_article,
+            "fig5_three_min": self.fig5_three_min,
+            "fig6_monotone": self.fig6_monotone,
+            "fig9_positive_slope": self.fig9_positive_slope,
+            "table4_full_best_at_depth": self.table4_full_best_at_depth,
+            "expansion_helps": self.expansion_helps,
+        }
+
+    @property
+    def all_hold(self) -> bool:
+        return all(self.as_dict().values())
+
+
+@dataclass(slots=True)
+class SweepOutcome:
+    """Checks for every seed plus aggregate pass rates."""
+
+    seeds: list[int]
+    checks: list[ShapeChecks]
+
+    def pass_rate(self, shape: str) -> float:
+        """Fraction of seeds for which ``shape`` held."""
+        if not self.checks:
+            return 0.0
+        return sum(1 for c in self.checks if c.as_dict()[shape]) / len(self.checks)
+
+    def holds_majority(self, shape: str, threshold: float = 0.5) -> bool:
+        return self.pass_rate(shape) > threshold
+
+    def summary(self) -> str:
+        """Readable pass-rate table."""
+        lines = [f"seed sweep over {len(self.seeds)} seeds: {self.seeds}"]
+        if self.checks:
+            for shape in self.checks[0].as_dict():
+                lines.append(f"  {shape:<28} {self.pass_rate(shape):.0%}")
+        return "\n".join(lines)
+
+
+def check_shapes(result: PipelineResult) -> ShapeChecks:
+    """Evaluate every headline shape on one pipeline result."""
+    fig5 = fig5_contribution_by_length(result)
+    # Contribution per *added article*: cycles of length L carry about
+    # ceil(L * (1 - category_ratio)) articles, one of which is the seed.
+    per_article: dict[int, float] = {}
+    records = result.all_records()
+    from collections import defaultdict
+    sums: dict[int, list[float]] = defaultdict(list)
+    for record in records:
+        added = max(1, record.features.num_articles - 1)
+        sums[record.length].append(record.contribution / added)
+    per_article = {length: sum(v) / len(v) for length, v in sums.items() if v}
+    fig6 = fig6_cycle_counts(result)
+    lengths = sorted(fig6)
+    fig9 = fig9_density_vs_contribution(result)
+    table4 = {row.lengths: row.precisions for row in
+              table4_cycle_expansion_precision(result)}
+
+    base = sum(o.base_score.mean for o in result.outcomes)
+    best = sum(o.best_score.mean for o in result.outcomes)
+
+    full = table4.get((2, 3, 4, 5), {})
+    full_best = bool(full) and all(
+        full.get(15, 0.0) >= precisions.get(15, 0.0) - 1e-9
+        for precisions in table4.values()
+    )
+    return ShapeChecks(
+        fig5_two_peak=bool(fig5) and fig5.get(2, float("-inf")) == max(fig5.values()),
+        fig5_two_best_per_article=bool(per_article)
+        and per_article.get(2, float("-inf")) == max(per_article.values()),
+        fig5_three_min=bool(fig5) and fig5.get(3, float("inf")) == min(fig5.values()),
+        fig6_monotone=all(
+            fig6[a] <= fig6[b] for a, b in zip(lengths, lengths[1:])
+        ),
+        fig9_positive_slope=fig9.slope > 0,
+        table4_full_best_at_depth=full_best,
+        expansion_helps=best > base,
+    )
+
+
+def run_seed_sweep(
+    seeds: Iterable[int] = (3, 11, 19, 27, 35),
+    *,
+    num_domains: int = 20,
+    pipeline_overrides: PipelineConfig | None = None,
+) -> SweepOutcome:
+    """Run the full pipeline per seed and collect shape checks.
+
+    ``num_domains`` trades sweep cost against statistical stability; 20
+    domains keeps each run around a second.
+    """
+    seeds = list(seeds)
+    checks: list[ShapeChecks] = []
+    for seed in seeds:
+        benchmark = Benchmark.synthetic(
+            SyntheticWikiConfig(seed=seed, num_domains=num_domains),
+            SyntheticCollectionConfig(seed=seed + 6),
+        )
+        config = pipeline_overrides or PipelineConfig(seed=seed + 90)
+        checks.append(check_shapes(run_pipeline(benchmark, config)))
+    return SweepOutcome(seeds=seeds, checks=checks)

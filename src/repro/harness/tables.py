@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment outputs (paper-vs-measured)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.analysis import FivePointSummary
+
+__all__ = [
+    "format_five_point_table",
+    "format_series",
+    "format_series_comparison",
+    "format_table4",
+]
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def format_five_point_table(
+    rows: Mapping[str, FivePointSummary],
+    title: str,
+    paper: Mapping[str, tuple[float, float, float, float, float]] | None = None,
+) -> str:
+    """Render min/quartiles/max rows, optionally with the paper's values."""
+    lines = [title, "-" * len(title)]
+    header = f"{'row':<18}{'min':>8}{'25%':>8}{'50%':>8}{'75%':>8}{'max':>8}"
+    lines.append(header)
+    for name, summary in rows.items():
+        values = summary.as_tuple()
+        lines.append(
+            f"{name:<18}" + "".join(f"{_fmt(v):>8}" for v in values)
+        )
+        if paper and name in paper:
+            lines.append(
+                f"{'  (paper)':<18}" + "".join(f"{_fmt(v):>8}" for v in paper[name])
+            )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[int, float], title: str, key_label: str = "length"
+) -> str:
+    """Render a ``{x: y}`` series as two columns."""
+    lines = [title, "-" * len(title), f"{key_label:<10}{'value':>10}"]
+    for key in sorted(series):
+        lines.append(f"{key:<10}{_fmt(series[key]):>10}")
+    return "\n".join(lines)
+
+
+def format_series_comparison(
+    measured: Mapping[int, float],
+    paper: Mapping[int, float],
+    title: str,
+    key_label: str = "length",
+) -> str:
+    """Render measured vs paper values side by side."""
+    lines = [title, "-" * len(title), f"{key_label:<10}{'measured':>10}{'paper':>10}"]
+    for key in sorted(set(measured) | set(paper)):
+        measured_text = _fmt(measured[key]) if key in measured else "-"
+        paper_text = _fmt(paper[key]) if key in paper else "-"
+        lines.append(f"{key:<10}{measured_text:>10}{paper_text:>10}")
+    return "\n".join(lines)
+
+
+def format_table4(rows: Sequence, ranks: Sequence[int], paper=None) -> str:
+    """Render Table 4 rows (precision per cycle-length configuration)."""
+    title = "Table 4 — precision by cycle-length configuration"
+    lines = [title, "-" * len(title)]
+    header = f"{'cycles':<14}" + "".join(f"{f'top-{r}':>9}" for r in ranks)
+    lines.append(header)
+    for row in rows:
+        label = row.label()
+        lines.append(
+            f"{label:<14}"
+            + "".join(f"{_fmt(row.precisions[r]):>9}" for r in ranks)
+        )
+        if paper and row.lengths in paper:
+            values = paper[row.lengths]
+            lines.append(
+                f"{'  (paper)':<14}" + "".join(f"{_fmt(v):>9}" for v in values)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Entity linking: matching text substrings to Wikipedia article titles,
+with redirect-derived synonym phrases (paper Section 2.1)."""
+
+from repro.linking.linker import EntityLinker, EntityMatch, LinkResult
+from repro.linking.synonyms import SynonymProvider
+
+__all__ = ["EntityLinker", "EntityMatch", "LinkResult", "SynonymProvider"]

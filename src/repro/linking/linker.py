@@ -1,0 +1,187 @@
+"""Largest-substring entity linking against Wikipedia article titles.
+
+Section 2.1:
+
+    "The entity linking process consists in identifying the set of the
+    largest substrings in the input query that matches with the title of
+    an article in Wikipedia."
+
+The linker tokenises the input, then greedily matches the longest title
+n-gram starting at each position (longest-match-first, left to right,
+non-overlapping).  Optionally it also scans *synonym phrases* (variants of
+the input built from redirect titles, see
+:class:`repro.linking.synonyms.SynonymProvider`) and maps every match to
+its main article by resolving redirects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LinkingError
+from repro.linking.synonyms import SynonymProvider
+from repro.retrieval.tokenizer import Tokenizer
+from repro.wiki.graph import WikiGraph
+
+__all__ = ["EntityLinker", "EntityMatch", "LinkResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class EntityMatch:
+    """One matched entity.
+
+    ``start``/``end`` index the *token* span in the text the match was
+    found in (``end`` exclusive); for synonym-phrase matches they index the
+    variant token sequence, and ``via_synonym`` is True.
+    """
+
+    article_id: int
+    title_tokens: tuple[str, ...]
+    start: int
+    end: int
+    via_synonym: bool = False
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class LinkResult:
+    """Outcome of linking one text: matches plus the resolved entity set."""
+
+    matches: tuple[EntityMatch, ...]
+    article_ids: frozenset[int]
+
+    def __len__(self) -> int:
+        return len(self.article_ids)
+
+    def __contains__(self, article_id: int) -> bool:
+        return article_id in self.article_ids
+
+
+class EntityLinker:
+    """Matches text substrings against article titles of a WikiGraph.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge base.  Every article (redirects included) is an
+        entity whose title participates in matching.
+    tokenizer:
+        Must match the tokenizer used elsewhere in the pipeline so phrases
+        align with the retrieval index.
+    use_synonyms:
+        Also link inside redirect-derived synonym phrases (the paper's
+        accuracy booster; ablation benchmarks switch it off).
+    resolve_redirects:
+        Map matched redirect articles onto their main article (the query
+        graph is built over main articles; Section 2.3).
+    max_title_tokens:
+        Upper bound for candidate n-gram length, capped for speed; real
+        titles hardly exceed ~10 tokens.
+    """
+
+    def __init__(
+        self,
+        graph: WikiGraph,
+        tokenizer: Tokenizer | None = None,
+        *,
+        use_synonyms: bool = True,
+        resolve_redirects: bool = True,
+        max_title_tokens: int = 12,
+    ) -> None:
+        if graph.num_articles == 0:
+            raise LinkingError("cannot link against a graph with no articles")
+        if max_title_tokens < 1:
+            raise LinkingError("max_title_tokens must be >= 1")
+        self._graph = graph
+        self._tokenizer = tokenizer or Tokenizer()
+        self._use_synonyms = use_synonyms
+        self._resolve_redirects = resolve_redirects
+        self._synonyms = SynonymProvider(graph, self._tokenizer) if use_synonyms else None
+
+        # Map of tokenised title -> article id.  When two articles tokenise
+        # identically (e.g. "color" vs "Color!"), the lowest id wins, making
+        # linking deterministic.
+        self._title_index: dict[tuple[str, ...], int] = {}
+        self._max_len = 1
+        for article in sorted(graph.articles(), key=lambda a: a.node_id):
+            tokens = self._tokenizer.tokenize_phrase(article.title)
+            if not tokens or len(tokens) > max_title_tokens:
+                continue
+            self._title_index.setdefault(tokens, article.node_id)
+            self._max_len = max(self._max_len, len(tokens))
+
+    @property
+    def num_titles(self) -> int:
+        """Number of distinct tokenised titles the linker can match."""
+        return len(self._title_index)
+
+    # ------------------------------------------------------------------
+    # Linking
+    # ------------------------------------------------------------------
+
+    def link(self, text: str) -> LinkResult:
+        """Link ``text`` and return every matched entity.
+
+        Matching is greedy longest-first over the direct text; when synonym
+        scanning is enabled, single-term replacements derived from
+        redirects are scanned the same way and contribute additional
+        entities (flagged ``via_synonym``).
+        """
+        tokens = self._tokenizer.tokenize_phrase(text)
+        matches = list(self._scan(tokens, via_synonym=False))
+        if self._synonyms is not None and tokens:
+            direct_ids = {m.article_id for m in matches}
+            for variant in self._synonyms.synonym_phrases(tokens):
+                for match in self._scan(variant, via_synonym=True):
+                    if match.article_id not in direct_ids:
+                        matches.append(match)
+                        direct_ids.add(match.article_id)
+        article_ids = frozenset(self._finalize(m.article_id) for m in matches)
+        return LinkResult(matches=tuple(matches), article_ids=article_ids)
+
+    def link_keywords(self, keywords: str) -> frozenset[int]:
+        """Convenience: the entity set ``L(k)`` of a keyword list."""
+        return self.link(keywords).article_ids
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _finalize(self, article_id: int) -> int:
+        if self._resolve_redirects:
+            return self._graph.resolve(article_id)
+        return article_id
+
+    def _scan(self, tokens: tuple[str, ...], *, via_synonym: bool):
+        position = 0
+        n = len(tokens)
+        while position < n:
+            matched = None
+            longest = min(self._max_len, n - position)
+            for length in range(longest, 0, -1):
+                candidate = tokens[position : position + length]
+                article_id = self._title_index.get(candidate)
+                if article_id is not None:
+                    matched = EntityMatch(
+                        article_id=article_id,
+                        title_tokens=candidate,
+                        start=position,
+                        end=position + length,
+                        via_synonym=via_synonym,
+                    )
+                    break
+            if matched is not None:
+                yield matched
+                position = matched.end
+            else:
+                position += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"EntityLinker(titles={self.num_titles}, "
+            f"synonyms={self._synonyms is not None}, "
+            f"resolve_redirects={self._resolve_redirects})"
+        )

@@ -1,0 +1,75 @@
+"""Redirect-derived synonyms (Section 2.1 of the paper).
+
+    "Given a term t, we retrieve (if it exists) the article a from
+    Wikipedia whose title is equal to t.  Then, the synonyms of t are the
+    titles of the redirects of a."
+
+A *synonym phrase* is the input token sequence with at least one term
+replaced by a synonymous term.  The linker runs entity matching over these
+variants as well, which lets a query phrased with a less common title still
+hit the main article's neighbourhood.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.retrieval.tokenizer import Tokenizer
+from repro.wiki.graph import WikiGraph
+
+__all__ = ["SynonymProvider"]
+
+
+class SynonymProvider:
+    """Computes term synonyms from Wikipedia redirects."""
+
+    def __init__(self, graph: WikiGraph, tokenizer: Tokenizer | None = None) -> None:
+        self._graph = graph
+        self._tokenizer = tokenizer or Tokenizer()
+        self._cache: dict[str, tuple[tuple[str, ...], ...]] = {}
+
+    def synonyms(self, term: str) -> list[tuple[str, ...]]:
+        """Tokenised titles of the redirects of the article titled ``term``.
+
+        Returns an empty list when no article carries that exact title or
+        the article has no redirects.  The term itself is never returned.
+        """
+        key = self._tokenizer.normalize(term).strip()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = tuple(self._compute(key))
+            self._cache[key] = cached
+        return list(cached)
+
+    def _compute(self, term: str) -> Iterator[tuple[str, ...]]:
+        article = self._graph.article_by_title(term)
+        if article is None:
+            return
+        # If the term itself names a redirect, its main article's other
+        # redirects are equally valid synonyms, so resolve first.
+        main_id = self._graph.resolve(article.node_id)
+        for redirect_id in sorted(self._graph.redirects_of(main_id)):
+            title_tokens = self._tokenizer.tokenize_phrase(self._graph.title(redirect_id))
+            if title_tokens:
+                yield title_tokens
+
+    def synonym_phrases(
+        self, tokens: tuple[str, ...], max_phrases: int = 32
+    ) -> list[tuple[str, ...]]:
+        """All single-replacement synonym variants of ``tokens``.
+
+        Each variant replaces exactly one token by one of its synonyms
+        (which may span several tokens).  ``max_phrases`` caps the output
+        since a long document with many synonym-bearing terms would
+        otherwise explode combinatorially; the paper links short queries
+        and short extracted document strings, where the cap never binds.
+        """
+        variants: list[tuple[str, ...]] = []
+        for position, token in enumerate(tokens):
+            for replacement in self.synonyms(token):
+                variant = tokens[:position] + replacement + tokens[position + 1 :]
+                if variant != tokens:
+                    variants.append(variant)
+                if len(variants) >= max_phrases:
+                    return variants
+        return variants

@@ -1,0 +1,56 @@
+"""INDRI-like retrieval substrate: positional index, query language,
+language-model ranking with exact phrase matching.
+
+The paper evaluates expansion features by issuing exact-phrase queries to
+the INDRI engine; :class:`SearchEngine` is the drop-in used here (see
+DESIGN.md §2 for the substitution argument).
+"""
+
+from repro.retrieval.engine import SearchEngine, SearchResult
+from repro.retrieval.index import PositionalIndex, Posting
+from repro.retrieval.phrase import (
+    PhraseStats,
+    collect_phrase_stats,
+    phrase_documents,
+    phrase_occurrences,
+)
+from repro.retrieval.qlang import (
+    BandNode,
+    CombineNode,
+    PhraseNode,
+    QueryNode,
+    TermNode,
+    build_phrase_query,
+    parse_query,
+)
+from repro.retrieval.scoring import (
+    DirichletSmoothing,
+    JelinekMercerSmoothing,
+    Smoothing,
+    TwoStageSmoothing,
+)
+from repro.retrieval.tokenizer import DEFAULT_STOPWORDS, Tokenizer
+
+__all__ = [
+    "SearchEngine",
+    "SearchResult",
+    "PositionalIndex",
+    "Posting",
+    "phrase_occurrences",
+    "phrase_documents",
+    "PhraseStats",
+    "collect_phrase_stats",
+    "parse_query",
+    "build_phrase_query",
+    "QueryNode",
+    "TermNode",
+    "PhraseNode",
+    "CombineNode",
+    "BandNode",
+    "Smoothing",
+    "DirichletSmoothing",
+    "JelinekMercerSmoothing",
+    "TwoStageSmoothing",
+    "Tokenizer",
+    "DEFAULT_STOPWORDS",
+]

@@ -1,0 +1,174 @@
+"""Search engine facade: index + query language + language-model ranking.
+
+:class:`SearchEngine` is the INDRI stand-in used by the ground-truth
+pipeline.  Ranking follows INDRI's evaluation of structured queries:
+
+* a ``TermNode``/``PhraseNode`` scores ``log p(node | D)`` under the
+  configured smoothing (phrases are smoothed with their own collection
+  frequency);
+* ``#combine`` averages the log beliefs of its children;
+* ``#band`` restricts the candidate set to documents matching every child
+  and then scores like ``#combine``.
+
+Candidate documents are those containing at least one query term (for
+``#band``: all terms); documents with no overlap cannot outrank them and
+are omitted, which mirrors how IR engines actually return results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EmptyIndexError, QueryLanguageError
+from repro.retrieval.index import PositionalIndex
+from repro.retrieval.phrase import collect_phrase_stats
+from repro.retrieval.qlang import (
+    BandNode,
+    CombineNode,
+    PhraseNode,
+    QueryNode,
+    TermNode,
+    build_phrase_query,
+    parse_query,
+)
+from repro.retrieval.scoring import DirichletSmoothing, Smoothing
+from repro.retrieval.tokenizer import Tokenizer
+
+__all__ = ["SearchEngine", "SearchResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One ranked document."""
+
+    doc_id: str
+    score: float
+    rank: int
+
+
+class SearchEngine:
+    """Language-model retrieval over a positional index.
+
+    Parameters
+    ----------
+    tokenizer:
+        Shared tokenizer (defaults to the standard one).
+    smoothing:
+        Scoring model; defaults to Dirichlet with INDRI's usual ``mu``.
+        Small collections (hundreds of short documents) may prefer a lower
+        ``mu``; the benchmark harness uses ``mu=300``.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        smoothing: Smoothing | None = None,
+    ) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._smoothing = smoothing or DirichletSmoothing()
+        self._index = PositionalIndex(self._tokenizer)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> PositionalIndex:
+        return self._index
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        return self._tokenizer
+
+    @property
+    def num_documents(self) -> int:
+        return self._index.num_documents
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index one document."""
+        self._index.add_document(doc_id, text)
+
+    def add_documents(self, items) -> int:
+        """Index many ``(doc_id, text)`` pairs; returns the count added."""
+        return self._index.add_documents(items)
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+
+    def search(self, query: str | QueryNode, top_k: int = 15) -> list[SearchResult]:
+        """Rank documents for ``query`` and return the top ``top_k``.
+
+        ``query`` may be a query string in the mini INDRI language or an
+        already-built AST node.  Ties break by doc id so results are
+        deterministic.  Raises :class:`EmptyIndexError` when nothing has
+        been indexed and :class:`QueryLanguageError` on unparsable queries.
+        """
+        if self._index.num_documents == 0:
+            raise EmptyIndexError("cannot search an empty index")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        root = parse_query(query, self._tokenizer) if isinstance(query, str) else query
+
+        candidates = self._candidates(root)
+        scored = [(self._score(root, doc_id), doc_id) for doc_id in candidates]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [
+            SearchResult(doc_id=doc_id, score=score, rank=rank)
+            for rank, (score, doc_id) in enumerate(scored[:top_k], start=1)
+        ]
+
+    def search_phrases(self, phrases: list[str], top_k: int = 15) -> list[SearchResult]:
+        """Search with the paper's expansion-query shape.
+
+        ``phrases`` holds the query keywords plus the expansion feature
+        titles; each becomes an exact ``#1`` phrase under one ``#combine``.
+        """
+        return self.search(build_phrase_query(phrases, self._tokenizer), top_k=top_k)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _candidates(self, node: QueryNode) -> set[str]:
+        if isinstance(node, TermNode):
+            return self._index.documents_containing(node.term)
+        if isinstance(node, PhraseNode):
+            stats = collect_phrase_stats(self._index, node.tokens)
+            return set(stats.per_document)
+        if isinstance(node, BandNode):
+            result: set[str] | None = None
+            for child in node.children:
+                docs = self._candidates(child)
+                result = docs if result is None else result & docs
+                if not result:
+                    return set()
+            return result or set()
+        if isinstance(node, CombineNode):
+            result: set[str] = set()
+            for child in node.children:
+                result |= self._candidates(child)
+            return result
+        raise QueryLanguageError(f"unknown query node type: {type(node).__name__}")
+
+    def _score(self, node: QueryNode, doc_id: str) -> float:
+        if isinstance(node, TermNode):
+            return self._smoothing.log_prob(
+                self._index.term_frequency(node.term, doc_id),
+                self._index.document_length(doc_id),
+                self._index.collection_probability(node.term),
+            )
+        if isinstance(node, PhraseNode):
+            stats = collect_phrase_stats(self._index, node.tokens)
+            return self._smoothing.log_prob(
+                stats.occurrences_in(doc_id),
+                self._index.document_length(doc_id),
+                stats.collection_probability(self._index),
+            )
+        if isinstance(node, (CombineNode, BandNode)):
+            children = node.children
+            return sum(self._score(child, doc_id) for child in children) / len(children)
+        raise QueryLanguageError(f"unknown query node type: {type(node).__name__}")
+
+    def __repr__(self) -> str:
+        return f"SearchEngine(index={self._index!r}, smoothing={self._smoothing!r})"

@@ -1,0 +1,176 @@
+"""Positional inverted index.
+
+Stores, per term, the postings ``doc_id -> sorted positions``; per document
+its length; and collection-wide term counts.  This is the substrate both the
+bag-of-words scorers and the exact-phrase operator run on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import IndexError_
+from repro.retrieval.tokenizer import Tokenizer
+
+__all__ = ["PositionalIndex", "Posting"]
+
+
+class Posting:
+    """Occurrences of one term in one document."""
+
+    __slots__ = ("doc_id", "positions")
+
+    def __init__(self, doc_id: str, positions: list[int]) -> None:
+        self.doc_id = doc_id
+        self.positions = positions
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+    def __repr__(self) -> str:
+        return f"Posting({self.doc_id!r}, tf={self.term_frequency})"
+
+
+class PositionalIndex:
+    """An append-only positional inverted index.
+
+    Documents are identified by opaque string ids (the benchmark uses the
+    ImageCLEF image ids).  Adding the same id twice is an error — the paper's
+    collection is static, so silent replacement would only hide bugs.
+    """
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._postings: dict[str, dict[str, list[int]]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._collection_frequency: dict[str, int] = {}
+        self._total_tokens = 0
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        return self._tokenizer
+
+    def add_document(self, doc_id: str, text: str) -> int:
+        """Index ``text`` under ``doc_id``; returns the token count.
+
+        Raises :class:`IndexError_` when the id was already indexed.
+        """
+        if doc_id in self._doc_lengths:
+            raise IndexError_(f"document {doc_id!r} already indexed")
+        tokens = self._tokenizer.tokenize(text)
+        for position, token in enumerate(tokens):
+            self._postings.setdefault(token, {}).setdefault(doc_id, []).append(position)
+            self._collection_frequency[token] = self._collection_frequency.get(token, 0) + 1
+        self._doc_lengths[doc_id] = len(tokens)
+        self._total_tokens += len(tokens)
+        return len(tokens)
+
+    def add_documents(self, items: Iterable[tuple[str, str]]) -> int:
+        """Index many ``(doc_id, text)`` pairs; returns documents added."""
+        count = 0
+        for doc_id, text in items:
+            self.add_document(doc_id, text)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def total_tokens(self) -> int:
+        """Collection length in tokens (denominator of background model)."""
+        return self._total_tokens
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    def doc_ids(self) -> Iterator[str]:
+        return iter(self._doc_lengths)
+
+    def document_length(self, doc_id: str) -> int:
+        """Token count of a document (raises on unknown ids)."""
+        try:
+            return self._doc_lengths[doc_id]
+        except KeyError:
+            raise IndexError_(f"unknown document: {doc_id!r}") from None
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` in the collection."""
+        return self._collection_frequency.get(term, 0)
+
+    def collection_probability(self, term: str) -> float:
+        """Maximum-likelihood background probability ``p(term | C)``.
+
+        Unseen terms get a half-count ("+0.5") so smoothing never divides by
+        zero on out-of-vocabulary query terms.
+        """
+        if self._total_tokens == 0:
+            return 0.0
+        count = self._collection_frequency.get(term, 0)
+        if count == 0:
+            return 0.5 / self._total_tokens
+        return count / self._total_tokens
+
+    # ------------------------------------------------------------------
+    # Postings access
+    # ------------------------------------------------------------------
+
+    def postings(self, term: str) -> list[Posting]:
+        """All postings of ``term``, ordered by doc id for determinism."""
+        by_doc = self._postings.get(term)
+        if not by_doc:
+            return []
+        return [Posting(doc_id, by_doc[doc_id]) for doc_id in sorted(by_doc)]
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Occurrences of ``term`` in ``doc_id`` (0 when absent)."""
+        return len(self._postings.get(term, {}).get(doc_id, ()))
+
+    def positions(self, term: str, doc_id: str) -> list[int]:
+        """Sorted positions of ``term`` in ``doc_id`` (empty when absent)."""
+        return list(self._postings.get(term, {}).get(doc_id, ()))
+
+    def documents_containing(self, term: str) -> set[str]:
+        """Ids of documents containing ``term``."""
+        return set(self._postings.get(term, ()))
+
+    def documents_containing_all(self, terms: Iterable[str]) -> set[str]:
+        """Ids of documents containing every term (conjunctive lookup).
+
+        Returns the empty set when ``terms`` is empty — an empty conjunction
+        over a collection would otherwise select everything, which no caller
+        of this index wants.
+        """
+        result: set[str] | None = None
+        for term in terms:
+            docs = self._postings.get(term)
+            if not docs:
+                return set()
+            result = set(docs) if result is None else result & docs.keys()
+            if not result:
+                return set()
+        return result or set()
+
+    def __repr__(self) -> str:
+        return (
+            f"PositionalIndex(docs={self.num_documents}, "
+            f"vocab={self.vocabulary_size}, tokens={self._total_tokens})"
+        )

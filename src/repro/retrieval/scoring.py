@@ -1,0 +1,116 @@
+"""Language-model document scoring (the retrieval model behind INDRI).
+
+INDRI ranks by query likelihood: the probability the document's smoothed
+unigram language model generates the query.  Two standard smoothing methods
+are provided:
+
+* **Dirichlet** (INDRI's default, ``mu`` ≈ 2500):
+  ``p(t|D) = (tf + mu * p(t|C)) / (|D| + mu)``
+* **Jelinek-Mercer**:
+  ``p(t|D) = (1 - lam) * tf/|D| + lam * p(t|C)``
+
+Scorers expose a uniform ``log_prob(tf, doc_length, collection_prob)`` so
+the query-language evaluator can score plain terms and exact phrases the
+same way (phrases bring their own counts and background probability).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "Smoothing",
+    "DirichletSmoothing",
+    "JelinekMercerSmoothing",
+    "TwoStageSmoothing",
+]
+
+
+class Smoothing(ABC):
+    """Interface of a smoothed unigram model."""
+
+    @abstractmethod
+    def log_prob(self, tf: int, doc_length: int, collection_prob: float) -> float:
+        """Log probability of one query node given a document.
+
+        Parameters
+        ----------
+        tf:
+            Occurrences of the term/phrase in the document.
+        doc_length:
+            Document length in tokens.
+        collection_prob:
+            Background probability ``p(t|C)`` (must be > 0 unless the
+            collection is empty).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DirichletSmoothing(Smoothing):
+    """Bayesian smoothing with a Dirichlet prior (INDRI's default)."""
+
+    def __init__(self, mu: float = 2500.0) -> None:
+        if mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        self.mu = mu
+
+    def log_prob(self, tf: int, doc_length: int, collection_prob: float) -> float:
+        if collection_prob <= 0.0:
+            # Empty collection: every model degenerates; treat as near-zero.
+            return -math.inf if tf == 0 else 0.0
+        numerator = tf + self.mu * collection_prob
+        denominator = doc_length + self.mu
+        return math.log(numerator / denominator)
+
+    def __repr__(self) -> str:
+        return f"DirichletSmoothing(mu={self.mu})"
+
+
+class TwoStageSmoothing(Smoothing):
+    """Two-stage smoothing (Zhai & Lafferty): Dirichlet, then JM.
+
+    Stage one smooths the document model with a Dirichlet prior (handling
+    estimation sparsity); stage two interpolates with the collection
+    model (handling query noise).  Useful when queries mix exact phrases
+    (favouring a small ``mu``) and loose terms (favouring interpolation).
+    """
+
+    def __init__(self, mu: float = 2500.0, lam: float = 0.1) -> None:
+        if mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        if not 0.0 <= lam < 1.0:
+            raise ValueError(f"lambda must be in [0, 1), got {lam}")
+        self.mu = mu
+        self.lam = lam
+
+    def log_prob(self, tf: int, doc_length: int, collection_prob: float) -> float:
+        if collection_prob <= 0.0:
+            return -math.inf if tf == 0 else 0.0
+        dirichlet = (tf + self.mu * collection_prob) / (doc_length + self.mu)
+        probability = (1.0 - self.lam) * dirichlet + self.lam * collection_prob
+        return math.log(probability)
+
+    def __repr__(self) -> str:
+        return f"TwoStageSmoothing(mu={self.mu}, lam={self.lam})"
+
+
+class JelinekMercerSmoothing(Smoothing):
+    """Linear interpolation with the collection model."""
+
+    def __init__(self, lam: float = 0.4) -> None:
+        if not 0.0 < lam < 1.0:
+            raise ValueError(f"lambda must be in (0, 1), got {lam}")
+        self.lam = lam
+
+    def log_prob(self, tf: int, doc_length: int, collection_prob: float) -> float:
+        if collection_prob <= 0.0:
+            return -math.inf if tf == 0 else 0.0
+        document_part = tf / doc_length if doc_length else 0.0
+        probability = (1.0 - self.lam) * document_part + self.lam * collection_prob
+        return math.log(probability) if probability > 0 else -math.inf
+
+    def __repr__(self) -> str:
+        return f"JelinekMercerSmoothing(lam={self.lam})"

@@ -1,0 +1,88 @@
+"""Text tokenisation for indexing and query processing.
+
+One tokenizer class is shared by the index, the query language and the
+entity linker, so that a phrase tokenised at index time matches the same
+phrase tokenised at query time — the property exact-phrase retrieval
+depends on.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+__all__ = ["Tokenizer", "DEFAULT_STOPWORDS"]
+
+# A deliberately small stopword list: the paper's pipeline matches article
+# titles as exact phrases, and titles like "Bridge of Sighs" contain
+# function words, so stopping is disabled by default and only offered for
+# bag-of-words retrieval experiments.
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on that the
+    to was were will with""".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z0-9]+)?")
+_ACCENT_MAP = str.maketrans(
+    "àáâãäåèéêëìíîïòóôõöùúûüçñ",
+    "aaaaaaeeeeiiiiooooouuuucn",
+)
+
+
+class Tokenizer:
+    """Lower-cases, strips accents, and splits on non-alphanumerics.
+
+    Parameters
+    ----------
+    stopwords:
+        Words to drop.  ``None`` (default) keeps everything, which is what
+        exact-phrase matching over titles requires.
+    min_length:
+        Tokens shorter than this are dropped (default 1 keeps all).
+    """
+
+    def __init__(
+        self,
+        stopwords: frozenset[str] | set[str] | None = None,
+        min_length: int = 1,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        self._stopwords = frozenset(stopwords) if stopwords else frozenset()
+        self._min_length = min_length
+
+    @property
+    def stopwords(self) -> frozenset[str]:
+        return self._stopwords
+
+    def normalize(self, text: str) -> str:
+        """Lower-case and strip the accents the token pattern can't match."""
+        return text.lower().translate(_ACCENT_MAP)
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield tokens in order of appearance (filtered)."""
+        for match in _TOKEN_RE.finditer(self.normalize(text)):
+            token = match.group()
+            if len(token) < self._min_length:
+                continue
+            if token in self._stopwords:
+                continue
+            yield token
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokenise ``text`` into a list."""
+        return list(self.iter_tokens(text))
+
+    def tokenize_phrase(self, phrase: str) -> tuple[str, ...]:
+        """Tokenise a phrase for exact matching (stopwords are *kept* even
+        when the tokenizer filters them for free text: dropping 'of' from
+        'Bridge of Sighs' would change what the phrase matches)."""
+        return tuple(
+            match.group() for match in _TOKEN_RE.finditer(self.normalize(phrase))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Tokenizer(stopwords={len(self._stopwords)}, "
+            f"min_length={self._min_length})"
+        )

@@ -1,0 +1,51 @@
+"""Wikipedia graph substrate: schema, storage, dumps, synthesis, statistics.
+
+This package plays the role of the Wikipedia dump in the paper.  The graph
+model follows Figure 1 exactly: articles with titles, categories with names,
+``link`` / ``belongs`` / ``inside`` / ``redirects_to`` relations.
+"""
+
+from repro.wiki.builder import WikiGraphBuilder
+from repro.wiki.dump import dumps_graph, loads_graph, read_graph, write_graph
+from repro.wiki.graph import WikiGraph
+from repro.wiki.paths import bfs_distances, distance_histogram, eccentricity
+from repro.wiki.schema import Article, Category, Edge, EdgeKind, NodeKind, normalize_title
+from repro.wiki.stats import (
+    GraphComposition,
+    category_tree_violations,
+    composition,
+    connected_components,
+    largest_connected_component,
+    reciprocal_link_ratio,
+    triangle_participation_ratio,
+)
+from repro.wiki.synthetic import DomainSpec, SyntheticWiki, SyntheticWikiConfig, generate_wiki
+
+__all__ = [
+    "Article",
+    "Category",
+    "Edge",
+    "EdgeKind",
+    "NodeKind",
+    "normalize_title",
+    "WikiGraph",
+    "WikiGraphBuilder",
+    "write_graph",
+    "read_graph",
+    "dumps_graph",
+    "loads_graph",
+    "bfs_distances",
+    "distance_histogram",
+    "eccentricity",
+    "GraphComposition",
+    "composition",
+    "connected_components",
+    "largest_connected_component",
+    "reciprocal_link_ratio",
+    "triangle_participation_ratio",
+    "category_tree_violations",
+    "SyntheticWikiConfig",
+    "SyntheticWiki",
+    "DomainSpec",
+    "generate_wiki",
+]

@@ -1,0 +1,232 @@
+"""Validated, incremental construction of :class:`~repro.wiki.graph.WikiGraph`.
+
+The builder enforces the schema of Figure 1 of the paper at ``build()`` time:
+
+* every non-redirect article belongs to at least one category;
+* redirect articles have exactly one redirect target and no other outgoing
+  relations;
+* edge endpoints have the kinds the relation requires;
+* titles are unique within their namespace.
+
+Use it like::
+
+    builder = WikiGraphBuilder()
+    venice = builder.add_article("Venice")
+    canal = builder.add_article("Grand Canal (Venice)")
+    cat = builder.add_category("Canals in Italy")
+    builder.add_link(venice, canal)
+    builder.add_belongs(canal, cat)
+    builder.add_belongs(venice, cat)
+    graph = builder.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import DuplicateNodeError, SchemaError, UnknownNodeError
+from repro.wiki.graph import WikiGraph
+from repro.wiki.schema import Article, Category, Edge, EdgeKind, normalize_title
+
+__all__ = ["WikiGraphBuilder"]
+
+
+class WikiGraphBuilder:
+    """Mutable staging area that validates and then freezes a WikiGraph."""
+
+    def __init__(self, *, strict: bool = True) -> None:
+        """``strict=False`` relaxes the at-least-one-category rule, which is
+        convenient for small hand-built test graphs."""
+        self._strict = strict
+        self._articles: dict[int, Article] = {}
+        self._categories: dict[int, Category] = {}
+        self._edges: list[Edge] = []
+        self._edge_set: set[tuple[int, int, EdgeKind]] = set()
+        self._article_titles: dict[str, int] = {}
+        self._category_names: dict[str, int] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def _claim_id(self, node_id: int | None) -> int:
+        if node_id is None:
+            node_id = self._next_id
+        elif node_id in self._articles or node_id in self._categories:
+            raise DuplicateNodeError(f"node id {node_id} already in use")
+        self._next_id = max(self._next_id, node_id) + 1
+        return node_id
+
+    def add_article(
+        self, title: str, *, is_redirect: bool = False, node_id: int | None = None
+    ) -> int:
+        """Register an article and return its node id.
+
+        ``node_id`` lets loaders preserve ids from a dump; by default ids
+        are assigned sequentially.  Raises :class:`DuplicateNodeError` when
+        another article already uses the same normalised title or id.
+        """
+        if not title or not title.strip():
+            raise SchemaError("article title must be non-empty")
+        norm = normalize_title(title)
+        if norm in self._article_titles:
+            raise DuplicateNodeError(f"duplicate article title: {title!r}")
+        node_id = self._claim_id(node_id)
+        self._articles[node_id] = Article(node_id, title.strip(), is_redirect)
+        self._article_titles[norm] = node_id
+        return node_id
+
+    def add_category(self, name: str, *, node_id: int | None = None) -> int:
+        """Register a category and return its node id."""
+        if not name or not name.strip():
+            raise SchemaError("category name must be non-empty")
+        norm = normalize_title(name)
+        if norm in self._category_names:
+            raise DuplicateNodeError(f"duplicate category name: {name!r}")
+        node_id = self._claim_id(node_id)
+        self._categories[node_id] = Category(node_id, name.strip())
+        self._category_names[norm] = node_id
+        return node_id
+
+    def article_id(self, title: str) -> int | None:
+        """Id of the article with ``title``, or ``None``."""
+        return self._article_titles.get(normalize_title(title))
+
+    def category_id(self, name: str) -> int | None:
+        """Id of the category named ``name``, or ``None``."""
+        return self._category_names.get(normalize_title(name))
+
+    def title_of(self, node_id: int) -> str:
+        """Title/name of a staged node (raises on unknown ids)."""
+        if node_id in self._articles:
+            return self._articles[node_id].title
+        if node_id in self._categories:
+            return self._categories[node_id].name
+        raise UnknownNodeError(node_id)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._articles) + len(self._categories)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def _require_article(self, node_id: int, role: str) -> Article:
+        article = self._articles.get(node_id)
+        if article is None:
+            if node_id in self._categories:
+                raise SchemaError(f"{role} must be an article, got category {node_id}")
+            raise UnknownNodeError(node_id)
+        return article
+
+    def _require_category(self, node_id: int, role: str) -> Category:
+        category = self._categories.get(node_id)
+        if category is None:
+            if node_id in self._articles:
+                raise SchemaError(f"{role} must be a category, got article {node_id}")
+            raise UnknownNodeError(node_id)
+        return category
+
+    def _push_edge(self, source: int, target: int, kind: EdgeKind) -> bool:
+        key = (source, target, kind)
+        if key in self._edge_set:
+            return False
+        self._edge_set.add(key)
+        self._edges.append(Edge(source, target, kind))
+        return True
+
+    def add_link(self, source: int, target: int) -> bool:
+        """Add an article->article hyperlink; returns False when it existed.
+
+        Self-links are rejected: an article linking to itself is meaningless
+        for the cycle analysis and does not occur in cleaned dumps.
+        """
+        self._require_article(source, "link source")
+        self._require_article(target, "link target")
+        if source == target:
+            raise SchemaError(f"self-link on article {source}")
+        return self._push_edge(source, target, EdgeKind.LINK)
+
+    def add_belongs(self, article: int, category: int) -> bool:
+        """Add article->category membership; returns False when it existed."""
+        self._require_article(article, "belongs source")
+        self._require_category(category, "belongs target")
+        return self._push_edge(article, category, EdgeKind.BELONGS)
+
+    def add_inside(self, child: int, parent: int) -> bool:
+        """Add category->category containment; returns False when it existed."""
+        self._require_category(child, "inside source")
+        self._require_category(parent, "inside target")
+        if child == parent:
+            raise SchemaError(f"category {child} cannot be inside itself")
+        return self._push_edge(child, parent, EdgeKind.INSIDE)
+
+    def add_redirect(self, redirect: int, main: int) -> bool:
+        """Point redirect article at its main article.
+
+        The redirect article must have been created with
+        ``is_redirect=True`` and may have only one target.
+        """
+        red = self._require_article(redirect, "redirect source")
+        self._require_article(main, "redirect target")
+        if not red.is_redirect:
+            raise SchemaError(f"article {redirect} was not created as a redirect")
+        if redirect == main:
+            raise SchemaError(f"article {redirect} cannot redirect to itself")
+        existing = [e for e in self._edges if e.kind is EdgeKind.REDIRECT and e.source == redirect]
+        if existing:
+            raise SchemaError(f"redirect article {redirect} already has a target")
+        return self._push_edge(redirect, main, EdgeKind.REDIRECT)
+
+    # ------------------------------------------------------------------
+    # Convenience: title-based edge helpers
+    # ------------------------------------------------------------------
+
+    def link_titles(self, source_title: str, target_title: str) -> bool:
+        """Add a link between two articles identified by title."""
+        src = self.article_id(source_title)
+        dst = self.article_id(target_title)
+        if src is None:
+            raise UnknownNodeError(source_title)
+        if dst is None:
+            raise UnknownNodeError(target_title)
+        return self.add_link(src, dst)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        belongs_sources = {e.source for e in self._edges if e.kind is EdgeKind.BELONGS}
+        redirect_sources = {e.source for e in self._edges if e.kind is EdgeKind.REDIRECT}
+        link_sources = {e.source for e in self._edges if e.kind is EdgeKind.LINK}
+
+        for node_id, article in self._articles.items():
+            if article.is_redirect:
+                if node_id not in redirect_sources:
+                    raise SchemaError(
+                        f"redirect article {article.title!r} has no redirect target"
+                    )
+                if node_id in belongs_sources or node_id in link_sources:
+                    raise SchemaError(
+                        f"redirect article {article.title!r} must not have "
+                        "link/belongs edges of its own"
+                    )
+            elif self._strict and node_id not in belongs_sources:
+                raise SchemaError(
+                    f"article {article.title!r} belongs to no category "
+                    "(schema requires at least one; build with strict=False to allow)"
+                )
+
+    def build(self) -> WikiGraph:
+        """Validate and freeze the staged graph.
+
+        The builder remains usable afterwards (building again returns a new
+        independent graph), which is handy in tests.
+        """
+        self._validate()
+        return WikiGraph(self._articles, self._categories, self._edges)

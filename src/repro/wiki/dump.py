@@ -1,0 +1,170 @@
+"""Serialisation of Wikipedia graphs to a line-oriented JSON dump format.
+
+Real reproductions would parse the MediaWiki XML/SQL dumps; offline we define
+an equivalent minimal interchange format so graphs built once (e.g. the
+synthetic benchmark) can be stored, shipped and reloaded deterministically.
+
+Format: one JSON object per line, ``type`` discriminated::
+
+    {"type": "header", "format": "repro-wikigraph", "version": 1}
+    {"type": "article", "id": 0, "title": "Venice", "redirect": false}
+    {"type": "category", "id": 7, "name": "Canals in Italy"}
+    {"type": "edge", "kind": "link", "src": 0, "dst": 3}
+
+The header must come first.  Node lines must precede edge lines that use
+them; writers emit all nodes first.  Unknown ``type`` values are an error
+(the format is versioned, not extensible in place).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.errors import DumpFormatError
+from repro.wiki.builder import WikiGraphBuilder
+from repro.wiki.graph import WikiGraph
+from repro.wiki.schema import EdgeKind
+
+__all__ = ["write_graph", "read_graph", "dumps_graph", "loads_graph"]
+
+FORMAT_NAME = "repro-wikigraph"
+FORMAT_VERSION = 1
+
+_EDGE_KINDS = {kind.value: kind for kind in EdgeKind}
+
+
+def _open_for_read(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def _open_for_write(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    return path.open("w", encoding="utf-8")
+
+
+def _emit(graph: WikiGraph, out: IO[str]) -> None:
+    header = {"type": "header", "format": FORMAT_NAME, "version": FORMAT_VERSION}
+    out.write(json.dumps(header) + "\n")
+    for article in sorted(graph.articles(), key=lambda a: a.node_id):
+        record = {
+            "type": "article",
+            "id": article.node_id,
+            "title": article.title,
+            "redirect": article.is_redirect,
+        }
+        out.write(json.dumps(record, ensure_ascii=False) + "\n")
+    for category in sorted(graph.categories(), key=lambda c: c.node_id):
+        record = {"type": "category", "id": category.node_id, "name": category.name}
+        out.write(json.dumps(record, ensure_ascii=False) + "\n")
+    edges = sorted(graph.edges(), key=lambda e: (e.kind.value, e.source, e.target))
+    for edge in edges:
+        record = {
+            "type": "edge",
+            "kind": edge.kind.value,
+            "src": edge.source,
+            "dst": edge.target,
+        }
+        out.write(json.dumps(record) + "\n")
+
+
+def write_graph(graph: WikiGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` (gzip-compressed when it ends in .gz)."""
+    path = Path(path)
+    with _open_for_write(path) as out:
+        _emit(graph, out)
+
+
+def dumps_graph(graph: WikiGraph) -> str:
+    """Serialise ``graph`` to a dump string (mostly for tests)."""
+    buffer = io.StringIO()
+    _emit(graph, buffer)
+    return buffer.getvalue()
+
+
+def _parse(lines: IO[str], *, strict: bool) -> WikiGraph:
+    builder = WikiGraphBuilder(strict=strict)
+    # The dump stores explicit ids; preserve them so graphs round-trip
+    # byte-for-byte.  Track which ids were declared to catch dangling edges.
+    declared: set[int] = set()
+    saw_header = False
+
+    def resolve(dump_id: int, lineno: int) -> int:
+        if dump_id not in declared:
+            raise DumpFormatError(f"line {lineno}: edge references unknown node id {dump_id}")
+        return dump_id
+
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise DumpFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise DumpFormatError(f"line {lineno}: expected an object with a 'type' key")
+        rtype = record["type"]
+        if lineno == 1 or not saw_header:
+            if rtype != "header":
+                raise DumpFormatError("dump must start with a header line")
+            if record.get("format") != FORMAT_NAME:
+                raise DumpFormatError(f"unknown dump format: {record.get('format')!r}")
+            if record.get("version") != FORMAT_VERSION:
+                raise DumpFormatError(f"unsupported dump version: {record.get('version')!r}")
+            saw_header = True
+            continue
+        try:
+            if rtype == "article":
+                node_id = int(record["id"])
+                builder.add_article(
+                    record["title"],
+                    is_redirect=bool(record.get("redirect", False)),
+                    node_id=node_id,
+                )
+                declared.add(node_id)
+            elif rtype == "category":
+                node_id = int(record["id"])
+                builder.add_category(record["name"], node_id=node_id)
+                declared.add(node_id)
+            elif rtype == "edge":
+                kind = _EDGE_KINDS.get(record["kind"])
+                if kind is None:
+                    raise DumpFormatError(f"line {lineno}: unknown edge kind {record['kind']!r}")
+                src = resolve(int(record["src"]), lineno)
+                dst = resolve(int(record["dst"]), lineno)
+                if kind is EdgeKind.LINK:
+                    builder.add_link(src, dst)
+                elif kind is EdgeKind.BELONGS:
+                    builder.add_belongs(src, dst)
+                elif kind is EdgeKind.INSIDE:
+                    builder.add_inside(src, dst)
+                else:
+                    builder.add_redirect(src, dst)
+            elif rtype == "header":
+                raise DumpFormatError(f"line {lineno}: duplicate header")
+            else:
+                raise DumpFormatError(f"line {lineno}: unknown record type {rtype!r}")
+        except KeyError as exc:
+            raise DumpFormatError(f"line {lineno}: missing field {exc}") from exc
+    if not saw_header:
+        raise DumpFormatError("empty dump (no header)")
+    return builder.build()
+
+
+def read_graph(path: str | Path, *, strict: bool = True) -> WikiGraph:
+    """Load a graph dump written by :func:`write_graph`."""
+    path = Path(path)
+    with _open_for_read(path) as handle:
+        return _parse(handle, strict=strict)
+
+
+def loads_graph(text: str, *, strict: bool = True) -> WikiGraph:
+    """Parse a dump string produced by :func:`dumps_graph`."""
+    return _parse(io.StringIO(text), strict=strict)

@@ -1,0 +1,166 @@
+"""Deterministic generation of human-readable article and category titles.
+
+The synthetic Wikipedia generator needs large numbers of unique,
+natural-looking, multi-word titles whose words can be embedded in document
+text (the entity linker matches title substrings against text).  We build
+titles from fixed word banks plus a seeded RNG, so the same seed always
+yields the same names.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["TitleFactory", "ADJECTIVES", "NOUNS", "PLACES", "TOPICS"]
+
+# Word banks.  Real words keep examples readable; the generator never relies
+# on their meaning, only on their uniqueness as combined phrases.
+ADJECTIVES = [
+    "ancient", "coastal", "northern", "southern", "eastern", "western",
+    "historic", "modern", "royal", "imperial", "sacred", "hidden",
+    "golden", "silver", "crimson", "azure", "emerald", "amber",
+    "grand", "little", "upper", "lower", "inner", "outer",
+    "silent", "roaring", "winding", "frozen", "burning", "floating",
+    "painted", "carved", "walled", "fortified", "abandoned", "restored",
+]
+
+NOUNS = [
+    "bridge", "canal", "harbor", "lagoon", "palace", "tower",
+    "market", "garden", "monastery", "cathedral", "fortress", "lighthouse",
+    "festival", "carnival", "regatta", "procession", "workshop", "guild",
+    "archipelago", "peninsula", "plateau", "valley", "glacier", "delta",
+    "mosaic", "fresco", "tapestry", "manuscript", "chronicle", "atlas",
+    "observatory", "aqueduct", "amphitheatre", "basilica", "citadel", "quay",
+    "orchard", "vineyard", "meadow", "marsh", "dune", "reef",
+    "locomotive", "steamship", "windmill", "forge", "kiln", "loom",
+]
+
+PLACES = [
+    "veridia", "castellmar", "porto bello", "alvernia", "tremond",
+    "san rocco", "kalvista", "meridone", "ostrava nova", "belmara",
+    "quintara", "solenza", "vetrano", "lucerna alta", "dorminia",
+    "arcastella", "navarre bay", "piedmonte", "serravalle", "montalto",
+    "cresthaven", "eldermoor", "farrowdale", "glenbrook", "harwick",
+    "ivoryport", "jasperfield", "kestrel point", "larkspur", "mirefen",
+    "northgate", "ormsby", "pellham", "quarryside", "ravensholm",
+    "silvermere", "thornbury", "umberledge", "vale crossing", "westmarch",
+    "ashcombe", "briarwick", "coldhollow", "dunmere", "eastfall",
+    "foxglove hill", "greystone", "hallowbrook", "ironvale", "juniper flats",
+]
+
+TOPICS = [
+    "architecture", "navigation", "painting", "printing", "astronomy",
+    "cartography", "weaving", "glassmaking", "shipbuilding", "viticulture",
+    "falconry", "clockmaking", "apiculture", "metallurgy", "ceramics",
+    "calligraphy", "horticulture", "masonry", "tanning", "milling",
+]
+
+
+class TitleFactory:
+    """Produces unique titles and category names from a seeded RNG.
+
+    All produced strings are lower-case; Wikipedia-style capitalisation is a
+    display concern and normalisation lower-cases everything anyway.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set[str] = set()
+        self._counter = 0
+
+    def _claim(self, candidate: str) -> str | None:
+        if candidate in self._used:
+            return None
+        self._used.add(candidate)
+        return candidate
+
+    def _fresh(self, make: "callable[[], str]") -> str:
+        """Draw candidates until one is unused; fall back to a numbered form
+        so generation can never loop forever on exhausted banks."""
+        for _ in range(64):
+            claimed = self._claim(make())
+            if claimed is not None:
+                return claimed
+        self._counter += 1
+        # Suffix with a counter; still readable and guaranteed fresh.
+        return self._claim(f"{make()} {self._counter}") or f"entity {self._counter}"
+
+    # -- public producers ------------------------------------------------
+
+    def place_name(self) -> str:
+        """A place anchor for a domain, e.g. ``'castellmar'``."""
+        return self._fresh(lambda: self._rng.choice(PLACES))
+
+    def domain_topic(self) -> str:
+        """A topic anchor for a domain, e.g. ``'glassmaking'``."""
+        return self._fresh(lambda: self._rng.choice(TOPICS))
+
+    def entity_title(self, anchor: str) -> str:
+        """An article title themed around a domain ``anchor``.
+
+        Shapes (chosen at random): ``"<adj> <noun> of <anchor>"``,
+        ``"<noun> of <anchor>"``, ``"<anchor> <noun>"``, ``"<adj> <noun>"``.
+        """
+        rng = self._rng
+
+        def make() -> str:
+            shape = rng.randrange(4)
+            adj = rng.choice(ADJECTIVES)
+            noun = rng.choice(NOUNS)
+            if shape == 0:
+                return f"{adj} {noun} of {anchor}"
+            if shape == 1:
+                return f"{noun} of {anchor}"
+            if shape == 2:
+                return f"{anchor} {noun}"
+            return f"{adj} {noun}"
+
+        return self._fresh(make)
+
+    def background_title(self) -> str:
+        """A title unrelated to any domain anchor."""
+        rng = self._rng
+
+        def make() -> str:
+            return f"{rng.choice(ADJECTIVES)} {rng.choice(NOUNS)} {rng.choice(TOPICS)}"
+
+        return self._fresh(make)
+
+    def redirect_alias(self, main_title: str) -> str:
+        """A less common way to refer to ``main_title`` (for redirects)."""
+        rng = self._rng
+
+        def make() -> str:
+            style = rng.randrange(3)
+            if style == 0:
+                return f"the {main_title}"
+            if style == 1:
+                return f"{main_title} ({rng.choice(TOPICS)})"
+            return f"old {main_title}"
+
+        return self._fresh(make)
+
+    def category_name(self, anchor: str) -> str:
+        """A category name themed around ``anchor``."""
+        rng = self._rng
+
+        def make() -> str:
+            shape = rng.randrange(3)
+            noun = rng.choice(NOUNS)
+            if shape == 0:
+                return f"{noun}s of {anchor}"
+            if shape == 1:
+                return f"{anchor} {rng.choice(TOPICS)}"
+            return f"{rng.choice(ADJECTIVES)} {noun}s of {anchor}"
+
+        return self._fresh(make)
+
+    def filler_words(self, count: int) -> list[str]:
+        """Plain filler words for document text (never article titles as a
+        phrase, though individual words may overlap)."""
+        rng = self._rng
+        bank = ["with", "near", "beside", "toward", "during", "beyond",
+                "quiet", "bright", "early", "late", "open", "closed",
+                "visitors", "travellers", "records", "accounts", "views",
+                "scenes", "images", "sketches", "notes", "studies"]
+        return [rng.choice(bank) for _ in range(count)]

@@ -1,0 +1,76 @@
+"""Shortest-path utilities over the undirected (redirect-free) view.
+
+Section 3 observes that expansion features sit "up to distance three from
+query articles" in the query graph of query #90.  These helpers measure
+exactly that: BFS distances from a set of sources, per-node distance maps
+and distance histograms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import UnknownNodeError
+from repro.wiki.graph import WikiGraph
+
+__all__ = ["bfs_distances", "distance_histogram", "eccentricity"]
+
+
+def bfs_distances(
+    graph: WikiGraph, sources: Iterable[int], *, max_distance: int | None = None
+) -> dict[int, int]:
+    """Hop distance from the nearest source to every reachable node.
+
+    Sources themselves get distance 0.  ``max_distance`` truncates the
+    search (nodes farther away are simply absent from the result).
+    """
+    frontier: deque[tuple[int, int]] = deque()
+    distances: dict[int, int] = {}
+    for source in sources:
+        if source not in graph:
+            raise UnknownNodeError(source)
+        if source not in distances:
+            distances[source] = 0
+            frontier.append((source, 0))
+    while frontier:
+        node, distance = frontier.popleft()
+        if max_distance is not None and distance >= max_distance:
+            continue
+        for neighbor in graph.undirected_neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distance + 1
+                frontier.append((neighbor, distance + 1))
+    return distances
+
+
+def distance_histogram(
+    graph: WikiGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    *,
+    unreachable_key: int = -1,
+) -> dict[int, int]:
+    """Histogram of the distance from ``sources`` to each target.
+
+    Unreachable targets are counted under ``unreachable_key``.  This is
+    the paper's "expansion features up to distance three" measurement:
+    pass ``L(q.k)`` as sources and the expansion set as targets.
+    """
+    distances = bfs_distances(graph, sources)
+    histogram: dict[int, int] = {}
+    for target in targets:
+        if target not in graph:
+            raise UnknownNodeError(target)
+        key = distances.get(target, unreachable_key)
+        histogram[key] = histogram.get(key, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def eccentricity(graph: WikiGraph, node: int) -> int:
+    """Largest hop distance from ``node`` to any node reachable from it.
+
+    Returns 0 for isolated nodes.
+    """
+    distances = bfs_distances(graph, [node])
+    return max(distances.values(), default=0)

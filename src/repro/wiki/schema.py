@@ -1,0 +1,157 @@
+"""Typed entities of the Wikipedia schema used by the paper (Figure 1).
+
+The paper models Wikipedia with two entry types and three relation types:
+
+* **Article** — describes a single topic; has a *title* that identifies an
+  entity.  Articles ``link`` to other articles and must ``belong`` to at
+  least one category.
+* **Category** — groups articles; categories nest ``inside`` one or more
+  more general categories, forming a tree-like hierarchy.
+* **redirect** — a special article-to-article relation connecting a less
+  common title (the *redirect article*) to the *main article* with the most
+  common title.
+
+This module defines immutable node records and the edge-kind vocabulary.
+The graph container lives in :mod:`repro.wiki.graph`.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NodeKind",
+    "EdgeKind",
+    "Article",
+    "Category",
+    "normalize_title",
+]
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_title(title: str) -> str:
+    """Return the canonical form of an article or category title.
+
+    Wikipedia titles are case-insensitive in their first letter and treat
+    underscores as spaces; for matching purposes we go further and
+    lower-case the whole title and collapse runs of whitespace, which is
+    what the paper's entity-linking step effectively does when matching
+    substrings of free text against titles.
+
+    >>> normalize_title("  Grand_Canal   (Venice) ")
+    'grand canal (venice)'
+    """
+    cleaned = title.replace("_", " ").strip()
+    cleaned = _WHITESPACE_RE.sub(" ", cleaned)
+    return cleaned.lower()
+
+
+class NodeKind(enum.Enum):
+    """Kind of a node in the Wikipedia graph."""
+
+    ARTICLE = "article"
+    CATEGORY = "category"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class EdgeKind(enum.Enum):
+    """Kind of an edge in the Wikipedia graph.
+
+    ``LINK``      article -> article   (hyperlink in the article body)
+    ``BELONGS``   article -> category  (category membership, 1..*)
+    ``INSIDE``    category -> category (sub-category containment, tree-like)
+    ``REDIRECT``  article -> article   (redirect article -> main article)
+    """
+
+    LINK = "link"
+    BELONGS = "belongs"
+    INSIDE = "inside"
+    REDIRECT = "redirects_to"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Article:
+    """A Wikipedia article: a titled entity.
+
+    Parameters
+    ----------
+    node_id:
+        Stable integer id, unique across articles *and* categories.
+    title:
+        Human-readable title.  Per Wikipedia edition rules the title should
+        be recognizable, natural, precise, concise and consistent; the
+        entity linker matches query/document substrings against it.
+    is_redirect:
+        ``True`` when this article merely redirects to a main article (it
+        then must have exactly one outgoing ``REDIRECT`` edge and no
+        ``LINK``/``BELONGS`` edges of its own in our model).
+    """
+
+    node_id: int
+    title: str
+    is_redirect: bool = False
+
+    @property
+    def norm_title(self) -> str:
+        """Normalised title used for entity linking (lower-case, squeezed)."""
+        return normalize_title(self.title)
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.ARTICLE
+
+
+@dataclass(frozen=True, slots=True)
+class Category:
+    """A Wikipedia category: a named grouping of articles.
+
+    Categories form a (mostly) tree-like hierarchy through ``INSIDE`` edges.
+    """
+
+    node_id: int
+    name: str
+
+    @property
+    def norm_title(self) -> str:
+        """Normalised name, for symmetry with :class:`Article`."""
+        return normalize_title(self.name)
+
+    @property
+    def title(self) -> str:
+        """Alias so articles and categories can be displayed uniformly."""
+        return self.name
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.CATEGORY
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A typed, directed edge between two node ids."""
+
+    source: int
+    target: int
+    kind: EdgeKind = field(default=EdgeKind.LINK)
+
+    def reversed(self) -> "Edge":
+        """Return the same edge with endpoints swapped (kind unchanged)."""
+        return Edge(self.target, self.source, self.kind)
+
+
+# Edge kinds whose endpoints the schema constrains, used by the builder for
+# validation: (source kind, target kind).
+EDGE_ENDPOINT_KINDS: dict[EdgeKind, tuple[NodeKind, NodeKind]] = {
+    EdgeKind.LINK: (NodeKind.ARTICLE, NodeKind.ARTICLE),
+    EdgeKind.BELONGS: (NodeKind.ARTICLE, NodeKind.CATEGORY),
+    EdgeKind.INSIDE: (NodeKind.CATEGORY, NodeKind.CATEGORY),
+    EdgeKind.REDIRECT: (NodeKind.ARTICLE, NodeKind.ARTICLE),
+}

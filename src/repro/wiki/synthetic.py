@@ -1,0 +1,434 @@
+"""Deterministic synthetic Wikipedia generator.
+
+Offline substitute for the English Wikipedia dump (see DESIGN.md §2).  The
+generator produces *topic domains*: clusters of articles about one subject
+(a place plus a craft/topic), grouped under a small category subtree, with
+link structure planted so the paper's observations can be exercised:
+
+* **seed articles** play the role of query entities (``L(q.k)``);
+* **strong articles** form reciprocal links (2-cycles) and triangles with
+  seeds — these are the scarce high-value expansion features the paper finds
+  behind dense short cycles;
+* **mid articles** connect to seeds through shared categories and one-way
+  links, forming cycles of length 3–4 with ~30 % categories;
+* **weak articles** hang off the category tree and longer link paths,
+  forming mostly length-4/5 cycles — the "widen the search space" features;
+* **distractor articles** close *category-free* cycles with the seeds (the
+  paper's sheep → quarantine → anthrax example, Figure 8): structurally
+  close yet semantically misleading, so using them as expansion features
+  hurts retrieval (the synthetic collection plants their titles in
+  irrelevant documents);
+* a **background** region of articles/categories provides the rest of the
+  encyclopedia; its reciprocal-link probability is calibrated so the global
+  fraction of linked article pairs that form 2-cycles lands near the 11.47 %
+  the paper measures on the real Wikipedia.
+
+Everything is driven by one integer seed; the same config yields an
+identical graph byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkConfigError
+from repro.wiki.builder import WikiGraphBuilder
+from repro.wiki.graph import WikiGraph
+from repro.wiki.names import TitleFactory
+
+__all__ = ["SyntheticWikiConfig", "DomainSpec", "SyntheticWiki", "generate_wiki"]
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticWikiConfig:
+    """Parameters of the synthetic Wikipedia.
+
+    Defaults produce a graph of roughly 2,500 articles and 450 categories in
+    well under a second — large enough for every experiment, small enough
+    for CI.
+    """
+
+    seed: int = 7
+    num_domains: int = 50
+    seeds_per_domain: tuple[int, int] = (1, 3)
+    strong_per_domain: tuple[int, int] = (1, 2)
+    mid_per_domain: tuple[int, int] = (6, 10)
+    weak_per_domain: tuple[int, int] = (8, 14)
+    distractors_per_domain: tuple[int, int] = (2, 4)
+    leaf_categories_per_domain: tuple[int, int] = (3, 5)
+    background_articles: int = 800
+    background_categories: int = 60
+    background_links_per_article: tuple[int, int] = (1, 4)
+    background_reciprocal_prob: float = 0.10
+    extra_intra_link_prob: float = 0.06
+    cross_domain_link_prob: float = 0.06
+    redirect_prob: float = 0.30
+
+    def validate(self) -> None:
+        """Raise :class:`BenchmarkConfigError` on out-of-range parameters."""
+        if self.num_domains < 1:
+            raise BenchmarkConfigError("num_domains must be >= 1")
+        if self.background_articles < 0 or self.background_categories < 1:
+            raise BenchmarkConfigError(
+                "background_articles must be >= 0 and background_categories >= 1"
+            )
+        for name in (
+            "seeds_per_domain",
+            "strong_per_domain",
+            "mid_per_domain",
+            "weak_per_domain",
+            "distractors_per_domain",
+            "leaf_categories_per_domain",
+            "background_links_per_article",
+        ):
+            low, high = getattr(self, name)
+            if low < 0 or high < low:
+                raise BenchmarkConfigError(f"{name} must be (low, high) with 0 <= low <= high")
+        low, high = self.seeds_per_domain
+        if low < 1:
+            raise BenchmarkConfigError("each domain needs at least one seed article")
+        for name in (
+            "background_reciprocal_prob",
+            "extra_intra_link_prob",
+            "cross_domain_link_prob",
+            "redirect_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise BenchmarkConfigError(f"{name} must be a probability, got {value}")
+
+
+@dataclass(slots=True)
+class DomainSpec:
+    """One topic domain and the roles of its articles.
+
+    The role lists hold node ids in the generated graph.  The synthetic
+    collection generator uses the tiers to decide which titles occur in
+    relevant documents (strong > mid > weak) and which occur in misleading
+    ones (distractors).
+    """
+
+    domain_id: int
+    place: str
+    topic: str
+    seed_articles: list[int] = field(default_factory=list)
+    strong_articles: list[int] = field(default_factory=list)
+    mid_articles: list[int] = field(default_factory=list)
+    weak_articles: list[int] = field(default_factory=list)
+    distractor_articles: list[int] = field(default_factory=list)
+    categories: list[int] = field(default_factory=list)
+    redirect_articles: list[int] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """Readable domain label, e.g. ``'castellmar glassmaking'``."""
+        return f"{self.place} {self.topic}"
+
+    @property
+    def expansion_articles(self) -> list[int]:
+        """Non-seed, non-distractor domain articles (candidate expansions),
+        ordered strongest first."""
+        return [*self.strong_articles, *self.mid_articles, *self.weak_articles]
+
+    def all_articles(self) -> list[int]:
+        """Every article the domain owns, including distractors."""
+        return [
+            *self.seed_articles,
+            *self.strong_articles,
+            *self.mid_articles,
+            *self.weak_articles,
+            *self.distractor_articles,
+        ]
+
+
+@dataclass(slots=True)
+class SyntheticWiki:
+    """A generated Wikipedia: the graph plus the planted domain structure."""
+
+    graph: WikiGraph
+    domains: list[DomainSpec]
+    config: SyntheticWikiConfig
+    background_articles: list[int] = field(default_factory=list)
+
+    def domain(self, domain_id: int) -> DomainSpec:
+        """Domain by id (domains are numbered 0..num_domains-1)."""
+        return self.domains[domain_id]
+
+
+def _rand_count(rng: random.Random, bounds: tuple[int, int]) -> int:
+    low, high = bounds
+    return rng.randint(low, high)
+
+
+def _build_domain(
+    builder: WikiGraphBuilder,
+    titles: TitleFactory,
+    rng: random.Random,
+    config: SyntheticWikiConfig,
+    domain_id: int,
+    top_category: int,
+) -> DomainSpec:
+    """Create one topic domain: articles, category subtree, planted cycles."""
+    place = titles.place_name()
+    topic = titles.domain_topic()
+    spec = DomainSpec(domain_id=domain_id, place=place, topic=topic)
+    anchor = rng.choice([place, topic])
+
+    # Category subtree: a root category inside the global top category, with
+    # a few leaves.  Tree-like, as the paper requires.
+    root_cat = builder.add_category(titles.category_name(spec.name))
+    builder.add_inside(root_cat, top_category)
+    leaves = []
+    for _ in range(_rand_count(rng, config.leaf_categories_per_domain)):
+        leaf = builder.add_category(titles.category_name(anchor))
+        builder.add_inside(leaf, root_cat)
+        leaves.append(leaf)
+    spec.categories = [root_cat, *leaves]
+
+    def new_article(tier: list[int]) -> int:
+        node = builder.add_article(titles.entity_title(anchor))
+        tier.append(node)
+        return node
+
+    for _ in range(_rand_count(rng, config.seeds_per_domain)):
+        new_article(spec.seed_articles)
+    for _ in range(_rand_count(rng, config.strong_per_domain)):
+        new_article(spec.strong_articles)
+    for _ in range(_rand_count(rng, config.mid_per_domain)):
+        new_article(spec.mid_articles)
+    for _ in range(_rand_count(rng, config.weak_per_domain)):
+        new_article(spec.weak_articles)
+
+    # Category memberships.  Seeds and strong articles share the root
+    # category (this closes many short cycles through a category); mid
+    # articles join leaf categories shared with a seed; weak articles join
+    # leaf categories only.
+    home_leaf = leaves[0] if leaves else root_cat
+    for node in spec.seed_articles:
+        builder.add_belongs(node, root_cat)
+        if leaves and rng.random() < 0.8:
+            builder.add_belongs(node, home_leaf)
+    for node in spec.strong_articles:
+        # Half the strong articles share the root category with the seeds
+        # (closing dense article-article-category triangles); the rest sit
+        # in leaves only, so their 2-cycles stay chord-free.
+        if not leaves or rng.random() < 0.2:
+            builder.add_belongs(node, root_cat)
+        else:
+            builder.add_belongs(node, rng.choice(leaves))
+    for node in spec.mid_articles:
+        # Mid articles gravitate to the seeds' home leaf: a one-way link
+        # plus the shared leaf closes the paper's common, chord-free
+        # article-article-category triangle (density ~0).
+        if leaves and rng.random() < 0.45:
+            builder.add_belongs(node, home_leaf)
+        else:
+            builder.add_belongs(node, rng.choice(leaves) if leaves else root_cat)
+        if rng.random() < 0.2:
+            builder.add_belongs(node, root_cat)
+    for node in spec.weak_articles:
+        builder.add_belongs(node, rng.choice(leaves) if leaves else root_cat)
+
+    # Links.  seed <-> strong reciprocal pairs close 2-cycles; with the
+    # shared root category they also close triangles, making these the
+    # dense, category-bearing short cycles the paper singles out.
+    for node in spec.strong_articles:
+        seed = rng.choice(spec.seed_articles)
+        builder.add_link(seed, node)
+        builder.add_link(node, seed)
+    # strong <-> strong occasional reciprocal links (extra density).
+    for i, u in enumerate(spec.strong_articles):
+        for v in spec.strong_articles[i + 1 :]:
+            if rng.random() < 0.3:
+                builder.add_link(u, v)
+                if rng.random() < 0.4:
+                    builder.add_link(v, u)
+
+    # Mid articles: one-way link from a seed or a strong article; their
+    # shared leaf category with other domain members yields 3/4-cycles.
+    sources = [*spec.seed_articles, *spec.strong_articles]
+    for node in spec.mid_articles:
+        # Mostly seed-sourced: keeps the strong articles out of the longer
+        # cycles, which the mids and weaks populate.
+        origin = (
+            rng.choice(spec.seed_articles)
+            if rng.random() < 0.8
+            else rng.choice(sources)
+        )
+        builder.add_link(origin, node)
+        if rng.random() < 0.5:
+            builder.add_link(node, rng.choice(spec.seed_articles))
+    # Mid articles interlink moderately: chords for the length-4 cycles
+    # they participate in (Figure 7b reports length 4 as the densest).
+    for i, u in enumerate(spec.mid_articles):
+        for v in spec.mid_articles[i + 1 :]:
+            if rng.random() < 0.22:
+                builder.add_link(u, v)
+
+    # Weak articles: links among themselves and occasionally to mid
+    # articles, never directly to seeds — they reach seeds only through
+    # categories or longer paths (length-4/5 cycles).
+    mids = spec.mid_articles or sources
+    for node in spec.weak_articles:
+        builder.add_link(node, rng.choice(mids))
+        if len(spec.weak_articles) > 1 and rng.random() < 0.4:
+            other = rng.choice([w for w in spec.weak_articles if w != node])
+            builder.add_link(node, other)
+
+    # Extra intra-domain links create the density-of-extra-edges variance
+    # that Figures 7b and 9 measure.
+    members = [*sources, *spec.mid_articles, *spec.weak_articles]
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if rng.random() < config.extra_intra_link_prob:
+                builder.add_link(u, v)
+
+    # Redirect aliases for some seeds and strong articles.
+    for node in sources:
+        if rng.random() < config.redirect_prob:
+            alias_title = titles.redirect_alias(builder.title_of(node))
+            alias = builder.add_article(alias_title, is_redirect=True)
+            builder.add_redirect(alias, node)
+            spec.redirect_articles.append(alias)
+
+    return spec
+
+
+def _add_general_categories(
+    builder: WikiGraphBuilder,
+    rng: random.Random,
+    spec: DomainSpec,
+    background_cats: list[int],
+) -> None:
+    """Give domain articles extra general-purpose category memberships.
+
+    Real Wikipedia articles belong to several categories (locations, eras,
+    licence buckets, ...), which is why the paper's query graphs are
+    dominated by categories (Table 3: ~78 % of LCC nodes).  Most of these
+    extra categories are unique within a query graph, so they join as
+    degree-1 satellites that inflate the category share without adding
+    cycles; occasional collisions add realistic category-closed cycles.
+    """
+    if not background_cats:
+        return
+    for node in [*spec.seed_articles, *spec.strong_articles,
+                 *spec.mid_articles, *spec.weak_articles]:
+        if rng.random() < 0.85:
+            builder.add_belongs(node, rng.choice(background_cats))
+        if rng.random() < 0.35:
+            builder.add_belongs(node, rng.choice(background_cats))
+
+
+def _plant_distractors(
+    builder: WikiGraphBuilder,
+    titles: TitleFactory,
+    rng: random.Random,
+    config: SyntheticWikiConfig,
+    spec: DomainSpec,
+    background_cats: list[int],
+) -> None:
+    """Close category-free cycles between a seed and off-topic articles.
+
+    Mirrors Figure 8 (sheep – quarantine – anthrax): a short article-only
+    cycle that *looks* structurally tight but crosses topics.  Distractor
+    articles belong only to background categories, so the cycles they close
+    with the seed contain no domain category.
+    """
+    for _ in range(_rand_count(rng, config.distractors_per_domain)):
+        seed = rng.choice(spec.seed_articles)
+        first = builder.add_article(titles.background_title())
+        second = builder.add_article(titles.background_title())
+        builder.add_belongs(first, rng.choice(background_cats))
+        builder.add_belongs(second, rng.choice(background_cats))
+        # seed -> first -> second -> seed : a category-free 3-cycle.
+        builder.add_link(seed, first)
+        builder.add_link(first, second)
+        builder.add_link(second, seed)
+        spec.distractor_articles.extend([first, second])
+
+
+def _build_background(
+    builder: WikiGraphBuilder,
+    titles: TitleFactory,
+    rng: random.Random,
+    config: SyntheticWikiConfig,
+    top_category: int,
+) -> tuple[list[int], list[int]]:
+    """Create the encyclopedia background: categories then sparse articles."""
+    cats: list[int] = []
+    for _ in range(config.background_categories):
+        cat = builder.add_category(titles.category_name(titles.background_title()))
+        builder.add_inside(cat, top_category)
+        cats.append(cat)
+
+    articles: list[int] = []
+    for _ in range(config.background_articles):
+        node = builder.add_article(titles.background_title())
+        builder.add_belongs(node, rng.choice(cats))
+        articles.append(node)
+
+    # Sparse random links; reciprocal with calibrated probability so the
+    # global 2-cycle pair ratio approaches the paper's 11.47 %.
+    for node in articles:
+        if len(articles) < 2:
+            break
+        for _ in range(_rand_count(rng, config.background_links_per_article)):
+            target = rng.choice(articles)
+            if target == node:
+                continue
+            builder.add_link(node, target)
+            if rng.random() < config.background_reciprocal_prob:
+                builder.add_link(target, node)
+    return articles, cats
+
+
+def generate_wiki(config: SyntheticWikiConfig | None = None) -> SyntheticWiki:
+    """Generate a synthetic Wikipedia from ``config`` (defaults when None).
+
+    Returns a :class:`SyntheticWiki` whose ``graph`` satisfies the schema
+    (every non-redirect article categorised, tree-like categories) and whose
+    ``domains`` expose the planted roles used by the collection generator
+    and by calibration tests.
+    """
+    config = config or SyntheticWikiConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    titles = TitleFactory(rng)
+    builder = WikiGraphBuilder()
+
+    top_category = builder.add_category("main topic classifications")
+
+    background_articles, background_cats = _build_background(
+        builder, titles, rng, config, top_category
+    )
+
+    domains: list[DomainSpec] = []
+    for domain_id in range(config.num_domains):
+        spec = _build_domain(builder, titles, rng, config, domain_id, top_category)
+        _add_general_categories(builder, rng, spec, background_cats)
+        _plant_distractors(builder, titles, rng, config, spec, background_cats)
+        domains.append(spec)
+
+    # Light cross-domain noise: a few one-way links between consecutive
+    # domains' weak articles, so query graphs are not perfectly clean.
+    for left, right in zip(domains, domains[1:]):
+        if not left.weak_articles or not right.weak_articles:
+            continue
+        if rng.random() < config.cross_domain_link_prob * 4:
+            builder.add_link(rng.choice(left.weak_articles), rng.choice(right.weak_articles))
+
+    # Links from domain articles into the background (outgoing noise).
+    if background_articles:
+        for spec in domains:
+            for node in spec.expansion_articles:
+                if rng.random() < config.cross_domain_link_prob:
+                    builder.add_link(node, rng.choice(background_articles))
+
+    graph = builder.build()
+    return SyntheticWiki(
+        graph=graph,
+        domains=domains,
+        config=config,
+        background_articles=background_articles,
+    )

@@ -1,0 +1,151 @@
+"""Unit tests for the ImageCLEF document model and XML IO."""
+
+import pytest
+
+from repro.errors import DumpFormatError
+from repro.collection import (
+    Caption,
+    ImageDocument,
+    TextSection,
+    document_from_string,
+    document_to_string,
+    read_documents,
+    write_documents,
+)
+
+
+@pytest.fixture
+def field_doc():
+    """A document modelled on the paper's Figure 2 example (image 82531)."""
+    return ImageDocument(
+        doc_id="82531",
+        file="images/9/82531.jpg",
+        name="Field Hamois Belgium Luc Viatour.jpg",
+        sections=(
+            TextSection(
+                lang="en",
+                description=(
+                    "Summer field in Belgium (Hamois). The blue flower is "
+                    "Centaurea cyanus and the red one a Papaver rhoeas."
+                ),
+                comment="",
+                captions=(
+                    Caption("Summer field in Belgium (Hamois).", "text/en/1/302887"),
+                    Caption("A field in summer.", "text/en/1/303807"),
+                ),
+            ),
+            TextSection(
+                lang="de",
+                description="Ein bluehendes Feld in Belgien.",
+                captions=(Caption("Ein Feld im Sommer", "text/de/1/404730"),),
+            ),
+            TextSection(
+                lang="fr",
+                description="Un champ en ete en Belgique (Hamois).",
+            ),
+        ),
+        comment=(
+            "({{Information |Description= Flowers in Belgium |Source= Flickr "
+            "|Date= 1/1/85 |Author= JA |Permission= GFDL |other_versions= }})"
+        ),
+        license="GFDL",
+    )
+
+
+class TestExtractionRule:
+    def test_name_without_extension(self, field_doc):
+        assert field_doc.name_without_extension == "Field Hamois Belgium Luc Viatour"
+
+    def test_name_without_extension_no_dot(self):
+        doc = ImageDocument(doc_id="1", name="plainname")
+        assert doc.name_without_extension == "plainname"
+
+    def test_long_suffix_not_treated_as_extension(self):
+        doc = ImageDocument(doc_id="1", name="sunset over st.petersburg")
+        assert doc.name_without_extension == "sunset over st.petersburg"
+
+    def test_general_description_from_template(self, field_doc):
+        assert field_doc.general_description == "Flowers in Belgium"
+
+    def test_general_description_absent(self):
+        doc = ImageDocument(doc_id="1", comment="free text, no template")
+        assert doc.general_description == ""
+
+    def test_extraction_combines_three_items(self, field_doc):
+        text = field_doc.extraction_text()
+        assert "Field Hamois Belgium Luc Viatour" in text  # 1: name
+        assert "Centaurea cyanus" in text  # 2: English section
+        assert "A field in summer." in text  # 2: English captions
+        assert "Flowers in Belgium" in text  # 3: general description
+
+    def test_extraction_excludes_foreign_sections(self, field_doc):
+        text = field_doc.extraction_text()
+        assert "bluehendes" not in text
+        assert "champ en ete" not in text
+
+    def test_extraction_other_language_selectable(self, field_doc):
+        text = field_doc.extraction_text(lang="de")
+        assert "bluehendes" in text
+        assert "Centaurea" not in text
+
+    def test_section_lookup(self, field_doc):
+        assert field_doc.section("fr").lang == "fr"
+        assert field_doc.section("it") is None
+
+    def test_combined_text_skips_empty_fields(self):
+        section = TextSection(lang="en", description="", comment="  ",
+                              captions=(Caption("cap"),))
+        assert section.combined_text() == "cap"
+
+    def test_str(self, field_doc):
+        assert "82531" in str(field_doc)
+
+
+class TestXmlRoundTrip:
+    def test_single_document_round_trip(self, field_doc):
+        text = document_to_string(field_doc)
+        assert document_from_string(text) == field_doc
+
+    def test_xml_shape_matches_figure_2(self, field_doc):
+        text = document_to_string(field_doc)
+        assert text.startswith('<image id="82531" file="images/9/82531.jpg">')
+        assert '<caption article="text/en/1/302887">' in text
+        assert "<license>GFDL</license>" in text
+
+    def test_bundle_round_trip(self, field_doc, tmp_path):
+        other = ImageDocument(doc_id="2", name="two.jpg")
+        path = tmp_path / "images.xml"
+        count = write_documents([field_doc, other], path)
+        assert count == 2
+        loaded = list(read_documents(path))
+        assert loaded == [field_doc, other]
+
+    def test_invalid_xml_string(self):
+        with pytest.raises(DumpFormatError, match="invalid XML"):
+            document_from_string("<image")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(DumpFormatError, match="expected <image>"):
+            document_from_string("<picture id='1'/>")
+
+    def test_missing_id(self):
+        with pytest.raises(DumpFormatError, match="missing its id"):
+            document_from_string("<image file='x.jpg'/>")
+
+    def test_bundle_wrong_root(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<imgs/>")
+        with pytest.raises(DumpFormatError, match="expected <images>"):
+            list(read_documents(path))
+
+    def test_bundle_invalid_xml(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("not xml at all")
+        with pytest.raises(DumpFormatError):
+            list(read_documents(path))
+
+    def test_lang_attribute_round_trips(self, field_doc, tmp_path):
+        path = tmp_path / "images.xml"
+        write_documents([field_doc], path)
+        loaded = next(iter(read_documents(path)))
+        assert [s.lang for s in loaded.sections] == ["en", "de", "fr"]

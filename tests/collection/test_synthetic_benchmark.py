@@ -1,0 +1,187 @@
+"""Tests for the synthetic collection generator and the Benchmark bundle."""
+
+import pytest
+
+from repro.errors import BenchmarkConfigError
+from repro.collection import (
+    Benchmark,
+    SyntheticCollectionConfig,
+    generate_collection,
+)
+from repro.linking import EntityLinker
+from repro.wiki import SyntheticWikiConfig, generate_wiki
+
+WIKI_CONFIG = SyntheticWikiConfig(seed=21, num_domains=6, background_articles=100,
+                                  background_categories=12)
+COLL_CONFIG = SyntheticCollectionConfig(seed=22, relevant_per_topic=(6, 10),
+                                        background_docs=60)
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return generate_wiki(WIKI_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def collection(wiki):
+    return generate_collection(wiki, COLL_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Benchmark.synthetic(WIKI_CONFIG, COLL_CONFIG)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticCollectionConfig().validate()
+
+    def test_bad_probability(self):
+        with pytest.raises(BenchmarkConfigError):
+            SyntheticCollectionConfig(strong_boost_prob=2.0).validate()
+
+    def test_zero_relevant_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            SyntheticCollectionConfig(relevant_per_topic=(0, 5)).validate()
+
+    def test_negative_background_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            SyntheticCollectionConfig(background_docs=-1).validate()
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(BenchmarkConfigError):
+            SyntheticCollectionConfig(traps_per_topic=(4, 2)).validate()
+
+
+class TestGeneratedCollection:
+    def test_one_topic_per_domain(self, wiki, collection):
+        assert len(collection.topics) == len(wiki.domains)
+
+    def test_topics_reference_existing_documents(self, collection):
+        for topic in collection.topics:
+            assert topic.relevant <= set(collection.documents)
+
+    def test_relevant_counts_in_range(self, collection):
+        low, high = COLL_CONFIG.relevant_per_topic
+        for topic in collection.topics:
+            assert low <= topic.num_relevant <= high
+
+    def test_keywords_are_seed_titles(self, wiki, collection):
+        graph = wiki.graph
+        for domain in wiki.domains:
+            topic = collection.topics.by_id(domain.domain_id)
+            for seed in domain.seed_articles:
+                assert graph.title(seed) in topic.keywords
+
+    def test_determinism(self, wiki):
+        first = generate_collection(wiki, COLL_CONFIG)
+        second = generate_collection(wiki, COLL_CONFIG)
+        assert first.documents == second.documents
+        assert first.topics.to_json() == second.topics.to_json()
+
+    def test_extraction_texts_cover_all_documents(self, collection):
+        pairs = dict(collection.extraction_texts())
+        assert set(pairs) == set(collection.documents)
+        assert all(isinstance(text, str) for text in pairs.values())
+
+    def test_relevant_docs_mention_domain_titles(self, wiki, collection):
+        """Entity linking on a relevant document finds domain articles."""
+        graph = wiki.graph
+        linker = EntityLinker(graph, use_synonyms=False)
+        domain = wiki.domains[0]
+        topic = collection.topics.by_id(domain.domain_id)
+        domain_articles = set(domain.all_articles())
+        hits = 0
+        for doc_id in topic.relevant:
+            text = collection.documents[doc_id].extraction_text()
+            if linker.link(text).article_ids & domain_articles:
+                hits += 1
+        assert hits == topic.num_relevant
+
+    def test_some_relevant_docs_omit_seed_titles(self, wiki, collection):
+        """Vocabulary mismatch is planted: not every relevant doc contains
+        the query keywords."""
+        graph = wiki.graph
+        mismatches = 0
+        for domain in wiki.domains:
+            topic = collection.topics.by_id(domain.domain_id)
+            seed_titles = [graph.title(a).lower() for a in domain.seed_articles]
+            for doc_id in topic.relevant:
+                text = collection.documents[doc_id].extraction_text().lower()
+                if not any(title in text for title in seed_titles):
+                    mismatches += 1
+        assert mismatches > 0
+
+    def test_trap_documents_exist_and_are_irrelevant(self, wiki, collection):
+        graph = wiki.graph
+        all_relevant = set()
+        for topic in collection.topics:
+            all_relevant |= topic.relevant
+        traps = 0
+        for domain in wiki.domains:
+            distractor_titles = [graph.title(a).lower() for a in domain.distractor_articles]
+            if not distractor_titles:
+                continue
+            for doc_id, document in collection.documents.items():
+                text = document.extraction_text().lower()
+                if any(title in text for title in distractor_titles):
+                    if doc_id not in all_relevant:
+                        traps += 1
+        assert traps > 0
+
+    def test_foreign_sections_present_but_not_extracted(self, collection):
+        multilingual = [
+            d for d in collection.documents.values()
+            if d.section("de") is not None
+        ]
+        assert multilingual
+        sample = multilingual[0]
+        assert sample.section("de").description
+        assert sample.section("de").description not in sample.extraction_text()
+
+
+class TestBenchmarkBundle:
+    def test_synthetic_constructor(self, bench):
+        assert bench.num_topics == 6
+        assert bench.num_documents > 0
+        bench.validate()
+
+    def test_engine_build(self, bench):
+        engine = bench.build_engine()
+        assert engine.num_documents == bench.num_documents
+
+    def test_save_load_round_trip(self, bench, tmp_path):
+        directory = tmp_path / "bench"
+        bench.save(directory)
+        loaded = Benchmark.load(directory)
+        assert loaded.num_documents == bench.num_documents
+        assert loaded.num_topics == bench.num_topics
+        assert loaded.graph.num_articles == bench.graph.num_articles
+        loaded.validate()
+        assert loaded.wiki is None  # planted structure is not persisted
+
+    def test_loaded_documents_equal(self, bench, tmp_path):
+        directory = tmp_path / "bench"
+        bench.save(directory)
+        loaded = Benchmark.load(directory)
+        assert loaded.documents == bench.documents
+
+    def test_load_missing_artifact(self, tmp_path):
+        with pytest.raises(BenchmarkConfigError, match="missing"):
+            Benchmark.load(tmp_path)
+
+    def test_validate_detects_unknown_relevant_ids(self, bench):
+        from repro.collection import Topic
+
+        broken = Benchmark(
+            graph=bench.graph,
+            documents=bench.documents,
+            topics=bench.topics,
+        )
+        broken.topics = type(bench.topics)()
+        broken.topics.add(Topic(topic_id=99, keywords="x", relevant=frozenset({"nope"})))
+        with pytest.raises(BenchmarkConfigError, match="unknown documents"):
+            broken.validate()
+
+    def test_repr(self, bench):
+        assert "Benchmark(" in repr(bench)

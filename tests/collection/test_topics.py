@@ -1,0 +1,87 @@
+"""Unit tests for topics and topic sets."""
+
+import pytest
+
+from repro.errors import DumpFormatError
+from repro.collection import Topic, TopicSet
+
+
+def make_topic(topic_id=1, keywords="gondola in venice", relevant=("a", "b")):
+    return Topic(topic_id=topic_id, keywords=keywords, relevant=frozenset(relevant))
+
+
+class TestTopic:
+    def test_fields(self):
+        topic = make_topic()
+        assert topic.num_relevant == 2
+        assert "gondola" in str(topic)
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(ValueError, match="empty keywords"):
+            Topic(topic_id=1, keywords="   ", relevant=frozenset())
+
+    def test_default_domain_id(self):
+        assert make_topic().domain_id == -1
+
+
+class TestTopicSet:
+    def test_add_and_iterate(self):
+        topics = TopicSet()
+        topics.add(make_topic(1))
+        topics.add(make_topic(2))
+        assert len(topics) == 2
+        assert [t.topic_id for t in topics] == [1, 2]
+        assert topics[0].topic_id == 1
+
+    def test_duplicate_id_rejected(self):
+        topics = TopicSet()
+        topics.add(make_topic(1))
+        with pytest.raises(ValueError, match="duplicate topic id"):
+            topics.add(make_topic(1))
+
+    def test_by_id(self):
+        topics = TopicSet()
+        topics.add(make_topic(5))
+        assert topics.by_id(5).topic_id == 5
+        with pytest.raises(KeyError):
+            topics.by_id(6)
+
+    def test_json_round_trip(self):
+        topics = TopicSet()
+        topics.add(make_topic(1, relevant=("x", "y", "z")))
+        topics.add(Topic(topic_id=2, keywords="street art", relevant=frozenset(), domain_id=7))
+        loaded = TopicSet.from_json(topics.to_json())
+        assert len(loaded) == 2
+        assert loaded.by_id(1).relevant == frozenset({"x", "y", "z"})
+        assert loaded.by_id(2).domain_id == 7
+
+    def test_file_round_trip(self, tmp_path):
+        topics = TopicSet()
+        topics.add(make_topic())
+        path = tmp_path / "topics.json"
+        topics.save(path)
+        loaded = TopicSet.load(path)
+        assert loaded.by_id(1).keywords == "gondola in venice"
+
+    def test_json_stable_output(self):
+        topics = TopicSet()
+        topics.add(make_topic(relevant=("b", "a", "c")))
+        assert topics.to_json() == topics.to_json()
+        assert '"a",' in topics.to_json()  # sorted doc ids
+
+    def test_invalid_json(self):
+        with pytest.raises(DumpFormatError, match="invalid topics JSON"):
+            TopicSet.from_json("{nope")
+
+    def test_wrong_format(self):
+        with pytest.raises(DumpFormatError, match="not a repro-topics"):
+            TopicSet.from_json('{"format": "other"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(DumpFormatError, match="unsupported topics version"):
+            TopicSet.from_json('{"format": "repro-topics", "version": 9}')
+
+    def test_missing_field(self):
+        bad = '{"format": "repro-topics", "version": 1, "topics": [{"id": 1}]}'
+        with pytest.raises(DumpFormatError, match="missing field"):
+            TopicSet.from_json(bad)

@@ -1,0 +1,84 @@
+"""Shared fixtures for core tests: a hand-built Venice mini-world.
+
+The fixture graph mirrors the paper's running example (query #90 "gondola
+in venice"): a seed article with a reciprocal partner (2-cycle), a
+category-closed triangle, a 4-cycle, and a category-free distractor
+triangle (Figure 8's sheep/quarantine/anthrax shape).
+"""
+
+import pytest
+
+from repro.retrieval import DirichletSmoothing, SearchEngine
+from repro.wiki import WikiGraphBuilder
+
+
+@pytest.fixture
+def venice_world():
+    """Graph + node map.  Planted cycles (undirected view):
+
+    2-cycle: venice <-> cannaregio
+    3-cycle: venice - canal - attractions(cat)         (density 0)
+    3-cycle: venice - cannaregio - attractions(cat)    (has 2-cycle chord)
+    4-cycle: venice - canal - palazzo - attractions(cat)
+    3-cycle (category-free): venice - sheep - anthrax  (distractor)
+    """
+    builder = WikiGraphBuilder()
+    ids = {}
+    ids["venice"] = builder.add_article("venice")
+    ids["cannaregio"] = builder.add_article("cannaregio")
+    ids["canal"] = builder.add_article("grand canal")
+    ids["palazzo"] = builder.add_article("palazzo bembo")
+    ids["sheep"] = builder.add_article("sheep")
+    ids["anthrax"] = builder.add_article("anthrax")
+    ids["gondole"] = builder.add_article("gondole", is_redirect=True)
+    ids["attractions"] = builder.add_category("visitor attractions in venice")
+    ids["farming"] = builder.add_category("farming")
+
+    builder.add_belongs(ids["venice"], ids["attractions"])
+    builder.add_belongs(ids["cannaregio"], ids["attractions"])
+    builder.add_belongs(ids["canal"], ids["attractions"])
+    builder.add_belongs(ids["palazzo"], ids["attractions"])
+    builder.add_belongs(ids["sheep"], ids["farming"])
+    builder.add_belongs(ids["anthrax"], ids["farming"])
+
+    # 2-cycle venice <-> cannaregio.
+    builder.add_link(ids["venice"], ids["cannaregio"])
+    builder.add_link(ids["cannaregio"], ids["venice"])
+    # Chain venice -> canal -> palazzo (closes cycles via the category).
+    builder.add_link(ids["venice"], ids["canal"])
+    builder.add_link(ids["canal"], ids["palazzo"])
+    # Category-free triangle venice -> sheep -> anthrax -> venice.
+    builder.add_link(ids["venice"], ids["sheep"])
+    builder.add_link(ids["sheep"], ids["anthrax"])
+    builder.add_link(ids["anthrax"], ids["venice"])
+    # Redirect satellite.
+    builder.add_redirect(ids["gondole"], ids["cannaregio"])
+
+    return builder.build(), ids
+
+
+@pytest.fixture
+def venice_engine():
+    """Engine over a tiny collection keyed to the venice_world titles.
+
+    Relevant docs: r1..r4 (r3/r4 omit the seed title — vocabulary
+    mismatch).  t1 is a trap mentioning the distractors.
+    """
+    engine = SearchEngine(smoothing=DirichletSmoothing(mu=10))
+    engine.add_documents(
+        [
+            ("r1", "a gondola ride in venice near the grand canal"),
+            ("r2", "venice and cannaregio district in the morning"),
+            ("r3", "quiet view of cannaregio with boats"),  # no 'venice'
+            ("r4", "palazzo bembo exhibition on the grand canal"),  # no 'venice'
+            ("t1", "sheep quarantine during the anthrax outbreak"),
+            ("t2", "venice beach california surfing"),  # matches seed, irrelevant
+            ("b1", "mountain railway in the alps"),
+        ]
+    )
+    return engine
+
+
+@pytest.fixture
+def relevant_docs():
+    return frozenset({"r1", "r2", "r3", "r4"})

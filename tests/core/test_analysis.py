@@ -1,0 +1,153 @@
+"""Unit tests for the aggregate analysis helpers."""
+
+import pytest
+
+from repro.core import (
+    Cycle,
+    CycleRecord,
+    article_cycle_frequency,
+    average_category_ratio_by_length,
+    average_contribution_by_length,
+    average_count_by_length,
+    average_density_by_length,
+    binned_density_trend,
+    compute_features,
+    density_contribution_points,
+    five_point_summary,
+    frequency_contribution_correlation,
+    linear_trend,
+)
+from repro.errors import AnalysisError
+
+
+class TestFivePointSummary:
+    def test_known_values(self):
+        summary = five_point_summary([0, 1, 2, 3, 4])
+        assert summary.as_tuple() == (0.0, 1.0, 2.0, 3.0, 4.0)
+
+    def test_single_value(self):
+        summary = five_point_summary([7.5])
+        assert summary.as_tuple() == (7.5, 7.5, 7.5, 7.5, 7.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            five_point_summary([])
+
+    def test_str(self):
+        assert "med=" in str(five_point_summary([1, 2, 3]))
+
+
+@pytest.fixture
+def records(venice_world):
+    """Records over the venice world's real cycles with synthetic
+    contributions chosen so expected aggregates are easy to state."""
+    graph, ids = venice_world
+    two = compute_features(graph, Cycle((ids["venice"], ids["cannaregio"])))
+    tri_sparse = compute_features(
+        graph, Cycle((ids["venice"], ids["canal"], ids["attractions"]))
+    )
+    tri_dense = compute_features(
+        graph, Cycle((ids["venice"], ids["cannaregio"], ids["attractions"]))
+    )
+    four = compute_features(
+        graph, Cycle((ids["venice"], ids["canal"], ids["palazzo"], ids["attractions"]))
+    )
+    return [
+        CycleRecord(query_id=0, features=two, contribution=50.0),
+        CycleRecord(query_id=0, features=tri_sparse, contribution=10.0),
+        CycleRecord(query_id=1, features=tri_dense, contribution=40.0),
+        CycleRecord(query_id=1, features=four, contribution=30.0),
+    ]
+
+
+class TestPerLengthAverages:
+    def test_contribution(self, records):
+        result = average_contribution_by_length(records)
+        assert result[2] == 50.0
+        assert result[3] == pytest.approx(25.0)
+        assert result[4] == 30.0
+
+    def test_counts(self, records):
+        result = average_count_by_length(records, num_queries=2)
+        assert result == {2: 0.5, 3: 1.0, 4: 0.5}
+
+    def test_counts_validation(self, records):
+        with pytest.raises(AnalysisError):
+            average_count_by_length(records, num_queries=0)
+
+    def test_category_ratio_excludes_short(self, records):
+        result = average_category_ratio_by_length(records)
+        assert 2 not in result
+        assert result[3] == pytest.approx(1 / 3)
+        assert result[4] == pytest.approx(1 / 4)
+
+    def test_density_skips_undefined(self, records):
+        result = average_density_by_length(records)
+        assert 2 not in result
+        assert result[3] == pytest.approx((0.0 + 1.0) / 2)
+        assert result[4] == pytest.approx(0.2)
+
+    def test_empty_records(self):
+        assert average_contribution_by_length([]) == {}
+        assert average_category_ratio_by_length([]) == {}
+
+
+class TestDensityTrend:
+    def test_points_skip_undefined_density(self, records):
+        points = density_contribution_points(records)
+        # The 2-cycle has undefined density, the rest are defined.
+        assert len(points) == 3
+        assert (0.0, 10.0) in points
+        assert (1.0, 40.0) in points
+
+    def test_binned_trend(self, records):
+        points = density_contribution_points(records)
+        trend = binned_density_trend(points, num_bins=2)
+        # Bin [0, 0.5): densities 0.0 and 0.2 -> mean contribution 20.
+        # Bin [0.5, 1.0]: density 1.0 -> contribution 40.
+        assert trend == [(0.25, 20.0), (0.75, 40.0)]
+
+    def test_binned_trend_empty(self):
+        assert binned_density_trend([], num_bins=3) == []
+
+    def test_binned_trend_validation(self):
+        with pytest.raises(AnalysisError):
+            binned_density_trend([(0.5, 1.0)], num_bins=0)
+
+    def test_linear_trend_positive(self, records):
+        slope, intercept = linear_trend(density_contribution_points(records))
+        assert slope > 0
+
+    def test_linear_trend_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            linear_trend([(0.5, 1.0)])
+
+    def test_linear_trend_degenerate_x(self):
+        with pytest.raises(AnalysisError):
+            linear_trend([(0.5, 1.0), (0.5, 2.0)])
+
+
+class TestArticleFrequency:
+    def test_frequency_counts_articles_only(self, venice_world, records):
+        graph, ids = venice_world
+        frequency = article_cycle_frequency(records, graph)
+        assert frequency[ids["venice"]] == 4
+        assert frequency[ids["cannaregio"]] == 2
+        assert ids["attractions"] not in frequency  # category
+
+    def test_correlation_runs(self, venice_world, records):
+        graph, _ = venice_world
+        value = frequency_contribution_correlation(records, graph)
+        assert -1.0 <= value <= 1.0
+
+    def test_correlation_needs_articles(self, venice_world):
+        graph, _ = venice_world
+        with pytest.raises(AnalysisError):
+            frequency_contribution_correlation([], graph)
+
+    def test_correlation_zero_variance(self, venice_world, records):
+        graph, ids = venice_world
+        # Two articles, both appearing once, same contribution -> no variance.
+        single = [records[1]]
+        with pytest.raises(AnalysisError):
+            frequency_contribution_correlation(single, graph)

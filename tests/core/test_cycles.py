@@ -1,0 +1,164 @@
+"""Unit tests for cycle enumeration."""
+
+import pytest
+
+from repro.core import Cycle, CycleFinder, find_cycles
+from repro.errors import AnalysisError
+from repro.wiki import WikiGraphBuilder
+
+
+def cycles_as_sets(cycles):
+    return sorted((c.length, frozenset(c.nodes)) for c in cycles)
+
+
+class TestTwoCycles:
+    def test_reciprocal_pair_found(self, venice_world):
+        graph, ids = venice_world
+        cycles = find_cycles(graph, anchors=[ids["venice"]], max_length=2)
+        assert cycles_as_sets(cycles) == [
+            (2, frozenset({ids["venice"], ids["cannaregio"]}))
+        ]
+
+    def test_one_way_link_is_not_a_cycle(self):
+        builder = WikiGraphBuilder(strict=False)
+        a = builder.add_article("a")
+        b = builder.add_article("b")
+        builder.add_link(a, b)
+        assert find_cycles(builder.build(), max_length=2) == []
+
+    def test_anchor_filter(self, venice_world):
+        graph, ids = venice_world
+        assert find_cycles(graph, anchors=[ids["sheep"]], max_length=2) == []
+
+    def test_no_anchor_returns_all(self, venice_world):
+        graph, ids = venice_world
+        cycles = find_cycles(graph, max_length=2)
+        assert len(cycles) == 1
+
+
+class TestSimpleCycles:
+    def test_category_triangle(self, venice_world):
+        graph, ids = venice_world
+        cycles = find_cycles(graph, anchors=[ids["venice"]], min_length=3, max_length=3)
+        node_sets = {frozenset(c.nodes) for c in cycles}
+        # venice - canal - attractions (category closes the triangle)
+        assert frozenset({ids["venice"], ids["canal"], ids["attractions"]}) in node_sets
+        # category-free distractor triangle venice - sheep - anthrax
+        assert frozenset({ids["venice"], ids["sheep"], ids["anthrax"]}) in node_sets
+
+    def test_two_cycle_pair_also_closes_triangle(self, venice_world):
+        graph, ids = venice_world
+        cycles = find_cycles(graph, min_length=3, max_length=3)
+        node_sets = {frozenset(c.nodes) for c in cycles}
+        assert frozenset(
+            {ids["venice"], ids["cannaregio"], ids["attractions"]}
+        ) in node_sets
+
+    def test_four_cycle(self, venice_world):
+        graph, ids = venice_world
+        cycles = find_cycles(graph, min_length=4, max_length=4)
+        node_sets = {frozenset(c.nodes) for c in cycles}
+        assert frozenset(
+            {ids["venice"], ids["canal"], ids["palazzo"], ids["attractions"]}
+        ) in node_sets
+
+    def test_each_cycle_reported_once(self, venice_world):
+        graph, ids = venice_world
+        cycles = find_cycles(graph, max_length=5)
+        assert len(cycles) == len(set(cycles))
+        # Canonical: no two cycles share the same node set and length.
+        keys = [(c.length, frozenset(c.nodes)) for c in cycles]
+        assert len(keys) == len(set(keys))
+
+    def test_nodes_distinct_within_cycle(self, venice_world):
+        graph, ids = venice_world
+        for cycle in find_cycles(graph, max_length=5):
+            assert len(set(cycle.nodes)) == cycle.length
+
+    def test_consecutive_nodes_connected(self, venice_world):
+        graph, ids = venice_world
+        for cycle in find_cycles(graph, min_length=3, max_length=5):
+            nodes = cycle.nodes
+            for u, v in zip(nodes, nodes[1:] + nodes[:1]):
+                assert graph.has_edge(u, v)
+
+    def test_redirects_never_in_cycles(self, venice_world):
+        """Figure 1: redirects cannot close cycles."""
+        graph, ids = venice_world
+        for cycle in find_cycles(graph, max_length=5):
+            assert ids["gondole"] not in cycle.nodes
+
+    def test_tree_has_no_cycles(self):
+        builder = WikiGraphBuilder(strict=False)
+        root = builder.add_category("root")
+        for index in range(3):
+            child = builder.add_category(f"child{index}")
+            builder.add_inside(child, root)
+        assert find_cycles(builder.build(), max_length=5) == []
+
+    def test_chordful_cycles_allowed(self):
+        """A 4-clique contains 4-cycles even though they have chords."""
+        builder = WikiGraphBuilder(strict=False)
+        nodes = [builder.add_article(f"n{i}") for i in range(4)]
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                builder.add_link(u, v)
+        cycles = find_cycles(builder.build(), min_length=4, max_length=4)
+        # 4 nodes -> 3 distinct 4-cycles (each omits one chord pairing).
+        assert len(cycles) == 3
+
+
+class TestCensusAndGuards:
+    def test_count_by_length(self, venice_world):
+        graph, ids = venice_world
+        finder = CycleFinder(graph, min_length=2, max_length=5)
+        census = finder.count_by_length(anchors=[ids["venice"]])
+        assert set(census) == {2, 3, 4, 5}
+        assert census[2] == 1
+        assert census[3] >= 2
+
+    def test_census_counts_match_find(self, venice_world):
+        graph, ids = venice_world
+        finder = CycleFinder(graph, min_length=2, max_length=5)
+        census = finder.count_by_length()
+        assert sum(census.values()) == len(finder.find())
+
+    def test_min_length_validation(self, venice_world):
+        graph, _ = venice_world
+        with pytest.raises(AnalysisError):
+            CycleFinder(graph, min_length=1)
+
+    def test_max_less_than_min(self, venice_world):
+        graph, _ = venice_world
+        with pytest.raises(AnalysisError):
+            CycleFinder(graph, min_length=4, max_length=3)
+
+    def test_supported_bound(self, venice_world):
+        graph, _ = venice_world
+        with pytest.raises(AnalysisError, match="exponential"):
+            CycleFinder(graph, max_length=9)
+
+    def test_max_cycles_guard(self):
+        builder = WikiGraphBuilder(strict=False)
+        nodes = [builder.add_article(f"n{i}") for i in range(12)]
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                builder.add_link(u, v)
+        finder = CycleFinder(builder.build(), max_length=5, max_cycles=10)
+        with pytest.raises(AnalysisError, match="more than 10 cycles"):
+            finder.find()
+
+
+class TestCycleValue:
+    def test_contains(self):
+        cycle = Cycle((1, 2, 3))
+        assert 2 in cycle
+        assert 9 not in cycle
+
+    def test_iter_and_len(self):
+        cycle = Cycle((1, 2))
+        assert list(cycle) == [1, 2]
+        assert cycle.length == 2
+
+    def test_str(self):
+        assert str(Cycle((1, 2, 3))) == "(1 - 2 - 3)"

@@ -1,0 +1,121 @@
+"""Unit tests for cycle features: category ratio, E(C), M(C), density."""
+
+import pytest
+
+from repro.core import Cycle, compute_features, count_edges, find_cycles, max_edges
+from repro.wiki import WikiGraphBuilder
+
+
+class TestMaxEdges:
+    def test_articles_only(self):
+        # A articles: A*(A-1) ordered pairs.
+        assert max_edges(3, 0) == 6
+        assert max_edges(2, 0) == 2
+
+    def test_mixed(self):
+        # Paper formula: A(A-1) + A*C + C(C-1)/2.
+        assert max_edges(2, 1) == 2 + 2 + 0
+        assert max_edges(2, 2) == 2 + 4 + 1
+        assert max_edges(3, 2) == 6 + 6 + 1
+
+    def test_categories_only(self):
+        assert max_edges(0, 3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            max_edges(-1, 0)
+
+
+class TestCountEdges:
+    def test_reciprocal_links_count_twice(self, venice_world):
+        graph, ids = venice_world
+        pair = (ids["venice"], ids["cannaregio"])
+        assert count_edges(graph, pair) == 2
+
+    def test_one_way_link_counts_once(self, venice_world):
+        graph, ids = venice_world
+        assert count_edges(graph, (ids["venice"], ids["canal"])) == 1
+
+    def test_belongs_counts_once(self, venice_world):
+        graph, ids = venice_world
+        assert count_edges(graph, (ids["venice"], ids["attractions"])) == 1
+
+    def test_triangle_with_category(self, venice_world):
+        graph, ids = venice_world
+        nodes = (ids["venice"], ids["canal"], ids["attractions"])
+        # venice->canal, venice in attractions, canal in attractions.
+        assert count_edges(graph, nodes) == 3
+
+    def test_triangle_with_chorded_pair(self, venice_world):
+        graph, ids = venice_world
+        nodes = (ids["venice"], ids["cannaregio"], ids["attractions"])
+        # reciprocal pair (2) + two belongs = 4.
+        assert count_edges(graph, nodes) == 4
+
+    def test_inside_pair_counts_once(self):
+        builder = WikiGraphBuilder(strict=False)
+        parent = builder.add_category("parent")
+        child = builder.add_category("child")
+        builder.add_inside(child, parent)
+        graph = builder.build()
+        assert count_edges(graph, (parent, child)) == 1
+
+
+class TestComputeFeatures:
+    def test_two_cycle_features(self, venice_world):
+        graph, ids = venice_world
+        cycle = Cycle((ids["venice"], ids["cannaregio"]))
+        features = compute_features(graph, cycle)
+        assert features.num_articles == 2
+        assert features.num_categories == 0
+        assert features.category_ratio == 0.0
+        assert features.num_edges == 2
+        assert features.max_possible_edges == 2
+        assert features.extra_edge_density is None  # M == |C|
+        assert features.num_extra_edges == 0
+
+    def test_density_zero_triangle(self, venice_world):
+        graph, ids = venice_world
+        cycle = Cycle((ids["venice"], ids["canal"], ids["attractions"]))
+        features = compute_features(graph, cycle)
+        assert features.num_categories == 1
+        assert features.category_ratio == pytest.approx(1 / 3)
+        # E = 3 = |C|; M = 2*1 + 2*1 + 0 = 4 -> density (3-3)/(4-3) = 0.
+        assert features.extra_edge_density == 0.0
+
+    def test_density_one_triangle(self, venice_world):
+        graph, ids = venice_world
+        cycle = Cycle((ids["venice"], ids["cannaregio"], ids["attractions"]))
+        features = compute_features(graph, cycle)
+        # E = 4; M = 4 -> density (4-3)/(4-3) = 1.
+        assert features.extra_edge_density == 1.0
+
+    def test_category_free_flag(self, venice_world):
+        graph, ids = venice_world
+        distractor = Cycle((ids["venice"], ids["sheep"], ids["anthrax"]))
+        assert compute_features(graph, distractor).is_category_free
+        with_cat = Cycle((ids["venice"], ids["canal"], ids["attractions"]))
+        assert not compute_features(graph, with_cat).is_category_free
+
+    def test_four_cycle_features(self, venice_world):
+        graph, ids = venice_world
+        cycle = Cycle((ids["venice"], ids["canal"], ids["palazzo"], ids["attractions"]))
+        features = compute_features(graph, cycle)
+        assert features.length == 4
+        assert features.num_articles == 3
+        assert features.num_categories == 1
+        # Edges: venice->canal, canal->palazzo, three belongs = 5.
+        assert features.num_edges == 5
+        # M = 3*2 + 3*1 + 0 = 9; density = (5-4)/(9-4) = 0.2.
+        assert features.extra_edge_density == pytest.approx(0.2)
+
+    def test_features_for_all_enumerated_cycles(self, venice_world):
+        """Every enumerated cycle yields consistent features."""
+        graph, ids = venice_world
+        for cycle in find_cycles(graph, max_length=5):
+            features = compute_features(graph, cycle)
+            assert features.num_articles + features.num_categories == cycle.length
+            assert features.num_edges >= cycle.length
+            assert features.num_edges <= features.max_possible_edges
+            density = features.extra_edge_density
+            assert density is None or 0.0 <= density <= 1.0

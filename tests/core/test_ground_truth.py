@@ -1,0 +1,142 @@
+"""Unit tests for the ADD/REMOVE/SWAP local search."""
+
+import random
+
+import pytest
+
+from repro.core import Evaluator, GroundTruthSearch, Operation
+from repro.errors import GroundTruthError
+
+
+@pytest.fixture
+def evaluator(venice_world, venice_engine, relevant_docs):
+    graph, _ = venice_world
+    return Evaluator(venice_engine, graph, relevant_docs)
+
+
+@pytest.fixture
+def search(evaluator):
+    return GroundTruthSearch(evaluator, rng=random.Random(3))
+
+
+class TestValidation:
+    def test_bad_iterations(self, evaluator):
+        with pytest.raises(GroundTruthError):
+            GroundTruthSearch(evaluator, max_iterations=0)
+
+    def test_bad_restarts(self, evaluator):
+        with pytest.raises(GroundTruthError):
+            GroundTruthSearch(evaluator, restarts=0)
+
+
+class TestSearchBehaviour:
+    def test_no_candidates_returns_seeds(self, venice_world, search):
+        graph, ids = venice_world
+        result = search.run([ids["venice"]], [])
+        assert result.expansion_set == frozenset()
+        assert result.best_set == frozenset({ids["venice"]})
+
+    def test_candidates_overlapping_seeds_ignored(self, venice_world, search):
+        graph, ids = venice_world
+        result = search.run([ids["venice"]], [ids["venice"]])
+        assert result.expansion_set == frozenset()
+
+    def test_finds_improving_expansion(self, venice_world, evaluator, search):
+        graph, ids = venice_world
+        candidates = [ids["cannaregio"], ids["canal"], ids["palazzo"],
+                      ids["sheep"], ids["anthrax"]]
+        result = search.run([ids["venice"]], candidates)
+        base = evaluator.quality([ids["venice"]])
+        assert result.score.mean > base
+        # The distractors must not survive in the best set.
+        assert ids["sheep"] not in result.expansion_set
+        assert ids["anthrax"] not in result.expansion_set
+
+    def test_quality_never_decreases_along_steps(self, venice_world, search):
+        graph, ids = venice_world
+        candidates = [ids["cannaregio"], ids["canal"], ids["palazzo"], ids["sheep"]]
+        result = search.run([ids["venice"]], candidates)
+        qualities = [step.quality for step in result.steps]
+        assert qualities == sorted(qualities)
+
+    def test_first_step_is_seed(self, venice_world, search):
+        graph, ids = venice_world
+        result = search.run([ids["venice"]], [ids["cannaregio"]])
+        assert result.steps[0].operation is Operation.SEED
+
+    def test_deterministic_given_rng(self, venice_world, evaluator):
+        graph, ids = venice_world
+        candidates = [ids["cannaregio"], ids["canal"], ids["palazzo"], ids["sheep"]]
+        first = GroundTruthSearch(evaluator, rng=random.Random(5)).run(
+            [ids["venice"]], candidates)
+        second = GroundTruthSearch(evaluator, rng=random.Random(5)).run(
+            [ids["venice"]], candidates)
+        assert first.expansion_set == second.expansion_set
+        assert [s.operation for s in first.steps] == [s.operation for s in second.steps]
+
+    def test_restarts_cannot_hurt(self, venice_world, evaluator):
+        graph, ids = venice_world
+        candidates = [ids["cannaregio"], ids["canal"], ids["palazzo"], ids["sheep"]]
+        single = GroundTruthSearch(evaluator, rng=random.Random(1)).run(
+            [ids["venice"]], candidates)
+        multi = GroundTruthSearch(evaluator, rng=random.Random(1), restarts=4).run(
+            [ids["venice"]], candidates)
+        assert multi.score.mean >= single.score.mean
+
+    def test_minimality_rule_removes_useless_article(
+        self, venice_world, venice_engine, relevant_docs
+    ):
+        """An article whose removal keeps quality equal must be dropped."""
+        graph, ids = venice_world
+        evaluator = Evaluator(venice_engine, graph, relevant_docs)
+        # Start the search from the useless article: 'sheep' matches only
+        # the trap document, so after better articles arrive it should be
+        # swapped or removed by the minimality rule.
+        rng = random.Random(0)
+        search = GroundTruthSearch(evaluator, rng=rng)
+        result = search.run(
+            [ids["venice"]],
+            [ids["sheep"], ids["cannaregio"], ids["canal"], ids["palazzo"]],
+        )
+        assert ids["sheep"] not in result.expansion_set
+
+    def test_prefer_minimal_false_may_keep_neutral_articles(
+        self, venice_world, venice_engine, relevant_docs
+    ):
+        graph, ids = venice_world
+        evaluator = Evaluator(venice_engine, graph, relevant_docs)
+        search = GroundTruthSearch(
+            evaluator, rng=random.Random(0), prefer_minimal=False
+        )
+        result = search.run([ids["venice"]], [ids["cannaregio"], ids["canal"]])
+        # Without the rule the search still improves quality...
+        assert result.score.mean >= evaluator.quality([ids["venice"]])
+        # ...and never applies an equal-quality REMOVE.
+        for step in result.steps:
+            if step.operation is Operation.REMOVE:
+                previous = result.steps[result.steps.index(step) - 1]
+                assert step.quality > previous.quality
+
+    def test_expansion_ratio(self, venice_world, search):
+        graph, ids = venice_world
+        result = search.run([ids["venice"]], [ids["cannaregio"]])
+        expected = len(result.best_set) / 1
+        assert result.expansion_ratio == expected
+
+    def test_expansion_ratio_no_seeds(self, venice_world, search):
+        graph, ids = venice_world
+        result = search.run([], [ids["cannaregio"]])
+        assert result.expansion_ratio == 0.0
+
+    def test_num_iterations_counts_steps(self, venice_world, search):
+        graph, ids = venice_world
+        result = search.run([ids["venice"]], [ids["cannaregio"], ids["canal"]])
+        assert result.num_iterations == len(result.steps) >= 1
+
+    def test_max_iterations_caps_search(self, venice_world, evaluator):
+        graph, ids = venice_world
+        search = GroundTruthSearch(evaluator, rng=random.Random(3), max_iterations=1)
+        result = search.run(
+            [ids["venice"]], [ids["cannaregio"], ids["canal"], ids["palazzo"]]
+        )
+        assert result.num_iterations == 1  # only the SEED step

@@ -1,0 +1,136 @@
+"""Unit tests for P(A,r,D), O(A,D) and the Evaluator."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_RANKS,
+    Evaluator,
+    contribution_percent,
+    mean_precision,
+    top_r_precision,
+)
+from repro.errors import GroundTruthError
+
+
+class TestTopRPrecision:
+    def test_perfect_prefix(self):
+        assert top_r_precision(["a", "b", "c"], {"a", "b", "c"}, 3) == 1.0
+
+    def test_partial(self):
+        assert top_r_precision(["a", "x", "b"], {"a", "b"}, 3) == pytest.approx(2 / 3)
+
+    def test_short_result_list_penalised(self):
+        # Two results, both correct, but r=5: absent results count as wrong.
+        assert top_r_precision(["a", "b"], {"a", "b"}, 5) == pytest.approx(2 / 5)
+
+    def test_no_relevant(self):
+        assert top_r_precision(["x", "y"], {"a"}, 2) == 0.0
+
+    def test_r_validation(self):
+        with pytest.raises(ValueError):
+            top_r_precision(["a"], {"a"}, 0)
+
+    def test_only_prefix_counts(self):
+        assert top_r_precision(["x", "a"], {"a"}, 1) == 0.0
+
+
+class TestMeanPrecision:
+    def test_paper_ranks(self):
+        ranked = ["a", "b", "x", "y", "c"] + ["z"] * 10
+        relevant = {"a", "b", "c"}
+        expected = (
+            top_r_precision(ranked, relevant, 1)
+            + top_r_precision(ranked, relevant, 5)
+            + top_r_precision(ranked, relevant, 10)
+            + top_r_precision(ranked, relevant, 15)
+        ) / 4
+        assert mean_precision(ranked, relevant) == pytest.approx(expected)
+
+    def test_custom_ranks(self):
+        assert mean_precision(["a"], {"a"}, ranks=(1,)) == 1.0
+
+    def test_empty_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            mean_precision(["a"], {"a"}, ranks=())
+
+    def test_default_ranks_constant(self):
+        assert DEFAULT_RANKS == (1, 5, 10, 15)
+
+
+class TestContributionPercent:
+    def test_improvement(self):
+        assert contribution_percent(0.5, 0.75) == pytest.approx(50.0)
+
+    def test_degradation_negative(self):
+        assert contribution_percent(0.8, 0.4) == pytest.approx(-50.0)
+
+    def test_no_change(self):
+        assert contribution_percent(0.6, 0.6) == 0.0
+
+    def test_zero_base_uses_absolute_gain(self):
+        assert contribution_percent(0.0, 0.5) == pytest.approx(50.0)
+
+
+class TestEvaluator:
+    @pytest.fixture
+    def evaluator(self, venice_world, venice_engine, relevant_docs):
+        graph, ids = venice_world
+        return Evaluator(venice_engine, graph, relevant_docs)
+
+    def test_empty_set_scores_zero(self, evaluator):
+        score = evaluator.evaluate([])
+        assert score.mean == 0.0
+        assert score.precision_at(1) == 0.0
+
+    def test_seed_only_query(self, venice_world, evaluator):
+        graph, ids = venice_world
+        score = evaluator.evaluate([ids["venice"]])
+        # 'venice' matches r1, r2, t2 — early precision is high but
+        # r3/r4 are unreachable, so mean < 1.
+        assert 0.0 < score.mean < 1.0
+
+    def test_expansion_improves(self, venice_world, evaluator):
+        graph, ids = venice_world
+        base = evaluator.quality([ids["venice"]])
+        expanded = evaluator.quality([ids["venice"], ids["cannaregio"], ids["palazzo"]])
+        assert expanded > base
+
+    def test_distractor_expansion_hurts_or_flat(self, venice_world, evaluator):
+        graph, ids = venice_world
+        base = evaluator.quality([ids["venice"]])
+        expanded = evaluator.quality([ids["venice"], ids["sheep"], ids["anthrax"]])
+        assert expanded <= base
+
+    def test_contribution_of(self, venice_world, evaluator):
+        graph, ids = venice_world
+        contribution = evaluator.contribution_of(
+            frozenset({ids["venice"]}), [ids["cannaregio"]]
+        )
+        assert contribution > 0.0
+
+    def test_cache_hits(self, venice_world, evaluator):
+        graph, ids = venice_world
+        evaluator.evaluate([ids["venice"]])
+        calls_before = evaluator.engine_calls
+        evaluator.evaluate([ids["venice"]])
+        assert evaluator.engine_calls == calls_before
+        assert evaluator.evaluations >= 2
+
+    def test_precision_at_unevaluated_rank(self, venice_world, evaluator):
+        graph, ids = venice_world
+        score = evaluator.evaluate([ids["venice"]])
+        with pytest.raises(KeyError):
+            score.precision_at(7)
+
+    def test_titles_of_sorted(self, venice_world, evaluator):
+        graph, ids = venice_world
+        titles = evaluator.titles_of({ids["canal"], ids["venice"]})
+        assert titles == [graph.title(n) for n in sorted((ids["canal"], ids["venice"]))]
+
+    def test_empty_ranks_rejected(self, venice_world, venice_engine, relevant_docs):
+        graph, _ = venice_world
+        with pytest.raises(GroundTruthError):
+            Evaluator(venice_engine, graph, relevant_docs, ranks=())
+
+    def test_repr(self, evaluator):
+        assert "Evaluator(" in repr(evaluator)

@@ -1,0 +1,93 @@
+"""Tests for DOT exports, query-graph description and distance analysis."""
+
+import pytest
+
+from repro.core import (
+    Cycle,
+    build_query_graph,
+    cycle_to_dot,
+    describe_query_graph,
+    expansion_distance_histogram,
+    query_graph_to_dot,
+)
+
+
+@pytest.fixture
+def query_graph(venice_world):
+    graph, ids = venice_world
+    return build_query_graph(
+        graph, [ids["venice"]], [ids["cannaregio"], ids["canal"], ids["palazzo"]]
+    ), ids
+
+
+class TestQueryGraphDot:
+    def test_valid_dot_structure(self, query_graph):
+        qg, ids = query_graph
+        dot = query_graph_to_dot(qg)
+        assert dot.startswith("graph query_graph {")
+        assert dot.rstrip().endswith("}")
+
+    def test_shapes_follow_figure_3(self, query_graph):
+        qg, ids = query_graph
+        dot = query_graph_to_dot(qg)
+        assert f'n{ids["venice"]} [label="venice", shape=triangle];' in dot
+        assert f'n{ids["canal"]} [label="grand canal", shape=ellipse];' in dot
+        assert "shape=box" in dot  # the category
+
+    def test_undirected_edges_deduplicated(self, query_graph):
+        qg, ids = query_graph
+        dot = query_graph_to_dot(qg)
+        u, v = sorted((ids["venice"], ids["cannaregio"]))
+        assert dot.count(f"n{u} -- n{v}") == 1
+
+    def test_redirect_edge_dashed(self, venice_world):
+        graph, ids = venice_world
+        qg = build_query_graph(graph, [ids["venice"]], [ids["gondole"]])
+        dot = query_graph_to_dot(qg)
+        assert "style=dashed" in dot
+
+    def test_label_escaping(self, venice_world):
+        from repro.wiki import WikiGraphBuilder
+
+        builder = WikiGraphBuilder(strict=False)
+        node = builder.add_article('weird "quoted" title')
+        qg = build_query_graph(builder.build(), [node], [])
+        assert '\\"quoted\\"' in query_graph_to_dot(qg)
+
+
+class TestCycleDot:
+    def test_cycle_with_chords(self, venice_world):
+        graph, ids = venice_world
+        cycle = Cycle((ids["venice"], ids["cannaregio"], ids["attractions"]))
+        dot = cycle_to_dot(graph, cycle)
+        assert dot.count(" -- ") == 3  # the triangle's three undirected pairs
+        assert "shape=box" in dot
+
+    def test_only_cycle_nodes_included(self, venice_world):
+        graph, ids = venice_world
+        cycle = Cycle((ids["venice"], ids["cannaregio"]))
+        dot = cycle_to_dot(graph, cycle)
+        assert f"n{ids['canal']}" not in dot
+
+
+class TestDescribe:
+    def test_mentions_seeds_and_expansion(self, query_graph):
+        qg, ids = query_graph
+        text = describe_query_graph(qg)
+        assert "venice" in text
+        assert "grand canal" in text
+        assert "LCC" in text
+
+
+class TestExpansionDistances:
+    def test_distances_within_query_graph(self, query_graph):
+        qg, ids = query_graph
+        histogram = expansion_distance_histogram(qg)
+        # All three expansion articles reachable within <= 2 hops.
+        assert sum(histogram.values()) == 3
+        assert all(0 < key <= 3 for key in histogram)
+
+    def test_empty_when_no_expansion(self, venice_world):
+        graph, ids = venice_world
+        qg = build_query_graph(graph, [ids["venice"]], [])
+        assert expansion_distance_histogram(qg) == {}

@@ -1,0 +1,57 @@
+"""Tests for the cached default benchmark/pipeline and the paper constants."""
+
+from repro.harness import (
+    PAPER_FIG5,
+    PAPER_FIG6,
+    PAPER_FIG7A,
+    PAPER_FIG7B,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    default_benchmark,
+    default_pipeline_result,
+)
+
+
+class TestDefaults:
+    def test_default_benchmark_is_50_topics(self):
+        benchmark = default_benchmark()
+        assert benchmark.num_topics == 50
+        benchmark.validate()
+
+    def test_default_benchmark_deterministic(self):
+        first = default_benchmark()
+        second = default_benchmark()
+        assert first.topics.to_json() == second.topics.to_json()
+
+    def test_pipeline_result_cached(self):
+        first = default_pipeline_result(seed=7)
+        second = default_pipeline_result(seed=7)
+        assert first is second
+
+
+class TestPaperConstants:
+    """The transcribed paper values themselves must be internally sane."""
+
+    def test_table2_quartiles_ordered(self):
+        for values in PAPER_TABLE2.values():
+            assert list(values) == sorted(values)
+
+    def test_table3_quartiles_ordered(self):
+        for values in PAPER_TABLE3.values():
+            assert list(values) == sorted(values)
+
+    def test_table4_covers_seven_configurations(self):
+        assert len(PAPER_TABLE4) == 7
+        assert (2, 3, 4, 5) in PAPER_TABLE4
+
+    def test_fig5_two_cycles_peak(self):
+        assert PAPER_FIG5[2] == max(PAPER_FIG5.values())
+        assert PAPER_FIG5[3] == min(PAPER_FIG5.values())
+
+    def test_fig6_monotone(self):
+        assert PAPER_FIG6[2] < PAPER_FIG6[3] < PAPER_FIG6[4] < PAPER_FIG6[5]
+
+    def test_fig7_bands(self):
+        assert all(0.3 < v < 0.45 for v in PAPER_FIG7A.values())
+        assert all(0.25 < v < 0.45 for v in PAPER_FIG7B.values())

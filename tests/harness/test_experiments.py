@@ -1,0 +1,169 @@
+"""Tests for the per-table/figure experiment functions and formatting."""
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.harness import (
+    PAPER_FIG5,
+    PAPER_TABLE2,
+    PAPER_TABLE4,
+    PipelineConfig,
+    fig5_contribution_by_length,
+    fig6_cycle_counts,
+    fig7a_category_ratio,
+    fig7b_density,
+    fig9_density_vs_contribution,
+    format_five_point_table,
+    format_series,
+    format_series_comparison,
+    format_table4,
+    run_pipeline,
+    sec3_structural_stats,
+    table2_ground_truth_precision,
+    table3_largest_cc_stats,
+    table4_cycle_expansion_precision,
+)
+from repro.wiki import SyntheticWikiConfig
+
+WIKI = SyntheticWikiConfig(seed=41, num_domains=10, background_articles=200,
+                           background_categories=20)
+COLL = SyntheticCollectionConfig(seed=42, background_docs=100)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_pipeline(Benchmark.synthetic(WIKI, COLL), PipelineConfig(seed=43))
+
+
+class TestTable2:
+    def test_rows_cover_all_ranks(self, result):
+        rows = table2_ground_truth_precision(result)
+        assert set(rows) == {"top-1", "top-5", "top-10", "top-15"}
+
+    def test_values_are_probabilities(self, result):
+        for summary in table2_ground_truth_precision(result).values():
+            for value in summary.as_tuple():
+                assert 0.0 <= value <= 1.0
+
+    def test_quartiles_ordered(self, result):
+        for summary in table2_ground_truth_precision(result).values():
+            values = summary.as_tuple()
+            assert values == tuple(sorted(values))
+
+    def test_early_precision_high(self, result):
+        """The ground truth achieves near-perfect top-1, like the paper."""
+        rows = table2_ground_truth_precision(result)
+        assert rows["top-1"].median >= 0.9
+
+
+class TestTable3:
+    def test_rows(self, result):
+        rows = table3_largest_cc_stats(result)
+        assert set(rows) == {
+            "%size", "%query nodes", "%articles", "%categories", "expansion ratio",
+        }
+
+    def test_categories_dominate(self, result):
+        """Paper: the LCC is clearly dominated by categories."""
+        rows = table3_largest_cc_stats(result)
+        assert rows["%categories"].median > rows["%articles"].median
+
+    def test_query_nodes_in_lcc(self, result):
+        rows = table3_largest_cc_stats(result)
+        assert rows["%query nodes"].median == 1.0
+
+    def test_expansion_ratio_above_one(self, result):
+        rows = table3_largest_cc_stats(result)
+        assert rows["expansion ratio"].median > 1.0
+
+
+class TestTable4:
+    def test_seven_configurations(self, result):
+        rows = table4_cycle_expansion_precision(result)
+        assert [row.lengths for row in rows] == [
+            (2,), (3,), (4,), (5,), (2, 3), (2, 3, 4), (2, 3, 4, 5),
+        ]
+
+    def test_precisions_are_probabilities(self, result):
+        for row in table4_cycle_expansion_precision(result):
+            for value in row.precisions.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_labels(self, result):
+        rows = table4_cycle_expansion_precision(result)
+        assert rows[4].label() == "2 & 3"
+
+    def test_combined_config_beats_three_only_at_depth(self, result):
+        """Paper shape: the all-lengths configuration is the best (or tied)
+        at top-15 among the tested configurations."""
+        rows = {row.lengths: row for row in table4_cycle_expansion_precision(result)}
+        full = rows[(2, 3, 4, 5)].precisions[15]
+        assert full >= rows[(3,)].precisions[15]
+
+
+class TestFigures:
+    def test_fig5_lengths(self, result):
+        series = fig5_contribution_by_length(result)
+        assert set(series) <= {2, 3, 4, 5}
+        assert len(series) >= 3
+
+    def test_fig6_counts_positive(self, result):
+        series = fig6_cycle_counts(result)
+        assert all(v > 0 for v in series.values())
+
+    def test_fig6_counts_grow_with_length(self, result):
+        series = fig6_cycle_counts(result)
+        assert series[5] > series[2]
+
+    def test_fig7a_band(self, result):
+        """Category ratio stays in the paper's 0.3-0.5 band, flat-ish."""
+        series = fig7a_category_ratio(result)
+        for value in series.values():
+            assert 0.25 <= value <= 0.55
+
+    def test_fig7b_defined_densities(self, result):
+        series = fig7b_density(result)
+        for value in series.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_fig9_positive_slope(self, result):
+        """Paper: the denser the cycle, the better its contribution."""
+        data = fig9_density_vs_contribution(result)
+        assert data.slope > 0
+        assert data.points
+        assert data.trend
+
+    def test_sec3_stats(self, result):
+        stats = sec3_structural_stats(result)
+        assert 0.0 <= stats.average_tpr <= 1.0
+        assert 0.05 <= stats.reciprocal_pair_ratio <= 0.2
+        assert stats.average_query_graph_nodes > 0
+        assert stats.average_improvement_percent > 0
+
+
+class TestFormatting:
+    def test_five_point_table(self, result):
+        text = format_five_point_table(
+            table2_ground_truth_precision(result), "Table 2", paper=PAPER_TABLE2
+        )
+        assert "Table 2" in text
+        assert "(paper)" in text
+        assert "top-15" in text
+
+    def test_series_format(self, result):
+        text = format_series(fig6_cycle_counts(result), "Figure 6")
+        assert "Figure 6" in text
+
+    def test_series_comparison(self, result):
+        text = format_series_comparison(
+            fig5_contribution_by_length(result), PAPER_FIG5, "Figure 5"
+        )
+        assert "measured" in text
+        assert "paper" in text
+
+    def test_table4_format(self, result):
+        text = format_table4(
+            table4_cycle_expansion_precision(result), (1, 5, 10, 15), PAPER_TABLE4
+        )
+        assert "2 & 3 & 4 & 5" in text
+        assert "(paper)" in text

@@ -1,0 +1,86 @@
+"""Integration tests: the full pipeline over a small synthetic benchmark."""
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.harness import PipelineConfig, run_pipeline
+from repro.wiki import SyntheticWikiConfig
+
+WIKI = SyntheticWikiConfig(seed=31, num_domains=8, background_articles=150,
+                           background_categories=15)
+COLL = SyntheticCollectionConfig(seed=32, background_docs=80)
+
+
+@pytest.fixture(scope="module")
+def result():
+    benchmark = Benchmark.synthetic(WIKI, COLL)
+    return run_pipeline(benchmark, PipelineConfig(seed=33))
+
+
+class TestPipelineShape:
+    def test_one_outcome_per_topic(self, result):
+        assert result.num_queries == 8
+
+    def test_seeds_linked(self, result):
+        for outcome in result.outcomes:
+            assert outcome.seed_articles, outcome.topic
+
+    def test_candidates_found(self, result):
+        for outcome in result.outcomes:
+            assert outcome.candidate_articles
+
+    def test_ground_truth_at_least_as_good_as_base(self, result):
+        for outcome in result.outcomes:
+            assert outcome.best_score.mean >= outcome.base_score.mean
+
+    def test_expansion_improves_on_average(self, result):
+        gains = [
+            o.best_score.mean - o.base_score.mean for o in result.outcomes
+        ]
+        assert sum(gains) / len(gains) > 0.05
+
+    def test_query_graph_contains_best_set(self, result):
+        for outcome in result.outcomes:
+            for article in outcome.ground_truth.best_set:
+                main = result.benchmark.graph.resolve(article)
+                assert main in outcome.query_graph.graph
+
+    def test_records_have_valid_lengths(self, result):
+        for outcome in result.outcomes:
+            for record in outcome.records:
+                assert 2 <= record.length <= 5
+                assert record.query_id == outcome.topic.topic_id
+
+    def test_cycles_anchored_at_seeds(self, result):
+        for outcome in result.outcomes:
+            for record in outcome.records:
+                assert set(record.features.cycle.nodes) & set(
+                    outcome.query_graph.seed_articles
+                )
+
+    def test_wall_clock_recorded(self, result):
+        assert all(o.cycle_wall_seconds >= 0.0 for o in result.outcomes)
+
+    def test_all_records_concatenates(self, result):
+        assert len(result.all_records()) == sum(o.num_cycles for o in result.outcomes)
+
+    def test_determinism(self):
+        first = run_pipeline(Benchmark.synthetic(WIKI, COLL), PipelineConfig(seed=33))
+        second = run_pipeline(Benchmark.synthetic(WIKI, COLL), PipelineConfig(seed=33))
+        for left, right in zip(first.outcomes, second.outcomes):
+            assert left.ground_truth.expansion_set == right.ground_truth.expansion_set
+            assert left.base_score == right.base_score
+            assert [r.features.cycle for r in left.records] == [
+                r.features.cycle for r in right.records
+            ]
+
+    def test_candidate_cap_respected(self):
+        config = PipelineConfig(seed=33, max_candidates=3)
+        result = run_pipeline(Benchmark.synthetic(WIKI, COLL), config)
+        for outcome in result.outcomes:
+            assert len(outcome.ground_truth.expansion_set) <= 3
+
+    def test_synonymless_config_runs(self):
+        config = PipelineConfig(seed=33, use_synonyms=False)
+        result = run_pipeline(Benchmark.synthetic(WIKI, COLL), config)
+        assert result.num_queries == 8

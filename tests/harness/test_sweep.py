@@ -1,0 +1,75 @@
+"""Tests for the robustness sweep machinery."""
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.harness import PipelineConfig, run_pipeline
+from repro.harness.sweep import ShapeChecks, SweepOutcome, check_shapes, run_seed_sweep
+from repro.wiki import SyntheticWikiConfig
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    benchmark = Benchmark.synthetic(
+        SyntheticWikiConfig(seed=81, num_domains=8, background_articles=150,
+                            background_categories=15),
+        SyntheticCollectionConfig(seed=82, background_docs=80),
+    )
+    return run_pipeline(benchmark, PipelineConfig(seed=83))
+
+
+class TestCheckShapes:
+    def test_returns_all_fields(self, small_result):
+        checks = check_shapes(small_result)
+        assert set(checks.as_dict()) == {
+            "fig5_two_peak", "fig5_two_best_per_article", "fig5_three_min",
+            "fig6_monotone", "fig9_positive_slope",
+            "table4_full_best_at_depth", "expansion_helps",
+        }
+
+    def test_expansion_helps_on_synthetic(self, small_result):
+        assert check_shapes(small_result).expansion_helps
+
+    def test_all_hold_consistency(self, small_result):
+        checks = check_shapes(small_result)
+        assert checks.all_hold == all(checks.as_dict().values())
+
+
+class TestSweepOutcome:
+    def _outcome(self, flags):
+        checks = [
+            ShapeChecks(
+                fig5_two_peak=f, fig5_two_best_per_article=f,
+                fig5_three_min=f, fig6_monotone=f,
+                fig9_positive_slope=f, table4_full_best_at_depth=f,
+                expansion_helps=f,
+            )
+            for f in flags
+        ]
+        return SweepOutcome(seeds=list(range(len(flags))), checks=checks)
+
+    def test_pass_rate(self):
+        outcome = self._outcome([True, True, False, True])
+        assert outcome.pass_rate("fig6_monotone") == pytest.approx(0.75)
+
+    def test_holds_majority(self):
+        assert self._outcome([True, True, False]).holds_majority("expansion_helps")
+        assert not self._outcome([True, False, False]).holds_majority("expansion_helps")
+
+    def test_empty_sweep(self):
+        outcome = SweepOutcome(seeds=[], checks=[])
+        assert outcome.pass_rate("fig6_monotone") == 0.0
+
+    def test_summary_lists_rates(self):
+        summary = self._outcome([True, False]).summary()
+        assert "fig5_two_peak" in summary
+        assert "50%" in summary
+
+
+class TestRunSeedSweep:
+    def test_two_seed_sweep(self):
+        outcome = run_seed_sweep((5, 9), num_domains=5)
+        assert outcome.seeds == [5, 9]
+        assert len(outcome.checks) == 2
+        # Expansion helping is the most fundamental invariant.
+        assert outcome.pass_rate("expansion_helps") == 1.0

@@ -1,0 +1,197 @@
+"""Unit tests for entity linking."""
+
+import pytest
+
+from repro.errors import LinkingError
+from repro.linking import EntityLinker, SynonymProvider
+from repro.retrieval import Tokenizer
+from repro.wiki import WikiGraphBuilder
+
+
+@pytest.fixture
+def graph():
+    builder = WikiGraphBuilder(strict=False)
+    builder.add_article("Venice")
+    builder.add_article("Grand Canal")
+    builder.add_article("Grand Canal (Venice)")
+    builder.add_article("Gondola")
+    builder.add_article("Street Art")
+    builder.add_article("Graffiti")
+    main = builder.add_article("Mekhitarist Order")
+    alias = builder.add_article("Mechitarists", is_redirect=True)
+    builder.add_redirect(alias, main)
+    art = builder.article_id("Street Art")
+    wall = builder.add_article("wall painting", is_redirect=True)
+    builder.add_redirect(wall, art)
+    return builder.build()
+
+
+@pytest.fixture
+def linker(graph):
+    return EntityLinker(graph)
+
+
+def titles(graph, result):
+    return {graph.title(a) for a in result.article_ids}
+
+
+class TestBasicLinking:
+    def test_single_entity(self, graph, linker):
+        assert titles(graph, linker.link("gondola")) == {"Gondola"}
+
+    def test_multi_word_entity(self, graph, linker):
+        assert titles(graph, linker.link("the grand canal at dawn")) == {"Grand Canal"}
+
+    def test_largest_substring_wins(self, graph, linker):
+        # "grand canal venice"? Not a title. "grand canal (venice)" tokenises
+        # to (grand, canal, venice), so the 3-gram must beat "Grand Canal".
+        result = linker.link("grand canal venice")
+        assert titles(graph, result) == {"Grand Canal (Venice)"}
+
+    def test_multiple_entities(self, graph, linker):
+        result = linker.link("graffiti street art")
+        assert titles(graph, result) == {"Graffiti", "Street Art"}
+
+    def test_no_entities(self, graph, linker):
+        result = linker.link("completely unrelated words here")
+        assert result.article_ids == frozenset()
+        assert len(result) == 0
+
+    def test_case_and_punctuation_insensitive(self, graph, linker):
+        assert titles(graph, linker.link("GONDOLA!!!")) == {"Gondola"}
+
+    def test_empty_text(self, graph, linker):
+        assert linker.link("").article_ids == frozenset()
+
+    def test_non_overlapping_consumption(self, graph, linker):
+        # After consuming "grand canal", the scan resumes *after* it, so
+        # "canal" alone cannot rematch.
+        result = linker.link("grand canal gondola")
+        assert titles(graph, result) == {"Grand Canal", "Gondola"}
+
+    def test_match_spans(self, linker):
+        result = linker.link("see the grand canal")
+        match = result.matches[0]
+        assert match.title_tokens == ("grand", "canal")
+        assert (match.start, match.end) == (2, 4)
+        assert match.length == 2
+
+    def test_link_keywords_returns_ids(self, graph, linker):
+        ids = linker.link_keywords("gondola venice")
+        assert {graph.title(i) for i in ids} == {"Gondola", "Venice"}
+
+    def test_contains_protocol(self, graph, linker):
+        result = linker.link("gondola")
+        gondola = graph.article_by_title("gondola").node_id
+        assert gondola in result
+
+    def test_repr(self, linker):
+        assert "EntityLinker(" in repr(linker)
+
+
+class TestRedirectHandling:
+    def test_redirect_title_resolves_to_main(self, graph, linker):
+        result = linker.link("the mechitarists of venice")
+        assert "Mekhitarist Order" in titles(graph, result)
+
+    def test_resolution_can_be_disabled(self, graph):
+        linker = EntityLinker(graph, resolve_redirects=False)
+        result = linker.link("mechitarists")
+        assert titles(graph, result) == {"Mechitarists"}
+
+
+class TestSynonymPhrases:
+    def test_synonym_provider_lists_redirect_titles(self, graph):
+        provider = SynonymProvider(graph)
+        assert provider.synonyms("mekhitarist order") == [("mechitarists",)]
+
+    def test_synonyms_of_redirect_term_resolve_first(self, graph):
+        provider = SynonymProvider(graph)
+        # Asking for synonyms of the redirect itself resolves to the main
+        # article, whose redirect set is returned.
+        assert provider.synonyms("mechitarists") == [("mechitarists",)]
+
+    def test_unknown_term_has_no_synonyms(self, graph):
+        assert SynonymProvider(graph).synonyms("zebra") == []
+
+    def test_synonym_phrases_per_token_lookup_only(self, graph):
+        provider = SynonymProvider(graph)
+        # Replacement candidates come from *single tokens*: neither
+        # "mekhitarist" nor "order" is an article title, and "gondola" has
+        # no redirects, so no variant phrase is produced.
+        variants = provider.synonym_phrases(("gondola", "mekhitarist", "order"))
+        assert variants == []
+
+    def test_synonym_phrases_replace_single_token(self, graph):
+        provider = SynonymProvider(graph)
+        variants = provider.synonym_phrases(("venice", "mekhitarist order"))
+        # The pseudo-token "mekhitarist order" matches the article title
+        # exactly, so its redirect title is substituted in place.
+        assert variants == [("venice", "mechitarists")]
+
+    def test_synonym_phrases_cap(self, graph):
+        provider = SynonymProvider(graph)
+        variants = provider.synonym_phrases(("graffiti",), max_phrases=0)
+        assert variants == []
+
+    def test_multiword_synonym_expansion(self, graph):
+        # "wall painting" redirects to "Street Art": a text containing the
+        # words "street art" is found directly, but a text containing only
+        # "wall painting" should still reach Street Art... via direct title
+        # match on the redirect article, resolved to the main article.
+        linker = EntityLinker(graph)
+        result = linker.link("wall painting in the city")
+        assert "Street Art" in titles(graph, result)
+
+    def test_synonym_matching_enables_extra_entities(self):
+        """A synonym phrase can complete a longer title.
+
+        KB: article "red canal"; article "crimson" with redirect "red".
+        Text "crimson canal" matches nothing directly (no such title), but
+        replacing "crimson" by its redirect title "red" yields "red canal",
+        which links.
+        """
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("red canal")
+        crimson = builder.add_article("crimson")
+        red = builder.add_article("red", is_redirect=True)
+        builder.add_redirect(red, crimson)
+        graph = builder.build()
+        with_syn = EntityLinker(graph, use_synonyms=True)
+        without = EntityLinker(graph, use_synonyms=False)
+        target = graph.article_by_title("red canal").node_id
+        assert target in with_syn.link("crimson canal")
+        assert target not in without.link("crimson canal")
+
+    def test_synonym_matches_flagged(self):
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("red canal")
+        crimson = builder.add_article("crimson")
+        red = builder.add_article("red", is_redirect=True)
+        builder.add_redirect(red, crimson)
+        linker = EntityLinker(builder.build())
+        result = linker.link("crimson canal")
+        flags = {m.title_tokens: m.via_synonym for m in result.matches}
+        assert flags[("red", "canal")] is True
+        assert flags[("crimson",)] is False
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        graph = WikiGraphBuilder(strict=False).build()
+        with pytest.raises(LinkingError):
+            EntityLinker(graph)
+
+    def test_bad_max_title_tokens(self, graph):
+        with pytest.raises(LinkingError):
+            EntityLinker(graph, max_title_tokens=0)
+
+    def test_long_titles_skipped(self, graph):
+        linker = EntityLinker(graph, max_title_tokens=1)
+        result = linker.link("grand canal")
+        assert result.article_ids == frozenset()
+
+    def test_custom_tokenizer_respected(self, graph):
+        tok = Tokenizer(min_length=2)
+        linker = EntityLinker(graph, tokenizer=tok, use_synonyms=False)
+        assert linker.link("gondola").article_ids

@@ -1,0 +1,118 @@
+"""Unit tests for the positional inverted index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.retrieval import PositionalIndex
+
+
+@pytest.fixture
+def index():
+    idx = PositionalIndex()
+    idx.add_document("d1", "gondola in venice gondola")
+    idx.add_document("d2", "venice carnival")
+    idx.add_document("d3", "summer field in belgium")
+    return idx
+
+
+class TestBuilding:
+    def test_add_returns_token_count(self):
+        idx = PositionalIndex()
+        assert idx.add_document("d1", "three word text") == 3
+
+    def test_duplicate_doc_id_rejected(self, index):
+        with pytest.raises(IndexError_, match="already indexed"):
+            index.add_document("d1", "again")
+
+    def test_add_documents_bulk(self):
+        idx = PositionalIndex()
+        added = idx.add_documents([("a", "one"), ("b", "two three")])
+        assert added == 2
+        assert idx.num_documents == 2
+
+    def test_empty_document_indexed(self):
+        idx = PositionalIndex()
+        assert idx.add_document("empty", "") == 0
+        assert idx.document_length("empty") == 0
+
+
+class TestStatistics:
+    def test_num_documents(self, index):
+        assert index.num_documents == 3
+
+    def test_total_tokens(self, index):
+        assert index.total_tokens == 4 + 2 + 4
+
+    def test_vocabulary_size(self, index):
+        # gondola in venice carnival summer field belgium
+        assert index.vocabulary_size == 7
+
+    def test_document_length(self, index):
+        assert index.document_length("d1") == 4
+
+    def test_document_length_unknown(self, index):
+        with pytest.raises(IndexError_, match="unknown document"):
+            index.document_length("nope")
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("venice") == 2
+        assert index.document_frequency("gondola") == 1
+        assert index.document_frequency("missing") == 0
+
+    def test_collection_frequency(self, index):
+        assert index.collection_frequency("gondola") == 2
+        assert index.collection_frequency("missing") == 0
+
+    def test_collection_probability(self, index):
+        assert index.collection_probability("gondola") == pytest.approx(2 / 10)
+
+    def test_collection_probability_unseen_is_halved_count(self, index):
+        assert index.collection_probability("zzz") == pytest.approx(0.5 / 10)
+
+    def test_collection_probability_empty_index(self):
+        assert PositionalIndex().collection_probability("x") == 0.0
+
+    def test_contains(self, index):
+        assert "d1" in index
+        assert "dx" not in index
+
+    def test_doc_ids(self, index):
+        assert set(index.doc_ids()) == {"d1", "d2", "d3"}
+
+    def test_repr(self, index):
+        assert "PositionalIndex(" in repr(index)
+
+
+class TestPostings:
+    def test_positions(self, index):
+        assert index.positions("gondola", "d1") == [0, 3]
+        assert index.positions("gondola", "d2") == []
+
+    def test_term_frequency(self, index):
+        assert index.term_frequency("gondola", "d1") == 2
+        assert index.term_frequency("venice", "d2") == 1
+        assert index.term_frequency("venice", "d3") == 0
+
+    def test_postings_sorted_by_doc(self, index):
+        postings = index.postings("venice")
+        assert [p.doc_id for p in postings] == ["d1", "d2"]
+        assert postings[0].term_frequency == 1
+
+    def test_postings_missing_term(self, index):
+        assert index.postings("missing") == []
+
+    def test_posting_repr(self, index):
+        assert "Posting(" in repr(index.postings("venice")[0])
+
+    def test_documents_containing(self, index):
+        assert index.documents_containing("in") == {"d1", "d3"}
+
+    def test_documents_containing_all(self, index):
+        assert index.documents_containing_all(["venice", "gondola"]) == {"d1"}
+        assert index.documents_containing_all(["venice", "belgium"]) == set()
+
+    def test_documents_containing_all_empty_terms(self, index):
+        assert index.documents_containing_all([]) == set()
+
+    def test_documents_containing_all_unknown_term(self, index):
+        assert index.documents_containing_all(["venice", "zzz"]) == set()

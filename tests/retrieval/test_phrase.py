@@ -1,0 +1,99 @@
+"""Unit tests for exact phrase matching."""
+
+import pytest
+
+from repro.retrieval import (
+    PositionalIndex,
+    collect_phrase_stats,
+    phrase_documents,
+    phrase_occurrences,
+)
+
+
+@pytest.fixture
+def index():
+    idx = PositionalIndex()
+    idx.add_document("d1", "the bridge of sighs in venice")
+    idx.add_document("d2", "sighs of the bridge")  # words present, order wrong
+    idx.add_document("d3", "bridge of sighs and bridge of sighs")  # twice
+    idx.add_document("d4", "grand canal of venice")
+    return idx
+
+
+class TestPhraseOccurrences:
+    def test_simple_match(self, index):
+        assert phrase_occurrences(index, ("bridge", "of", "sighs"), "d1") == 1
+
+    def test_order_matters(self, index):
+        assert phrase_occurrences(index, ("bridge", "of", "sighs"), "d2") == 0
+
+    def test_multiple_occurrences(self, index):
+        assert phrase_occurrences(index, ("bridge", "of", "sighs"), "d3") == 2
+
+    def test_single_token_phrase_is_tf(self, index):
+        assert phrase_occurrences(index, ("bridge",), "d3") == 2
+
+    def test_empty_phrase(self, index):
+        assert phrase_occurrences(index, (), "d1") == 0
+
+    def test_absent_word(self, index):
+        assert phrase_occurrences(index, ("bridge", "of", "gold"), "d1") == 0
+
+    def test_contiguity_required(self, index):
+        # d4 has "grand canal of venice": "canal venice" is not contiguous.
+        assert phrase_occurrences(index, ("canal", "venice"), "d4") == 0
+        assert phrase_occurrences(index, ("of", "venice"), "d4") == 1
+
+    def test_repeated_token_phrase(self):
+        idx = PositionalIndex()
+        idx.add_document("d", "ha ha ha")
+        assert phrase_occurrences(idx, ("ha", "ha"), "d") == 2
+
+
+class TestPhraseDocuments:
+    def test_finds_only_exact_matches(self, index):
+        assert phrase_documents(index, ("bridge", "of", "sighs")) == {"d1", "d3"}
+
+    def test_single_token(self, index):
+        assert phrase_documents(index, ("venice",)) == {"d1", "d4"}
+
+    def test_empty_phrase(self, index):
+        assert phrase_documents(index, ()) == set()
+
+    def test_no_match(self, index):
+        assert phrase_documents(index, ("missing", "phrase")) == set()
+
+
+class TestPhraseStats:
+    def test_collection_frequency(self, index):
+        stats = collect_phrase_stats(index, ("bridge", "of", "sighs"))
+        assert stats.collection_frequency == 3  # 1 in d1 + 2 in d3
+        assert stats.document_frequency == 2
+
+    def test_per_document(self, index):
+        stats = collect_phrase_stats(index, ("bridge", "of", "sighs"))
+        assert stats.occurrences_in("d3") == 2
+        assert stats.occurrences_in("d2") == 0
+
+    def test_collection_probability(self, index):
+        stats = collect_phrase_stats(index, ("bridge", "of", "sighs"))
+        assert stats.collection_probability(index) == pytest.approx(3 / index.total_tokens)
+
+    def test_unseen_phrase_probability_floored(self, index):
+        stats = collect_phrase_stats(index, ("missing", "phrase"))
+        assert stats.collection_frequency == 0
+        assert stats.collection_probability(index) == pytest.approx(
+            0.5 / index.total_tokens
+        )
+
+    def test_cache_returns_same_object(self, index):
+        first = collect_phrase_stats(index, ("grand", "canal"))
+        second = collect_phrase_stats(index, ("grand", "canal"))
+        assert first is second
+
+    def test_cache_invalidated_by_new_documents(self, index):
+        before = collect_phrase_stats(index, ("grand", "canal"))
+        index.add_document("d5", "grand canal again")
+        after = collect_phrase_stats(index, ("grand", "canal"))
+        assert after is not before
+        assert after.collection_frequency == before.collection_frequency + 1

@@ -1,0 +1,115 @@
+"""Unit tests for the mini INDRI query language parser."""
+
+import pytest
+
+from repro.errors import QueryLanguageError
+from repro.retrieval import (
+    BandNode,
+    CombineNode,
+    PhraseNode,
+    TermNode,
+    Tokenizer,
+    build_phrase_query,
+    parse_query,
+)
+
+
+class TestParseBasics:
+    def test_single_term(self):
+        assert parse_query("gondola") == TermNode("gondola")
+
+    def test_terms_become_implicit_combine(self):
+        node = parse_query("gondola venice")
+        assert node == CombineNode((TermNode("gondola"), TermNode("venice")))
+
+    def test_quoted_phrase(self):
+        node = parse_query('"bridge of sighs"')
+        assert node == PhraseNode(("bridge", "of", "sighs"))
+
+    def test_hash1_phrase(self):
+        node = parse_query("#1(bridge of sighs)")
+        assert node == PhraseNode(("bridge", "of", "sighs"))
+
+    def test_combine_explicit(self):
+        node = parse_query("#combine(gondola venice)")
+        assert node == CombineNode((TermNode("gondola"), TermNode("venice")))
+
+    def test_band(self):
+        node = parse_query("#band(gondola venice)")
+        assert node == BandNode((TermNode("gondola"), TermNode("venice")))
+
+    def test_nesting(self):
+        node = parse_query('#combine(gondola #1(grand canal) #band(venice regatta))')
+        assert isinstance(node, CombineNode)
+        assert node.children[0] == TermNode("gondola")
+        assert node.children[1] == PhraseNode(("grand", "canal"))
+        assert node.children[2] == BandNode((TermNode("venice"), TermNode("regatta")))
+
+    def test_case_normalised(self):
+        assert parse_query("GONDOLA") == TermNode("gondola")
+
+    def test_hyphenated_word_becomes_phrase(self):
+        assert parse_query("street-art") == PhraseNode(("street", "art"))
+
+    def test_str_round_trip(self):
+        text = "#combine(gondola #1(grand canal))"
+        node = parse_query(text)
+        assert parse_query(str(node)) == node
+
+
+class TestParseErrors:
+    def test_empty_query(self):
+        with pytest.raises(QueryLanguageError, match="empty query"):
+            parse_query("   ")
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryLanguageError, match="unknown operator"):
+            parse_query("#frobnicate(x)")
+
+    def test_unbalanced_close(self):
+        with pytest.raises(QueryLanguageError, match="unbalanced"):
+            parse_query("gondola)")
+
+    def test_missing_close(self):
+        with pytest.raises(QueryLanguageError, match="missing closing"):
+            parse_query("#combine(gondola")
+
+    def test_bare_parenthesis(self):
+        with pytest.raises(QueryLanguageError, match="bare parentheses"):
+            parse_query("(gondola)")
+
+    def test_empty_combine(self):
+        with pytest.raises(QueryLanguageError, match="at least one child"):
+            parse_query("#combine()")
+
+    def test_empty_hash1(self):
+        with pytest.raises(QueryLanguageError, match="at least one term"):
+            parse_query("#1()")
+
+    def test_nested_operator_inside_hash1(self):
+        with pytest.raises(QueryLanguageError, match="only plain terms"):
+            parse_query("#1(#combine(a b))")
+
+    def test_stopword_only_term_with_stopping_tokenizer(self):
+        tok = Tokenizer(stopwords={"the"})
+        with pytest.raises(QueryLanguageError, match="normalises to nothing"):
+            parse_query("the", tok)
+
+
+class TestBuildPhraseQuery:
+    def test_builds_combine_of_phrases(self):
+        node = build_phrase_query(["gondola", "grand canal"])
+        assert node == CombineNode((TermNode("gondola"), PhraseNode(("grand", "canal"))))
+
+    def test_empty_phrases_dropped(self):
+        node = build_phrase_query(["gondola", "..."])
+        assert node == CombineNode((TermNode("gondola"),))
+
+    def test_all_empty_raises(self):
+        with pytest.raises(QueryLanguageError, match="no usable phrases"):
+            build_phrase_query(["...", "!!"])
+
+    def test_stopwords_kept_in_phrases(self):
+        tok = Tokenizer(stopwords={"of"})
+        node = build_phrase_query(["bridge of sighs"], tok)
+        assert node.children[0] == PhraseNode(("bridge", "of", "sighs"))

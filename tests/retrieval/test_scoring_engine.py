@@ -1,0 +1,221 @@
+"""Unit tests for smoothing models and the SearchEngine facade."""
+
+import math
+
+import pytest
+
+from repro.errors import EmptyIndexError, QueryLanguageError
+from repro.retrieval import (
+    DirichletSmoothing,
+    JelinekMercerSmoothing,
+    SearchEngine,
+)
+
+
+class TestDirichletSmoothing:
+    def test_formula(self):
+        model = DirichletSmoothing(mu=100)
+        got = model.log_prob(tf=3, doc_length=50, collection_prob=0.01)
+        assert got == pytest.approx(math.log((3 + 100 * 0.01) / (50 + 100)))
+
+    def test_more_occurrences_score_higher(self):
+        model = DirichletSmoothing(mu=100)
+        low = model.log_prob(1, 50, 0.01)
+        high = model.log_prob(5, 50, 0.01)
+        assert high > low
+
+    def test_zero_tf_falls_back_to_background(self):
+        model = DirichletSmoothing(mu=100)
+        got = model.log_prob(0, 50, 0.01)
+        assert got == pytest.approx(math.log((100 * 0.01) / 150))
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            DirichletSmoothing(mu=0)
+
+    def test_empty_collection_degenerate(self):
+        model = DirichletSmoothing()
+        assert model.log_prob(0, 10, 0.0) == -math.inf
+        assert model.log_prob(2, 10, 0.0) == 0.0
+
+    def test_repr(self):
+        assert "mu=2500" in repr(DirichletSmoothing())
+
+
+class TestJelinekMercer:
+    def test_formula(self):
+        model = JelinekMercerSmoothing(lam=0.5)
+        got = model.log_prob(tf=2, doc_length=10, collection_prob=0.01)
+        assert got == pytest.approx(math.log(0.5 * 0.2 + 0.5 * 0.01))
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            JelinekMercerSmoothing(lam=0.0)
+        with pytest.raises(ValueError):
+            JelinekMercerSmoothing(lam=1.0)
+
+    def test_zero_length_document(self):
+        model = JelinekMercerSmoothing(lam=0.4)
+        got = model.log_prob(0, 0, 0.01)
+        assert got == pytest.approx(math.log(0.4 * 0.01))
+
+
+@pytest.fixture
+def engine():
+    eng = SearchEngine(smoothing=DirichletSmoothing(mu=10))
+    eng.add_documents(
+        [
+            ("venice1", "gondola on the grand canal of venice"),
+            ("venice2", "venice carnival masks and gondola rides in venice"),
+            ("belgium", "summer field in belgium with blue flowers"),
+            ("paris", "bridges of paris at night"),
+        ]
+    )
+    return eng
+
+
+class TestSearchEngine:
+    def test_empty_index_raises(self):
+        with pytest.raises(EmptyIndexError):
+            SearchEngine().search("anything")
+
+    def test_invalid_top_k(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("venice", top_k=0)
+
+    def test_term_search_ranks_matching_docs(self, engine):
+        results = engine.search("venice")
+        ids = [r.doc_id for r in results]
+        assert set(ids) == {"venice1", "venice2"}
+        # venice2 mentions venice twice in a 9-token doc; it should lead.
+        assert ids[0] == "venice2"
+
+    def test_ranks_are_sequential(self, engine):
+        results = engine.search("venice gondola")
+        assert [r.rank for r in results] == list(range(1, len(results) + 1))
+
+    def test_scores_descend(self, engine):
+        results = engine.search("venice gondola carnival")
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_phrase_search_excludes_wrong_order(self, engine):
+        results = engine.search('"grand canal"')
+        assert [r.doc_id for r in results] == ["venice1"]
+
+    def test_band_requires_all(self, engine):
+        results = engine.search("#band(venice carnival)")
+        assert [r.doc_id for r in results] == ["venice2"]
+
+    def test_band_empty_intersection(self, engine):
+        assert engine.search("#band(venice belgium)") == []
+
+    def test_combine_unions_candidates(self, engine):
+        results = engine.search("#combine(belgium paris)")
+        assert {r.doc_id for r in results} == {"belgium", "paris"}
+
+    def test_top_k_truncates(self, engine):
+        results = engine.search("venice gondola carnival field", top_k=2)
+        assert len(results) == 2
+
+    def test_search_accepts_ast(self, engine):
+        from repro.retrieval import TermNode
+
+        results = engine.search(TermNode("belgium"))
+        assert [r.doc_id for r in results] == ["belgium"]
+
+    def test_search_phrases_shape(self, engine):
+        results = engine.search_phrases(["gondola", "grand canal"])
+        assert results[0].doc_id == "venice1"
+
+    def test_deterministic_tie_break(self):
+        eng = SearchEngine(smoothing=DirichletSmoothing(mu=10))
+        eng.add_document("b", "same text here")
+        eng.add_document("a", "same text here")
+        results = eng.search("same text")
+        assert [r.doc_id for r in results] == ["a", "b"]
+
+    def test_unparsable_query(self, engine):
+        with pytest.raises(QueryLanguageError):
+            engine.search("#wat(x)")
+
+    def test_num_documents(self, engine):
+        assert engine.num_documents == 4
+
+    def test_repr(self, engine):
+        assert "SearchEngine(" in repr(engine)
+
+
+class TestRankingSanity:
+    """Relative-order properties the ground-truth pipeline relies on."""
+
+    def test_doc_with_expansion_phrase_rises(self):
+        eng = SearchEngine(smoothing=DirichletSmoothing(mu=5))
+        eng.add_document("rel", "the gondola glided past the bridge of sighs")
+        eng.add_document("irr", "a gondola in a museum far away from water")
+        base = eng.search_phrases(["gondola"])
+        assert {r.doc_id for r in base} == {"rel", "irr"}
+        expanded = eng.search_phrases(["gondola", "bridge of sighs"])
+        assert expanded[0].doc_id == "rel"
+
+    def test_misleading_expansion_sinks_relevant_doc(self):
+        eng = SearchEngine(smoothing=DirichletSmoothing(mu=5))
+        eng.add_document("rel", "sheep graze on the quiet hillside meadow")
+        eng.add_document("bad", "anthrax outbreak investigation and quarantine")
+        only_good = eng.search_phrases(["sheep"])
+        assert only_good[0].doc_id == "rel"
+        expanded = eng.search_phrases(["sheep", "anthrax", "quarantine"])
+        assert expanded[0].doc_id == "bad"
+
+
+class TestTwoStageSmoothing:
+    def test_reduces_to_dirichlet_at_lambda_zero(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        two_stage = TwoStageSmoothing(mu=100, lam=0.0)
+        dirichlet = DirichletSmoothing(mu=100)
+        got = two_stage.log_prob(3, 50, 0.01)
+        assert got == pytest.approx(dirichlet.log_prob(3, 50, 0.01))
+
+    def test_interpolation_formula(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        model = TwoStageSmoothing(mu=100, lam=0.5)
+        dirichlet = (3 + 100 * 0.01) / (50 + 100)
+        expected = math.log(0.5 * dirichlet + 0.5 * 0.01)
+        assert model.log_prob(3, 50, 0.01) == pytest.approx(expected)
+
+    def test_validation(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        with pytest.raises(ValueError):
+            TwoStageSmoothing(mu=0)
+        with pytest.raises(ValueError):
+            TwoStageSmoothing(lam=1.0)
+
+    def test_monotone_in_tf(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        model = TwoStageSmoothing(mu=50, lam=0.2)
+        assert model.log_prob(4, 30, 0.02) > model.log_prob(2, 30, 0.02)
+
+    def test_empty_collection_degenerate(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        model = TwoStageSmoothing()
+        assert model.log_prob(0, 10, 0.0) == -math.inf
+        assert model.log_prob(1, 10, 0.0) == 0.0
+
+    def test_usable_in_engine(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        engine = SearchEngine(smoothing=TwoStageSmoothing(mu=20, lam=0.3))
+        engine.add_document("d1", "gondola in venice")
+        engine.add_document("d2", "bridge in paris")
+        results = engine.search("gondola")
+        assert results[0].doc_id == "d1"
+
+    def test_repr(self):
+        from repro.retrieval import TwoStageSmoothing
+
+        assert "TwoStageSmoothing(" in repr(TwoStageSmoothing())

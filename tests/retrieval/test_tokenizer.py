@@ -1,0 +1,72 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.retrieval import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert Tokenizer().tokenize("Gondola in Venice") == ["gondola", "in", "venice"]
+
+    def test_punctuation_dropped(self):
+        assert Tokenizer().tokenize("bridge, of-sighs!") == ["bridge", "of", "sighs"]
+
+    def test_numbers_kept(self):
+        assert Tokenizer().tokenize("CLEF 2011 track") == ["clef", "2011", "track"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert Tokenizer().tokenize("venice's canals") == ["venice's", "canals"]
+
+    def test_accents_folded(self):
+        assert Tokenizer().tokenize("Papaver rhœas café") == ["papaver", "rh", "as", "cafe"]
+
+    def test_accented_vowels(self):
+        assert Tokenizer().tokenize("bleuet été champs") == ["bleuet", "ete", "champs"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert Tokenizer().tokenize("  \t\n ") == []
+
+    def test_iter_tokens_matches_tokenize(self):
+        tok = Tokenizer()
+        text = "summer field in Belgium"
+        assert list(tok.iter_tokens(text)) == tok.tokenize(text)
+
+
+class TestStopwordsAndFilters:
+    def test_stopwords_removed(self):
+        tok = Tokenizer(stopwords=DEFAULT_STOPWORDS)
+        assert tok.tokenize("the bridge of sighs") == ["bridge", "sighs"]
+
+    def test_no_stopwords_by_default(self):
+        assert "of" in Tokenizer().tokenize("bridge of sighs")
+
+    def test_min_length(self):
+        tok = Tokenizer(min_length=3)
+        assert tok.tokenize("a to the gondola") == ["the", "gondola"]
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=0)
+
+    def test_stopwords_property(self):
+        tok = Tokenizer(stopwords={"the"})
+        assert tok.stopwords == frozenset({"the"})
+
+
+class TestTokenizePhrase:
+    def test_keeps_stopwords(self):
+        tok = Tokenizer(stopwords=DEFAULT_STOPWORDS)
+        assert tok.tokenize_phrase("Bridge of Sighs") == ("bridge", "of", "sighs")
+
+    def test_returns_tuple(self):
+        assert isinstance(Tokenizer().tokenize_phrase("grand canal"), tuple)
+
+    def test_empty_phrase(self):
+        assert Tokenizer().tokenize_phrase("...") == ()
+
+    def test_repr(self):
+        assert "Tokenizer(" in repr(Tokenizer())

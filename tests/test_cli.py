@@ -1,0 +1,117 @@
+"""CLI tests (driven in-process against a tiny saved benchmark)."""
+
+import pytest
+
+from repro.cli import (
+    analyze_main,
+    build_benchmark_main,
+    expand_main,
+    ground_truth_main,
+    main,
+)
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.wiki import SyntheticWikiConfig
+
+
+@pytest.fixture(scope="module")
+def bench_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench")
+    benchmark = Benchmark.synthetic(
+        SyntheticWikiConfig(seed=51, num_domains=5, background_articles=80,
+                            background_categories=10),
+        SyntheticCollectionConfig(seed=52, background_docs=40),
+    )
+    benchmark.save(directory)
+    return str(directory)
+
+
+class TestBuildBenchmark:
+    def test_builds_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        code = build_benchmark_main(
+            ["--out", str(out), "--domains", "3", "--seed", "9"]
+        )
+        assert code == 0
+        assert (out / "wiki.jsonl.gz").exists()
+        assert (out / "images.xml").exists()
+        assert (out / "topics.json").exists()
+        assert "saved" in capsys.readouterr().out
+
+
+class TestGroundTruth:
+    def test_prints_table2(self, bench_dir, capsys):
+        code = ground_truth_main(["--benchmark-dir", bench_dir, "--seed", "51"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "O(X(q))" in out
+
+    def test_verbose_lists_features(self, bench_dir, capsys):
+        code = ground_truth_main(
+            ["--benchmark-dir", bench_dir, "--seed", "51", "--verbose"]
+        )
+        assert code == 0
+        assert "expansion features" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_prints_every_artifact(self, bench_dir, capsys):
+        code = analyze_main(["--benchmark-dir", bench_dir, "--seed", "51"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 2", "Table 3", "Table 4", "Figure 5", "Figure 6",
+                       "Figure 7a", "Figure 7b", "Figure 9", "Section 3"):
+            assert marker in out, marker
+
+
+class TestExpand:
+    def test_expands_known_entity(self, bench_dir, capsys):
+        benchmark = Benchmark.load(bench_dir)
+        keywords = benchmark.topics[0].keywords
+        code = expand_main(["--benchmark-dir", bench_dir, keywords])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linked entities" in out
+        assert "expansion features" in out
+        assert "top 10 documents" in out
+
+    def test_unknown_entities_exit_1(self, bench_dir, capsys):
+        code = expand_main(["--benchmark-dir", bench_dir, "xyzzy plugh"])
+        assert code == 1
+        assert "no Wikipedia entities" in capsys.readouterr().out
+
+    def test_bad_lengths_rejected(self, bench_dir):
+        with pytest.raises(SystemExit):
+            expand_main(["--benchmark-dir", bench_dir, "--lengths", "2,x", "anything"])
+
+
+class TestDispatcher:
+    def test_help(self, capsys):
+        assert main([]) == 2
+        assert main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().out
+
+    def test_dispatch(self, tmp_path, capsys):
+        out = tmp_path / "b"
+        assert main(["build-benchmark", "--out", str(out), "--domains", "2"]) == 0
+
+
+class TestReport:
+    def test_writes_markdown(self, bench_dir, tmp_path, capsys):
+        from repro.cli import report_main
+
+        out = tmp_path / "run.md"
+        code = report_main(["--benchmark-dir", bench_dir, "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "## Table 4" in out.read_text(encoding="utf-8")
+
+    def test_dispatcher_knows_report(self, bench_dir, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "run2.md"
+        assert main(["report", "--benchmark-dir", bench_dir, "--out", str(out)]) == 0

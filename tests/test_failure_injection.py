@@ -1,0 +1,107 @@
+"""Failure-injection tests: corrupted artefacts and adversarial inputs.
+
+The library should fail loudly and precisely — never half-load a corrupt
+dump or mis-score a malformed benchmark.
+"""
+
+import gzip
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.errors import (
+    BenchmarkConfigError,
+    DumpFormatError,
+    EmptyIndexError,
+    GroundTruthError,
+    ReproError,
+)
+from repro.retrieval import SearchEngine
+from repro.wiki import SyntheticWikiConfig, read_graph
+
+
+@pytest.fixture(scope="module")
+def saved_benchmark(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench")
+    Benchmark.synthetic(
+        SyntheticWikiConfig(seed=71, num_domains=3, background_articles=40,
+                            background_categories=6),
+        SyntheticCollectionConfig(seed=72, background_docs=20),
+    ).save(directory)
+    return directory
+
+
+class TestCorruptedArtifacts:
+    def test_truncated_graph_dump(self, saved_benchmark, tmp_path):
+        source = (saved_benchmark / "wiki.jsonl.gz").read_bytes()
+        target = tmp_path / "wiki.jsonl.gz"
+        # Truncate the decompressed payload mid-line and recompress.
+        payload = gzip.decompress(source)[: len(gzip.decompress(source)) // 2]
+        target.write_bytes(gzip.compress(payload))
+        with pytest.raises((DumpFormatError, ReproError, EOFError)):
+            read_graph(target)
+
+    def test_garbage_graph_dump(self, tmp_path):
+        path = tmp_path / "wiki.jsonl"
+        path.write_text("this is not a dump\n")
+        with pytest.raises(DumpFormatError):
+            read_graph(path)
+
+    def test_benchmark_with_corrupt_topics(self, saved_benchmark, tmp_path):
+        target = tmp_path / "bench"
+        target.mkdir()
+        for name in ("wiki.jsonl.gz", "images.xml"):
+            (target / name).write_bytes((saved_benchmark / name).read_bytes())
+        (target / "topics.json").write_text('{"format": "other"}')
+        with pytest.raises(DumpFormatError):
+            Benchmark.load(target)
+
+    def test_benchmark_with_corrupt_images(self, saved_benchmark, tmp_path):
+        target = tmp_path / "bench"
+        target.mkdir()
+        (target / "wiki.jsonl.gz").write_bytes(
+            (saved_benchmark / "wiki.jsonl.gz").read_bytes()
+        )
+        (target / "topics.json").write_text(
+            (saved_benchmark / "topics.json").read_text()
+        )
+        (target / "images.xml").write_text("<images><image/></images>")
+        with pytest.raises(DumpFormatError):
+            Benchmark.load(target)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(BenchmarkConfigError):
+            Benchmark.load(tmp_path / "nope")
+
+
+class TestAdversarialInputs:
+    def test_empty_engine_search(self):
+        with pytest.raises(EmptyIndexError):
+            SearchEngine().search("anything")
+
+    def test_pipeline_rejects_unlinkable_benchmark(self):
+        """If no topic links to any article the pipeline refuses."""
+        from repro.collection import Topic, TopicSet
+        from repro.collection.document import ImageDocument
+        from repro.harness import PipelineConfig, run_pipeline
+        from repro.wiki import WikiGraphBuilder
+
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("completely unrelated entity")
+        graph = builder.build()
+        documents = {"1": ImageDocument(doc_id="1", name="one.jpg")}
+        topics = TopicSet()
+        topics.add(Topic(topic_id=0, keywords="zzz qqq", relevant=frozenset({"1"})))
+        benchmark = Benchmark(graph=graph, documents=documents, topics=topics)
+        with pytest.raises(GroundTruthError):
+            run_pipeline(benchmark, PipelineConfig(seed=1))
+
+    def test_every_repro_error_is_catchable_at_the_root(self):
+        """The advertised contract: one except clause covers the library."""
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not ReproError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, ReproError), name

@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Cycle,
+    compute_features,
+    contribution_percent,
+    find_cycles,
+    five_point_summary,
+    max_edges,
+    mean_precision,
+    top_r_precision,
+)
+from repro.retrieval import (
+    DirichletSmoothing,
+    JelinekMercerSmoothing,
+    PositionalIndex,
+    Tokenizer,
+    phrase_occurrences,
+)
+from repro.wiki import WikiGraphBuilder, normalize_title
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+words = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+texts = st.lists(words, min_size=0, max_size=30).map(" ".join)
+doc_ids = st.sets(st.text(alphabet="xyz0123456789", min_size=1, max_size=4),
+                  min_size=0, max_size=12)
+
+
+@st.composite
+def random_wiki_graphs(draw):
+    """Small random article/category graphs satisfying the schema."""
+    rng = random.Random(draw(st.integers(0, 2**16)))
+    num_articles = draw(st.integers(2, 10))
+    num_categories = draw(st.integers(1, 4))
+    builder = WikiGraphBuilder()
+    articles = [builder.add_article(f"article {i}") for i in range(num_articles)]
+    categories = [builder.add_category(f"category {i}") for i in range(num_categories)]
+    for article in articles:
+        builder.add_belongs(article, rng.choice(categories))
+        if rng.random() < 0.3:
+            builder.add_belongs(article, rng.choice(categories))
+    for _ in range(draw(st.integers(0, 20))):
+        u, v = rng.sample(articles, 2)
+        builder.add_link(u, v)
+    for child in categories[1:]:
+        if rng.random() < 0.7:
+            builder.add_inside(child, categories[0])
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Tokenizer / titles
+# ----------------------------------------------------------------------
+
+
+class TestTextProperties:
+    @given(st.text(max_size=50))
+    def test_normalize_title_idempotent(self, title):
+        once = normalize_title(title)
+        assert normalize_title(once) == once
+
+    @given(st.text(max_size=50))
+    def test_tokenize_phrase_matches_rejoined_tokens(self, text):
+        tok = Tokenizer()
+        phrase = tok.tokenize_phrase(text)
+        # Retokenising the joined phrase is a fixed point.
+        assert tok.tokenize_phrase(" ".join(phrase)) == phrase
+
+    @given(texts)
+    def test_tokens_are_lowercase(self, text):
+        for token in Tokenizer().tokenize(text):
+            assert token == token.lower()
+
+
+# ----------------------------------------------------------------------
+# Index / phrases
+# ----------------------------------------------------------------------
+
+
+class TestIndexProperties:
+    @given(st.lists(texts, min_size=0, max_size=8))
+    def test_total_tokens_is_sum_of_lengths(self, docs):
+        index = PositionalIndex()
+        for number, text in enumerate(docs):
+            index.add_document(f"d{number}", text)
+        assert index.total_tokens == sum(
+            index.document_length(f"d{number}") for number in range(len(docs))
+        )
+
+    @given(st.lists(texts, min_size=1, max_size=8), words)
+    def test_collection_frequency_consistent_with_postings(self, docs, term):
+        index = PositionalIndex()
+        for number, text in enumerate(docs):
+            index.add_document(f"d{number}", text)
+        from_postings = sum(p.term_frequency for p in index.postings(term))
+        assert index.collection_frequency(term) == from_postings
+
+    @given(texts, st.integers(1, 3))
+    def test_phrase_occurrences_bounded_by_min_tf(self, text, width):
+        index = PositionalIndex()
+        index.add_document("d", text)
+        tokens = tuple(Tokenizer().tokenize(text))
+        if len(tokens) < width:
+            return
+        phrase = tokens[:width]
+        count = phrase_occurrences(index, phrase, "d")
+        assert count >= 1  # the prefix occurs at least where we took it from
+        assert count <= min(index.term_frequency(t, "d") for t in phrase)
+
+
+# ----------------------------------------------------------------------
+# Scoring
+# ----------------------------------------------------------------------
+
+
+class TestScoringProperties:
+    @given(st.integers(0, 50), st.integers(0, 200),
+           st.floats(1e-6, 0.5), st.floats(1.0, 5000.0))
+    def test_dirichlet_monotone_in_tf(self, tf, doc_len, col_prob, mu):
+        model = DirichletSmoothing(mu=mu)
+        lower = model.log_prob(tf, doc_len, col_prob)
+        higher = model.log_prob(tf + 1, doc_len, col_prob)
+        assert higher > lower
+        assert math.isfinite(lower)
+
+    @given(st.integers(0, 50), st.integers(1, 200),
+           st.floats(1e-6, 0.5), st.floats(0.01, 0.99))
+    def test_jm_log_prob_is_valid_log_probability(self, tf, doc_len, col_prob, lam):
+        tf = min(tf, doc_len)
+        model = JelinekMercerSmoothing(lam=lam)
+        value = model.log_prob(tf, doc_len, col_prob)
+        assert value <= 0.0 or math.isclose(value, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestMetricProperties:
+    @given(st.lists(st.text(alphabet="ab1", min_size=1, max_size=3), max_size=20),
+           doc_ids, st.integers(1, 20))
+    def test_top_r_precision_in_unit_interval(self, ranked, relevant, r):
+        value = top_r_precision(ranked, relevant, r)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.text(alphabet="ab1", min_size=1, max_size=3), max_size=20),
+           doc_ids)
+    def test_mean_precision_bounded_by_max_component(self, ranked, relevant):
+        mean = mean_precision(ranked, relevant)
+        components = [top_r_precision(ranked, relevant, r) for r in (1, 5, 10, 15)]
+        assert min(components) <= mean <= max(components)
+
+    @given(st.floats(0.01, 1.0), st.floats(0.0, 1.0))
+    def test_contribution_sign_matches_difference(self, base, expanded):
+        value = contribution_percent(base, expanded)
+        if expanded > base:
+            assert value > 0
+        elif expanded < base:
+            assert value < 0
+        else:
+            assert value == 0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_five_point_summary_ordered_and_bounded(self, values):
+        summary = five_point_summary(values)
+        ordered = summary.as_tuple()
+        assert ordered == tuple(sorted(ordered))
+        assert summary.minimum == min(values)
+        assert summary.maximum == max(values)
+
+
+# ----------------------------------------------------------------------
+# Cycles and features on random graphs
+# ----------------------------------------------------------------------
+
+
+class TestCycleProperties:
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_wiki_graphs())
+    def test_enumerated_cycles_are_valid(self, graph):
+        for cycle in find_cycles(graph, max_length=5):
+            nodes = cycle.nodes
+            assert 2 <= cycle.length <= 5
+            assert len(set(nodes)) == cycle.length
+            for u, v in zip(nodes, nodes[1:] + nodes[:1]):
+                assert graph.has_edge(u, v) or (
+                    cycle.length == 2 and v in graph.links_from(u)
+                )
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_wiki_graphs())
+    def test_cycle_enumeration_deterministic(self, graph):
+        assert find_cycles(graph, max_length=4) == find_cycles(graph, max_length=4)
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_wiki_graphs())
+    def test_features_within_bounds(self, graph):
+        for cycle in find_cycles(graph, max_length=5):
+            features = compute_features(graph, cycle)
+            assert features.num_articles + features.num_categories == cycle.length
+            assert cycle.length <= features.num_edges <= features.max_possible_edges
+            assert 0.0 <= features.category_ratio <= 1.0
+            density = features.extra_edge_density
+            assert density is None or 0.0 <= density <= 1.0
+
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_wiki_graphs(), st.integers(2, 4))
+    def test_length_bounds_respected(self, graph, max_length):
+        for cycle in find_cycles(graph, max_length=max_length):
+            assert cycle.length <= max_length
+
+    @given(st.integers(0, 6), st.integers(0, 6))
+    def test_max_edges_non_negative_and_monotone(self, articles, categories):
+        value = max_edges(articles, categories)
+        assert value >= 0
+        assert max_edges(articles + 1, categories) >= value
+        assert max_edges(articles, categories + 1) >= value
+
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    @given(random_wiki_graphs())
+    def test_anchored_subset_of_all(self, graph):
+        all_cycles = set(find_cycles(graph, max_length=4))
+        articles = [a.node_id for a in graph.articles()][:2]
+        anchored = set(find_cycles(graph, anchors=articles, max_length=4))
+        assert anchored <= all_cycles
+        for cycle in anchored:
+            assert set(cycle.nodes) & set(articles)
+
+
+class TestCycleValueProperties:
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=5, unique=True))
+    def test_cycle_container_protocol(self, nodes):
+        cycle = Cycle(tuple(nodes))
+        assert cycle.length == len(nodes)
+        for node in nodes:
+            assert node in cycle

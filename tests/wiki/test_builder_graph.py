@@ -1,0 +1,335 @@
+"""Unit tests for WikiGraphBuilder validation and WikiGraph adjacency."""
+
+import pytest
+
+from repro.errors import DuplicateNodeError, SchemaError, UnknownNodeError
+from repro.wiki import EdgeKind, NodeKind, WikiGraphBuilder
+
+
+@pytest.fixture
+def venice_builder():
+    """A small Venice-themed graph mirroring the paper's Figure 4 examples."""
+    builder = WikiGraphBuilder()
+    venice = builder.add_article("Venice")
+    cannaregio = builder.add_article("Cannaregio")
+    canal = builder.add_article("Grand Canal (Venice)")
+    palazzo = builder.add_article("Palazzo Bembo")
+    sighs = builder.add_article("Bridge of Sighs")
+    attractions = builder.add_category("Visitor attractions in Venice")
+    canals = builder.add_category("Canals in Italy")
+    sestieri = builder.add_category("Sestieri of Venice")
+    for article in (venice, cannaregio, canal, palazzo, sighs):
+        builder.add_belongs(article, attractions)
+    builder.add_belongs(canal, canals)
+    builder.add_belongs(cannaregio, sestieri)
+    builder.add_inside(sestieri, attractions)
+    # 2-cycle: venice <-> cannaregio
+    builder.add_link(venice, cannaregio)
+    builder.add_link(cannaregio, venice)
+    # 3-cycle: venice -> canal -> palazzo -> venice
+    builder.add_link(venice, canal)
+    builder.add_link(canal, palazzo)
+    builder.add_link(palazzo, venice)
+    builder.add_link(venice, sighs)
+    return builder, {
+        "venice": venice,
+        "cannaregio": cannaregio,
+        "canal": canal,
+        "palazzo": palazzo,
+        "sighs": sighs,
+        "attractions": attractions,
+        "canals": canals,
+        "sestieri": sestieri,
+    }
+
+
+class TestBuilderValidation:
+    def test_duplicate_article_title_rejected(self):
+        builder = WikiGraphBuilder()
+        builder.add_article("Venice")
+        with pytest.raises(DuplicateNodeError):
+            builder.add_article("venice")  # normalised collision
+
+    def test_duplicate_category_rejected(self):
+        builder = WikiGraphBuilder()
+        builder.add_category("Canals")
+        with pytest.raises(DuplicateNodeError):
+            builder.add_category("canals")
+
+    def test_same_title_allowed_across_namespaces(self):
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("Venice")
+        builder.add_category("Venice")  # article and category may share names
+        assert builder.num_nodes == 2
+
+    def test_empty_title_rejected(self):
+        with pytest.raises(SchemaError):
+            WikiGraphBuilder().add_article("   ")
+
+    def test_empty_category_rejected(self):
+        with pytest.raises(SchemaError):
+            WikiGraphBuilder().add_category("")
+
+    def test_self_link_rejected(self):
+        builder = WikiGraphBuilder(strict=False)
+        venice = builder.add_article("Venice")
+        with pytest.raises(SchemaError):
+            builder.add_link(venice, venice)
+
+    def test_link_to_category_rejected(self):
+        builder = WikiGraphBuilder(strict=False)
+        venice = builder.add_article("Venice")
+        cat = builder.add_category("Canals")
+        with pytest.raises(SchemaError):
+            builder.add_link(venice, cat)
+
+    def test_belongs_to_article_rejected(self):
+        builder = WikiGraphBuilder(strict=False)
+        venice = builder.add_article("Venice")
+        rome = builder.add_article("Rome")
+        with pytest.raises(SchemaError):
+            builder.add_belongs(venice, rome)
+
+    def test_inside_self_rejected(self):
+        builder = WikiGraphBuilder(strict=False)
+        cat = builder.add_category("Canals")
+        with pytest.raises(SchemaError):
+            builder.add_inside(cat, cat)
+
+    def test_unknown_node_in_edge(self):
+        builder = WikiGraphBuilder(strict=False)
+        venice = builder.add_article("Venice")
+        with pytest.raises(UnknownNodeError):
+            builder.add_link(venice, 999)
+
+    def test_strict_requires_category_membership(self):
+        builder = WikiGraphBuilder()
+        builder.add_article("Orphan")
+        with pytest.raises(SchemaError, match="belongs to no category"):
+            builder.build()
+
+    def test_non_strict_allows_uncategorised(self):
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("Orphan")
+        assert builder.build().num_articles == 1
+
+    def test_redirect_needs_flag(self):
+        builder = WikiGraphBuilder(strict=False)
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        with pytest.raises(SchemaError, match="not created as a redirect"):
+            builder.add_redirect(a, b)
+
+    def test_redirect_must_have_target(self):
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("Alias", is_redirect=True)
+        with pytest.raises(SchemaError, match="no redirect target"):
+            builder.build()
+
+    def test_redirect_single_target(self):
+        builder = WikiGraphBuilder(strict=False)
+        alias = builder.add_article("Alias", is_redirect=True)
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        builder.add_redirect(alias, a)
+        with pytest.raises(SchemaError, match="already has a target"):
+            builder.add_redirect(alias, b)
+
+    def test_redirect_with_own_links_rejected(self):
+        builder = WikiGraphBuilder(strict=False)
+        alias = builder.add_article("Alias", is_redirect=True)
+        a = builder.add_article("A")
+        builder.add_redirect(alias, a)
+        builder.add_link(alias, a)
+        with pytest.raises(SchemaError, match="must not have"):
+            builder.build()
+
+    def test_duplicate_edge_returns_false(self):
+        builder = WikiGraphBuilder(strict=False)
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        assert builder.add_link(a, b) is True
+        assert builder.add_link(a, b) is False
+
+    def test_link_titles_helper(self):
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("A")
+        builder.add_article("B")
+        assert builder.link_titles("A", "B") is True
+        with pytest.raises(UnknownNodeError):
+            builder.link_titles("A", "Nope")
+
+    def test_builder_reusable_after_build(self, venice_builder):
+        builder, _ = venice_builder
+        first = builder.build()
+        second = builder.build()
+        assert first is not second
+        assert first.num_nodes == second.num_nodes
+
+
+class TestGraphAccessors:
+    def test_counts(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert graph.num_articles == 5
+        assert graph.num_categories == 3
+        assert graph.num_nodes == 8
+        assert len(graph) == 8
+
+    def test_contains(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert ids["venice"] in graph
+        assert 12345 not in graph
+
+    def test_node_lookup_and_kind(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert graph.kind(ids["venice"]) is NodeKind.ARTICLE
+        assert graph.kind(ids["canals"]) is NodeKind.CATEGORY
+        with pytest.raises(UnknownNodeError):
+            graph.kind(999)
+
+    def test_article_category_accessors_raise_on_wrong_kind(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        with pytest.raises(UnknownNodeError):
+            graph.article(ids["canals"])
+        with pytest.raises(UnknownNodeError):
+            graph.category(ids["venice"])
+
+    def test_title_lookup(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        found = graph.article_by_title("grand canal (venice)")
+        assert found is not None and found.node_id == ids["canal"]
+        assert graph.article_by_title("nonexistent") is None
+        assert graph.category_by_name("canals in italy").node_id == ids["canals"]
+
+    def test_links(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert ids["cannaregio"] in graph.links_from(ids["venice"])
+        assert ids["venice"] in graph.links_to(ids["cannaregio"])
+
+    def test_categories_of(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert graph.categories_of(ids["canal"]) == frozenset(
+            {ids["attractions"], ids["canals"]}
+        )
+
+    def test_members_of(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert ids["canal"] in graph.members_of(ids["canals"])
+
+    def test_category_hierarchy(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert graph.parents_of(ids["sestieri"]) == frozenset({ids["attractions"]})
+        assert graph.children_of(ids["attractions"]) == frozenset({ids["sestieri"]})
+
+    def test_undirected_neighbors_merges_directions(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        neighbors = graph.undirected_neighbors(ids["venice"])
+        # linked out, linked in (palazzo -> venice), and its category
+        assert ids["cannaregio"] in neighbors
+        assert ids["palazzo"] in neighbors
+        assert ids["attractions"] in neighbors
+
+    def test_has_edge_symmetric(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        assert graph.has_edge(ids["palazzo"], ids["venice"])
+        assert graph.has_edge(ids["venice"], ids["palazzo"])
+        assert not graph.has_edge(ids["palazzo"], ids["cannaregio"])
+
+    def test_degree(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        # canal: venice (in), palazzo (out), attractions, canals
+        assert graph.degree(ids["canal"]) == 4
+
+    def test_repr(self, venice_builder):
+        builder, _ = venice_builder
+        assert "WikiGraph(" in repr(builder.build())
+
+
+class TestRedirects:
+    @pytest.fixture
+    def graph_with_redirects(self):
+        builder = WikiGraphBuilder(strict=False)
+        main = builder.add_article("Mekhitarist Order")
+        alias = builder.add_article("Mechitarists", is_redirect=True)
+        builder.add_redirect(alias, main)
+        return builder.build(), main, alias
+
+    def test_redirect_target(self, graph_with_redirects):
+        graph, main, alias = graph_with_redirects
+        assert graph.redirect_target(alias) == main
+        assert graph.redirect_target(main) is None
+
+    def test_redirects_of(self, graph_with_redirects):
+        graph, main, alias = graph_with_redirects
+        assert graph.redirects_of(main) == frozenset({alias})
+
+    def test_resolve_follows_chain(self):
+        builder = WikiGraphBuilder(strict=False)
+        main = builder.add_article("Main")
+        mid = builder.add_article("Mid", is_redirect=True)
+        leaf = builder.add_article("Leaf", is_redirect=True)
+        builder.add_redirect(leaf, mid)
+        builder.add_redirect(mid, main)
+        graph = builder.build()
+        assert graph.resolve(leaf) == main
+        assert graph.resolve(main) == main
+
+    def test_redirects_excluded_from_undirected_view(self, graph_with_redirects):
+        graph, main, alias = graph_with_redirects
+        assert alias not in graph.undirected_neighbors(main)
+        nx_graph = graph.to_networkx()
+        assert not nx_graph.has_edge(main, alias)
+        nx_with = graph.to_networkx(include_redirects=True)
+        assert nx_with.has_edge(main, alias)
+
+    def test_main_articles_excludes_redirects(self, graph_with_redirects):
+        graph, main, alias = graph_with_redirects
+        mains = {a.node_id for a in graph.main_articles()}
+        assert mains == {main}
+        assert graph.num_main_articles == 1
+
+
+class TestSubgraph:
+    def test_induced_subgraph_keeps_internal_edges(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        sub = graph.induced_subgraph([ids["venice"], ids["cannaregio"], ids["attractions"]])
+        assert sub.num_nodes == 3
+        assert sub.has_edge(ids["venice"], ids["cannaregio"])
+        assert sub.categories_of(ids["venice"]) == frozenset({ids["attractions"]})
+        # canal was dropped, so its link from venice is gone
+        assert ids["canal"] not in sub
+
+    def test_induced_subgraph_unknown_node(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        with pytest.raises(UnknownNodeError):
+            graph.induced_subgraph([ids["venice"], 777])
+
+    def test_to_networkx_attributes(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        nx_graph = graph.to_networkx()
+        assert nx_graph.nodes[ids["venice"]]["kind"] == "article"
+        assert nx_graph.nodes[ids["canals"]]["kind"] == "category"
+        assert nx_graph.nodes[ids["canal"]]["title"] == "Grand Canal (Venice)"
+
+    def test_edges_iterator_covers_all_kinds(self, venice_builder):
+        builder, ids = venice_builder
+        graph = builder.build()
+        kinds = {e.kind for e in graph.edges()}
+        assert EdgeKind.LINK in kinds
+        assert EdgeKind.BELONGS in kinds
+        assert EdgeKind.INSIDE in kinds

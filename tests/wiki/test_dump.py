@@ -1,0 +1,144 @@
+"""Round-trip and error tests for the JSONL graph dump format."""
+
+import json
+
+import pytest
+
+from repro.errors import DumpFormatError
+from repro.wiki import (
+    WikiGraphBuilder,
+    dumps_graph,
+    generate_wiki,
+    loads_graph,
+    read_graph,
+    write_graph,
+)
+from repro.wiki.synthetic import SyntheticWikiConfig
+
+
+@pytest.fixture
+def small_graph():
+    builder = WikiGraphBuilder()
+    a = builder.add_article("Venice")
+    b = builder.add_article("Gondola")
+    alias = builder.add_article("Gondole", is_redirect=True)
+    cat = builder.add_category("Boat types")
+    builder.add_belongs(a, cat)
+    builder.add_belongs(b, cat)
+    builder.add_link(a, b)
+    builder.add_link(b, a)
+    builder.add_redirect(alias, b)
+    return builder.build()
+
+
+def graphs_equal(left, right):
+    """Structural equality via canonical dumps."""
+    return dumps_graph(left) == dumps_graph(right)
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self, small_graph):
+        text = dumps_graph(small_graph)
+        reloaded = loads_graph(text)
+        assert graphs_equal(small_graph, reloaded)
+
+    def test_file_round_trip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.jsonl"
+        write_graph(small_graph, path)
+        reloaded = read_graph(path)
+        assert graphs_equal(small_graph, reloaded)
+
+    def test_gzip_round_trip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.jsonl.gz"
+        write_graph(small_graph, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        reloaded = read_graph(path)
+        assert graphs_equal(small_graph, reloaded)
+
+    def test_synthetic_graph_round_trip(self, tmp_path):
+        wiki = generate_wiki(SyntheticWikiConfig(seed=3, num_domains=4, background_articles=50))
+        path = tmp_path / "wiki.jsonl"
+        write_graph(wiki.graph, path)
+        reloaded = read_graph(path)
+        assert graphs_equal(wiki.graph, reloaded)
+
+    def test_dump_is_deterministic(self, small_graph):
+        assert dumps_graph(small_graph) == dumps_graph(small_graph)
+
+    def test_redirect_preserved(self, small_graph):
+        reloaded = loads_graph(dumps_graph(small_graph))
+        alias = reloaded.article_by_title("gondole")
+        assert alias is not None and alias.is_redirect
+        target = reloaded.redirect_target(alias.node_id)
+        assert reloaded.title(target) == "Gondola"
+
+    def test_non_ascii_titles(self, tmp_path):
+        builder = WikiGraphBuilder(strict=False)
+        builder.add_article("Ponte dei Sospiri — ponte più famoso")
+        graph = builder.build()
+        path = tmp_path / "unicode.jsonl"
+        write_graph(graph, path)
+        reloaded = read_graph(path, strict=False)
+        assert reloaded.article_by_title("ponte dei sospiri — ponte più famoso")
+
+
+class TestFormatErrors:
+    def test_empty_dump(self):
+        with pytest.raises(DumpFormatError, match="empty dump"):
+            loads_graph("")
+
+    def test_missing_header(self):
+        line = json.dumps({"type": "article", "id": 0, "title": "A"})
+        with pytest.raises(DumpFormatError, match="header"):
+            loads_graph(line + "\n")
+
+    def test_wrong_format_name(self):
+        header = json.dumps({"type": "header", "format": "other", "version": 1})
+        with pytest.raises(DumpFormatError, match="unknown dump format"):
+            loads_graph(header + "\n")
+
+    def test_wrong_version(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 99})
+        with pytest.raises(DumpFormatError, match="unsupported dump version"):
+            loads_graph(header + "\n")
+
+    def test_invalid_json_line(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 1})
+        with pytest.raises(DumpFormatError, match="invalid JSON"):
+            loads_graph(header + "\n{not json\n")
+
+    def test_unknown_record_type(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 1})
+        bad = json.dumps({"type": "mystery"})
+        with pytest.raises(DumpFormatError, match="unknown record type"):
+            loads_graph(f"{header}\n{bad}\n")
+
+    def test_duplicate_header(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 1})
+        with pytest.raises(DumpFormatError, match="duplicate header"):
+            loads_graph(f"{header}\n{header}\n")
+
+    def test_edge_with_unknown_node(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 1})
+        edge = json.dumps({"type": "edge", "kind": "link", "src": 0, "dst": 1})
+        with pytest.raises(DumpFormatError, match="unknown node id"):
+            loads_graph(f"{header}\n{edge}\n")
+
+    def test_unknown_edge_kind(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 1})
+        a = json.dumps({"type": "article", "id": 0, "title": "A"})
+        b = json.dumps({"type": "article", "id": 1, "title": "B"})
+        edge = json.dumps({"type": "edge", "kind": "teleports", "src": 0, "dst": 1})
+        with pytest.raises(DumpFormatError, match="unknown edge kind"):
+            loads_graph(f"{header}\n{a}\n{b}\n{edge}\n")
+
+    def test_missing_field(self):
+        header = json.dumps({"type": "header", "format": "repro-wikigraph", "version": 1})
+        bad = json.dumps({"type": "article", "id": 0})  # no title
+        with pytest.raises(DumpFormatError, match="missing field"):
+            loads_graph(f"{header}\n{bad}\n")
+
+    def test_blank_lines_ignored(self, small_graph):
+        text = dumps_graph(small_graph)
+        padded = "\n".join(line + "\n" for line in text.splitlines())
+        assert graphs_equal(loads_graph(padded), small_graph)

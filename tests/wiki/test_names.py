@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic title factory."""
+
+import random
+
+from repro.wiki.names import ADJECTIVES, NOUNS, PLACES, TOPICS, TitleFactory
+
+
+def make_factory(seed=5):
+    return TitleFactory(random.Random(seed))
+
+
+class TestUniqueness:
+    def test_entity_titles_unique(self):
+        factory = make_factory()
+        titles = [factory.entity_title("venice") for _ in range(300)]
+        assert len(titles) == len(set(titles))
+
+    def test_uniqueness_across_producers(self):
+        factory = make_factory()
+        produced = set()
+        for _ in range(50):
+            for value in (
+                factory.entity_title("venice"),
+                factory.background_title(),
+                factory.category_name("venice"),
+            ):
+                assert value not in produced
+                produced.add(value)
+
+    def test_exhaustion_falls_back_to_counter(self):
+        factory = make_factory()
+        # PLACES has 50 entries; requesting more must still return unique names.
+        names = [factory.place_name() for _ in range(len(PLACES) + 10)]
+        assert len(names) == len(set(names))
+
+
+class TestDeterminism:
+    def test_same_seed_same_titles(self):
+        first = make_factory(9)
+        second = make_factory(9)
+        for _ in range(20):
+            assert first.entity_title("x") == second.entity_title("x")
+
+    def test_different_seed_differs(self):
+        a = [make_factory(1).entity_title("x") for _ in range(5)]
+        b = [make_factory(2).entity_title("x") for _ in range(5)]
+        assert a != b
+
+
+class TestShapes:
+    def test_entity_title_lowercase_words(self):
+        factory = make_factory()
+        title = factory.entity_title("venice")
+        assert title == title.lower()
+        assert title.split()
+
+    def test_redirect_alias_references_main(self):
+        factory = make_factory()
+        alias = factory.redirect_alias("grand canal")
+        assert "grand canal" in alias
+
+    def test_filler_words_count(self):
+        assert len(make_factory().filler_words(7)) == 7
+        assert make_factory().filler_words(0) == []
+
+    def test_word_banks_nonempty_and_lowercase(self):
+        for bank in (ADJECTIVES, NOUNS, PLACES, TOPICS):
+            assert bank
+            assert all(w == w.lower() for w in bank)

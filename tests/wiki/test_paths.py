@@ -1,0 +1,88 @@
+"""Unit tests for BFS distance helpers."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.wiki import WikiGraphBuilder, bfs_distances, distance_histogram, eccentricity
+
+
+@pytest.fixture
+def chain_graph():
+    """a -> b -> c -> d plus isolated e."""
+    builder = WikiGraphBuilder(strict=False)
+    ids = [builder.add_article(name) for name in "abcde"]
+    a, b, c, d, _ = ids
+    builder.add_link(a, b)
+    builder.add_link(b, c)
+    builder.add_link(c, d)
+    return builder.build(), ids
+
+
+class TestBfsDistances:
+    def test_distances_from_single_source(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        distances = bfs_distances(graph, [a])
+        assert distances == {a: 0, b: 1, c: 2, d: 3}
+
+    def test_direction_ignored(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        distances = bfs_distances(graph, [d])
+        assert distances[a] == 3
+
+    def test_multiple_sources_take_minimum(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        distances = bfs_distances(graph, [a, d])
+        assert distances[b] == 1
+        assert distances[c] == 1
+
+    def test_max_distance_truncates(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        distances = bfs_distances(graph, [a], max_distance=1)
+        assert set(distances) == {a, b}
+
+    def test_unknown_source(self, chain_graph):
+        graph, _ = chain_graph
+        with pytest.raises(UnknownNodeError):
+            bfs_distances(graph, [999])
+
+    def test_no_sources(self, chain_graph):
+        graph, _ = chain_graph
+        assert bfs_distances(graph, []) == {}
+
+    def test_categories_traversed(self):
+        builder = WikiGraphBuilder()
+        a = builder.add_article("a")
+        b = builder.add_article("b")
+        cat = builder.add_category("shared")
+        builder.add_belongs(a, cat)
+        builder.add_belongs(b, cat)
+        graph = builder.build()
+        assert bfs_distances(graph, [a])[b] == 2
+
+
+class TestDistanceHistogram:
+    def test_histogram(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        histogram = distance_histogram(graph, [a], [b, c, d, e])
+        assert histogram == {-1: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_unknown_target(self, chain_graph):
+        graph, (a, *_rest) = chain_graph
+        with pytest.raises(UnknownNodeError):
+            distance_histogram(graph, [a], [404])
+
+    def test_custom_unreachable_key(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        histogram = distance_histogram(graph, [a], [e], unreachable_key=99)
+        assert histogram == {99: 1}
+
+
+class TestEccentricity:
+    def test_chain_end(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        assert eccentricity(graph, a) == 3
+        assert eccentricity(graph, b) == 2
+
+    def test_isolated_node(self, chain_graph):
+        graph, (a, b, c, d, e) = chain_graph
+        assert eccentricity(graph, e) == 0

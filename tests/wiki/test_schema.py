@@ -1,0 +1,93 @@
+"""Unit tests for repro.wiki.schema."""
+
+import pytest
+
+from repro.wiki.schema import (
+    EDGE_ENDPOINT_KINDS,
+    Article,
+    Category,
+    Edge,
+    EdgeKind,
+    NodeKind,
+    normalize_title,
+)
+
+
+class TestNormalizeTitle:
+    def test_lowercases(self):
+        assert normalize_title("Grand Canal") == "grand canal"
+
+    def test_underscores_become_spaces(self):
+        assert normalize_title("Grand_Canal_(Venice)") == "grand canal (venice)"
+
+    def test_whitespace_collapsed_and_stripped(self):
+        assert normalize_title("  Grand   Canal  ") == "grand canal"
+
+    def test_idempotent(self):
+        once = normalize_title("  Bridge_of  Sighs ")
+        assert normalize_title(once) == once
+
+    def test_empty_stays_empty(self):
+        assert normalize_title("") == ""
+
+    def test_tabs_and_newlines(self):
+        assert normalize_title("a\tb\nc") == "a b c"
+
+
+class TestArticle:
+    def test_norm_title(self):
+        article = Article(1, "Bridge_of Sighs")
+        assert article.norm_title == "bridge of sighs"
+
+    def test_kind(self):
+        assert Article(1, "Venice").kind is NodeKind.ARTICLE
+
+    def test_default_not_redirect(self):
+        assert Article(1, "Venice").is_redirect is False
+
+    def test_frozen(self):
+        article = Article(1, "Venice")
+        with pytest.raises(AttributeError):
+            article.title = "Rome"
+
+    def test_title_property_matches(self):
+        assert Article(3, "Venice").title == "Venice"
+
+
+class TestCategory:
+    def test_kind(self):
+        assert Category(2, "Canals in Italy").kind is NodeKind.CATEGORY
+
+    def test_title_alias(self):
+        category = Category(2, "Canals in Italy")
+        assert category.title == category.name == "Canals in Italy"
+
+    def test_norm_title(self):
+        assert Category(2, "Canals_in_Italy").norm_title == "canals in italy"
+
+
+class TestEdge:
+    def test_default_kind_is_link(self):
+        assert Edge(1, 2).kind is EdgeKind.LINK
+
+    def test_reversed_swaps_endpoints_keeps_kind(self):
+        edge = Edge(1, 2, EdgeKind.BELONGS)
+        rev = edge.reversed()
+        assert (rev.source, rev.target, rev.kind) == (2, 1, EdgeKind.BELONGS)
+
+    def test_edge_is_hashable(self):
+        assert len({Edge(1, 2), Edge(1, 2), Edge(2, 1)}) == 2
+
+
+class TestEdgeKindVocabulary:
+    def test_redirect_string_value_matches_figure_1(self):
+        assert str(EdgeKind.REDIRECT) == "redirects_to"
+
+    def test_every_kind_has_endpoint_constraint(self):
+        assert set(EDGE_ENDPOINT_KINDS) == set(EdgeKind)
+
+    def test_belongs_connects_article_to_category(self):
+        assert EDGE_ENDPOINT_KINDS[EdgeKind.BELONGS] == (
+            NodeKind.ARTICLE,
+            NodeKind.CATEGORY,
+        )

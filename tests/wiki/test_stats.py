@@ -1,0 +1,162 @@
+"""Unit tests for repro.wiki.stats."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.wiki import (
+    WikiGraphBuilder,
+    category_tree_violations,
+    composition,
+    connected_components,
+    largest_connected_component,
+    reciprocal_link_ratio,
+    triangle_participation_ratio,
+)
+
+
+class TestTrianglePariticipationRatio:
+    def test_empty_graph(self):
+        assert triangle_participation_ratio(nx.Graph()) == 0.0
+
+    def test_pure_triangle(self):
+        graph = nx.cycle_graph(3)
+        assert triangle_participation_ratio(graph) == 1.0
+
+    def test_path_has_no_triangles(self):
+        graph = nx.path_graph(5)
+        assert triangle_participation_ratio(graph) == 0.0
+
+    def test_mixed(self):
+        graph = nx.cycle_graph(3)  # nodes 0,1,2 in a triangle
+        graph.add_edge(2, 3)  # pendant node, not in a triangle
+        assert triangle_participation_ratio(graph) == pytest.approx(3 / 4)
+
+    def test_tree_is_zero(self):
+        graph = nx.balanced_tree(2, 3)
+        assert triangle_participation_ratio(graph) == 0.0
+
+
+class TestReciprocalLinkRatio:
+    def _two_articles(self):
+        builder = WikiGraphBuilder(strict=False)
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        return builder, a, b
+
+    def test_no_links(self):
+        builder, _, _ = self._two_articles()
+        assert reciprocal_link_ratio(builder.build()) == 0.0
+
+    def test_one_way_pair(self):
+        builder, a, b = self._two_articles()
+        builder.add_link(a, b)
+        assert reciprocal_link_ratio(builder.build()) == 0.0
+
+    def test_reciprocal_pair(self):
+        builder, a, b = self._two_articles()
+        builder.add_link(a, b)
+        builder.add_link(b, a)
+        assert reciprocal_link_ratio(builder.build()) == 1.0
+
+    def test_mixed_pairs(self):
+        builder = WikiGraphBuilder(strict=False)
+        nodes = [builder.add_article(f"N{i}") for i in range(4)]
+        builder.add_link(nodes[0], nodes[1])
+        builder.add_link(nodes[1], nodes[0])  # reciprocal pair
+        builder.add_link(nodes[0], nodes[2])  # one-way
+        builder.add_link(nodes[3], nodes[0])  # one-way, higher id -> lower
+        assert reciprocal_link_ratio(builder.build()) == pytest.approx(1 / 3)
+
+    def test_direction_from_higher_to_lower_only(self):
+        builder = WikiGraphBuilder(strict=False)
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        builder.add_link(b, a)  # only direction high->low
+        assert reciprocal_link_ratio(builder.build()) == 0.0
+
+
+class TestComponents:
+    @pytest.fixture
+    def disconnected(self):
+        builder = WikiGraphBuilder(strict=False)
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        c = builder.add_article("C")
+        d = builder.add_article("D")
+        e = builder.add_article("E")
+        builder.add_link(a, b)
+        builder.add_link(b, c)
+        builder.add_link(d, e)
+        return builder.build(), {"a": a, "b": b, "c": c, "d": d, "e": e}
+
+    def test_components_sorted_largest_first(self, disconnected):
+        graph, ids = disconnected
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert components[0] == {ids["a"], ids["b"], ids["c"]}
+
+    def test_largest_connected_component(self, disconnected):
+        graph, ids = disconnected
+        assert largest_connected_component(graph) == {ids["a"], ids["b"], ids["c"]}
+
+    def test_empty_graph_has_no_components(self):
+        graph = WikiGraphBuilder(strict=False).build()
+        assert connected_components(graph) == []
+        assert largest_connected_component(graph) == set()
+
+    def test_categories_connect_articles(self):
+        builder = WikiGraphBuilder()
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        cat = builder.add_category("Shared")
+        builder.add_belongs(a, cat)
+        builder.add_belongs(b, cat)
+        graph = builder.build()
+        assert largest_connected_component(graph) == {a, b, cat}
+
+
+class TestComposition:
+    def test_counts_and_ratios(self):
+        builder = WikiGraphBuilder()
+        a = builder.add_article("A")
+        b = builder.add_article("B")
+        cat = builder.add_category("C")
+        builder.add_belongs(a, cat)
+        builder.add_belongs(b, cat)
+        graph = builder.build()
+        comp = composition(graph, [a, b, cat])
+        assert comp.num_articles == 2
+        assert comp.num_categories == 1
+        assert comp.article_ratio == pytest.approx(2 / 3)
+        assert comp.category_ratio == pytest.approx(1 / 3)
+
+    def test_empty_set(self):
+        graph = WikiGraphBuilder(strict=False).build()
+        comp = composition(graph, [])
+        assert comp.num_nodes == 0
+        assert comp.article_ratio == 0.0
+        assert comp.category_ratio == 0.0
+
+    def test_unknown_node_raises(self):
+        graph = WikiGraphBuilder(strict=False).build()
+        with pytest.raises(UnknownNodeError):
+            composition(graph, [42])
+
+
+class TestCategoryTree:
+    def test_strict_tree_has_no_violations(self):
+        builder = WikiGraphBuilder(strict=False)
+        root = builder.add_category("root")
+        child = builder.add_category("child")
+        builder.add_inside(child, root)
+        assert category_tree_violations(builder.build()) == 0
+
+    def test_multi_parent_counts(self):
+        builder = WikiGraphBuilder(strict=False)
+        p1 = builder.add_category("p1")
+        p2 = builder.add_category("p2")
+        child = builder.add_category("child")
+        builder.add_inside(child, p1)
+        builder.add_inside(child, p2)
+        assert category_tree_violations(builder.build()) == 1
