@@ -17,6 +17,9 @@ Subpackages
     cycle enumeration/features, cycle-based query expansion and analysis.
 ``repro.harness``
     Experiment runner that regenerates every table and figure.
+``repro.service``
+    Online serving layer: persistent snapshots, LRU caching, and the
+    thread-safe batched :class:`~repro.service.server.ExpansionService`.
 """
 
 __version__ = "1.0.0"

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four entry points (also importable as functions):
+Entry points (also importable as functions):
 
 * ``repro-build-benchmark`` — generate and save the synthetic benchmark;
 * ``repro-ground-truth``   — build the ground truth for every topic and
@@ -8,7 +8,10 @@ Four entry points (also importable as functions):
 * ``repro-analyze``        — run the full pipeline and print every table
   and figure side by side with the paper's values;
 * ``repro-expand``         — expand an ad-hoc query against a benchmark's
-  knowledge graph using the cycle method (no ground truth required).
+  knowledge graph using the cycle method (no ground truth required);
+* ``repro-serve``          — answer queries online from a saved service
+  snapshot (build one with ``--build``), printing linked entities,
+  expansion features and ranked documents per query.
 
 All commands are also reachable through ``python -m repro.cli <command>``,
 which matters in environments where console scripts cannot be installed.
@@ -55,6 +58,7 @@ __all__ = [
     "analyze_main",
     "expand_main",
     "report_main",
+    "serve_main",
     "main",
 ]
 
@@ -259,12 +263,92 @@ def report_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """Serve online query expansion from a persistent snapshot."""
+    import json
+
+    from repro.errors import SnapshotError
+    from repro.service import ExpansionService, Snapshot
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=serve_main.__doc__
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--snapshot", default="snapshot",
+        help="snapshot directory to serve from (default ./snapshot)",
+    )
+    parser.add_argument(
+        "--build", action="store_true",
+        help="when the snapshot is missing, build it from the benchmark "
+             "(--benchmark-dir or synthetic via --seed) and save it first",
+    )
+    parser.add_argument(
+        "--query", action="append", metavar="TEXT",
+        help="query to answer (repeatable; batches when given several times); "
+             "omit to read one query per line from stdin",
+    )
+    parser.add_argument("--top-k", type=int, default=10, help="results per query")
+    parser.add_argument(
+        "--stats", action="store_true", help="print service/cache stats as JSON at exit"
+    )
+    args = parser.parse_args(argv)
+    if args.top_k < 1:
+        parser.error("--top-k must be >= 1")
+
+    snapshot_dir = Path(args.snapshot)
+    try:
+        snapshot = Snapshot.load(snapshot_dir)
+        print(f"loaded {snapshot!r} from {snapshot_dir}/")
+    except SnapshotError as error:
+        if not args.build:
+            print(f"error: {error}")
+            print("hint: pass --build to create the snapshot from a benchmark")
+            return 2
+        benchmark = _benchmark_from_args(args)
+        snapshot = Snapshot.build(benchmark)
+        snapshot.save(snapshot_dir)
+        print(f"built and saved {snapshot!r} to {snapshot_dir}/")
+
+    service = ExpansionService.from_snapshot(snapshot)
+
+    def answer(response) -> None:
+        print(f"query: {response.query!r}")
+        if not response.linked:
+            print("  no entities linked; ranked raw keywords instead")
+        else:
+            titles = [service.graph.title(a) for a in sorted(response.link.article_ids)]
+            print(f"  linked entities: {titles}")
+            print(f"  expansion features ({response.expansion.num_features}): "
+                  f"{list(response.expansion.titles)}")
+        for item in response.results:
+            name = service.doc_names.get(item.doc_id, "")
+            print(f"  #{item.rank:<3} {item.doc_id}  {name}  (score {item.score:.3f})")
+        cached = "cached" if response.expansion_cached else "cold"
+        print(f"  [{cached}, {response.latency_ms:.1f} ms]")
+
+    if args.query:
+        for response in service.batch_expand(args.query, top_k=args.top_k):
+            answer(response)
+    else:
+        print("reading queries from stdin (one per line, ^D to finish)")
+        for line in sys.stdin:
+            line = line.strip()
+            if line:
+                answer(service.expand_query(line, top_k=args.top_k))
+
+    if args.stats:
+        print(json.dumps(service.stats().as_dict(), indent=2))
+    return 0
+
+
 _COMMANDS = {
     "build-benchmark": build_benchmark_main,
     "ground-truth": ground_truth_main,
     "analyze": analyze_main,
     "expand": expand_main,
     "report": report_main,
+    "serve": serve_main,
 }
 
 

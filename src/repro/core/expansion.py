@@ -273,6 +273,35 @@ class NeighborhoodCycleExpander(Expander):
         subgraph = graph.induced_subgraph(ball)
         return self._expander.expand(subgraph, seeds)
 
+    def expand_batch(
+        self, graph: WikiGraph, seed_sets: Iterable[Iterable[int]]
+    ) -> list[ExpansionResult]:
+        """Expand several seed sets, amortising the full-graph edge scan.
+
+        :meth:`expand` pays one pass over *every* edge of ``graph`` per
+        query (``induced_subgraph`` filters the global edge list).  Here the
+        balls of all seed sets are united first, the full graph is scanned
+        once for the union subgraph, and each query's ball is then carved
+        out of that much smaller graph.  Results are identical to calling
+        :meth:`expand` per seed set: a ball's induced subgraph taken from
+        the union subgraph contains exactly the edges it would get from the
+        full graph, because the union is a superset of every ball.
+        """
+        resolved = [frozenset(seeds) for seeds in seed_sets]
+        for seeds in resolved:
+            missing = [s for s in seeds if s not in graph]
+            if missing:
+                raise AnalysisError(f"seed articles not in graph: {missing[:3]}")
+        balls = [self.neighborhood(graph, seeds) for seeds in resolved]
+        union: set[int] = set()
+        for ball in balls:
+            union |= ball
+        shared = graph.induced_subgraph(union)
+        return [
+            self._expander.expand(shared.induced_subgraph(ball), seeds)
+            for seeds, ball in zip(resolved, balls)
+        ]
+
 
 class RedirectExpander(Expander):
     """Decorator: add redirect titles of the inner expander's features.

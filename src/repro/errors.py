@@ -67,3 +67,15 @@ class AnalysisError(ReproError):
 
 class BenchmarkConfigError(ReproError):
     """A synthetic benchmark configuration is invalid."""
+
+
+class ServiceError(ReproError):
+    """The online expansion service was misused or misconfigured."""
+
+
+class SnapshotError(ServiceError):
+    """A service snapshot on disk is missing, corrupt, or incompatible.
+
+    Raised with a message that names the offending file and, for version
+    mismatches, both the found and the supported version.
+    """

@@ -80,6 +80,11 @@ class EntityLinker:
     max_title_tokens:
         Upper bound for candidate n-gram length, capped for speed; real
         titles hardly exceed ~10 tokens.
+    title_index:
+        A prebuilt vocabulary (tokenised title -> article id), e.g. one
+        loaded from a service snapshot.  When given, the title scan over
+        ``graph`` is skipped entirely; the caller asserts the vocabulary
+        was built with a compatible tokenizer.
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class EntityLinker:
         use_synonyms: bool = True,
         resolve_redirects: bool = True,
         max_title_tokens: int = 12,
+        title_index: dict[tuple[str, ...], int] | None = None,
     ) -> None:
         if graph.num_articles == 0:
             raise LinkingError("cannot link against a graph with no articles")
@@ -106,17 +112,33 @@ class EntityLinker:
         # linking deterministic.
         self._title_index: dict[tuple[str, ...], int] = {}
         self._max_len = 1
-        for article in sorted(graph.articles(), key=lambda a: a.node_id):
-            tokens = self._tokenizer.tokenize_phrase(article.title)
-            if not tokens or len(tokens) > max_title_tokens:
-                continue
-            self._title_index.setdefault(tokens, article.node_id)
-            self._max_len = max(self._max_len, len(tokens))
+        if title_index is not None:
+            if not title_index:
+                raise LinkingError("prebuilt title_index must be non-empty")
+            for tokens, article_id in title_index.items():
+                self._title_index[tuple(tokens)] = article_id
+                self._max_len = max(self._max_len, len(tokens))
+        else:
+            for article in sorted(graph.articles(), key=lambda a: a.node_id):
+                tokens = self._tokenizer.tokenize_phrase(article.title)
+                if not tokens or len(tokens) > max_title_tokens:
+                    continue
+                self._title_index.setdefault(tokens, article.node_id)
+                self._max_len = max(self._max_len, len(tokens))
 
     @property
     def num_titles(self) -> int:
         """Number of distinct tokenised titles the linker can match."""
         return len(self._title_index)
+
+    def vocabulary(self) -> dict[tuple[str, ...], int]:
+        """Copy of the matching vocabulary (tokenised title -> article id).
+
+        The inverse of the ``title_index`` constructor parameter: feeding
+        this back into a new linker over the same graph reproduces the
+        original linking behaviour without rescanning titles.
+        """
+        return dict(self._title_index)
 
     # ------------------------------------------------------------------
     # Linking

@@ -57,16 +57,26 @@ class SearchEngine:
         Scoring model; defaults to Dirichlet with INDRI's usual ``mu``.
         Small collections (hundreds of short documents) may prefer a lower
         ``mu``; the benchmark harness uses ``mu=300``.
+    index:
+        An already-built :class:`PositionalIndex` to serve from (e.g. one
+        loaded from a service snapshot).  When given, the engine adopts the
+        index's tokenizer unless ``tokenizer`` is also passed explicitly.
     """
 
     def __init__(
         self,
         tokenizer: Tokenizer | None = None,
         smoothing: Smoothing | None = None,
+        *,
+        index: PositionalIndex | None = None,
     ) -> None:
-        self._tokenizer = tokenizer or Tokenizer()
+        if index is not None:
+            self._tokenizer = tokenizer or index.tokenizer
+            self._index = index
+        else:
+            self._tokenizer = tokenizer or Tokenizer()
+            self._index = PositionalIndex(self._tokenizer)
         self._smoothing = smoothing or DirichletSmoothing()
-        self._index = PositionalIndex(self._tokenizer)
 
     # ------------------------------------------------------------------
     # Indexing

@@ -152,6 +152,60 @@ class PositionalIndex:
         """Ids of documents containing ``term``."""
         return set(self._postings.get(term, ()))
 
+    # ------------------------------------------------------------------
+    # Serialisation (service snapshots)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-ready dump of the index contents.
+
+        Collection frequencies and the total token count are derivable and
+        deliberately omitted; :meth:`from_payload` recomputes them, so a
+        hand-edited payload can never carry inconsistent statistics.
+        """
+        return {
+            "documents": [[doc_id, length] for doc_id, length in self._doc_lengths.items()],
+            "postings": {
+                term: {doc_id: positions for doc_id, positions in by_doc.items()}
+                for term, by_doc in self._postings.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, tokenizer: Tokenizer | None = None
+    ) -> "PositionalIndex":
+        """Rebuild an index from :meth:`to_payload` output.
+
+        Raises :class:`IndexError_` when postings reference documents that
+        are not declared in ``documents``.
+        """
+        index = cls(tokenizer)
+        try:
+            documents = payload["documents"]
+            postings = payload["postings"]
+        except (KeyError, TypeError) as exc:
+            raise IndexError_(f"index payload is missing field {exc}") from exc
+        for doc_id, length in documents:
+            doc_id = str(doc_id)
+            if doc_id in index._doc_lengths:
+                raise IndexError_(f"document {doc_id!r} declared twice in payload")
+            index._doc_lengths[doc_id] = int(length)
+        for term, by_doc in postings.items():
+            rebuilt: dict[str, list[int]] = {}
+            frequency = 0
+            for doc_id, positions in by_doc.items():
+                if doc_id not in index._doc_lengths:
+                    raise IndexError_(
+                        f"postings for {term!r} reference undeclared document {doc_id!r}"
+                    )
+                rebuilt[doc_id] = sorted(int(p) for p in positions)
+                frequency += len(rebuilt[doc_id])
+            index._postings[term] = rebuilt
+            index._collection_frequency[term] = frequency
+        index._total_tokens = sum(index._doc_lengths.values())
+        return index
+
     def documents_containing_all(self, terms: Iterable[str]) -> set[str]:
         """Ids of documents containing every term (conjunctive lookup).
 

@@ -1,0 +1,35 @@
+"""Online serving layer: snapshots, caching, and the expansion service.
+
+The batch harness (:mod:`repro.harness`) proves the paper's method on a
+benchmark; this package turns the same components into a system that
+answers ad-hoc queries online:
+
+* :mod:`repro.service.artifacts` — versioned on-disk snapshots of the
+  graph, index and linker vocabulary (cold-start from disk);
+* :mod:`repro.service.cache` — bounded LRU caching with hit/miss counters;
+* :mod:`repro.service.server` — the thread-safe :class:`ExpansionService`
+  with single-query and deduplicating batch APIs.
+
+CLI entry point: ``python -m repro.cli serve`` (see :func:`repro.cli.serve_main`).
+"""
+
+from repro.service.artifacts import (
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    Snapshot,
+)
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.server import ExpansionService, ServiceResponse, ServiceStats
+
+__all__ = [
+    "Snapshot",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "MANIFEST_NAME",
+    "CacheStats",
+    "LRUCache",
+    "ExpansionService",
+    "ServiceResponse",
+    "ServiceStats",
+]

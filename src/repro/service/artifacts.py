@@ -1,0 +1,247 @@
+"""Persistent service artifacts: versioned on-disk snapshots.
+
+A :class:`Snapshot` bundles everything the online service needs to answer
+queries — the knowledge graph, the positional index, the entity-linker
+vocabulary, and the document display names — so a service process
+cold-starts by reading files instead of regenerating the synthetic
+benchmark and re-indexing the collection.  Layout::
+
+    snapshot/
+      manifest.json     # format name, version, engine mu, artefact counts
+      wiki.jsonl.gz     # WikiGraph (repro.wiki.dump format)
+      index.json.gz     # PositionalIndex payload
+      linker.json.gz    # entity-linker vocabulary (tokenised title -> id)
+      documents.json.gz # doc_id -> display name
+
+The manifest is read first and gates everything else: a missing manifest,
+an unknown format name, or a version other than :data:`SNAPSHOT_VERSION`
+raises :class:`~repro.errors.SnapshotError` with a message naming the
+problem, *before* any of the heavier artefacts are parsed.  Counts in the
+manifest are cross-checked after loading so silently truncated files are
+caught instead of serving wrong results.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import DumpFormatError, SnapshotError
+from repro.linking.linker import EntityLinker
+from repro.retrieval.engine import SearchEngine
+from repro.retrieval.index import PositionalIndex
+from repro.retrieval.scoring import DirichletSmoothing, Smoothing
+from repro.wiki.dump import read_graph, write_graph
+from repro.wiki.graph import WikiGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.collection.benchmark import Benchmark
+
+__all__ = ["Snapshot", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "MANIFEST_NAME"]
+
+SNAPSHOT_FORMAT = "repro-expansion-snapshot"
+SNAPSHOT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+_GRAPH_NAME = "wiki.jsonl.gz"
+_INDEX_NAME = "index.json.gz"
+_LINKER_NAME = "linker.json.gz"
+_DOCUMENTS_NAME = "documents.json.gz"
+
+
+def _write_json_gz(path: Path, payload: dict) -> None:
+    with gzip.open(path, "wt", encoding="utf-8") as out:
+        json.dump(payload, out, ensure_ascii=False)
+
+
+def _read_json_gz(path: Path) -> dict:
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise SnapshotError(f"snapshot is missing {path.name}") from None
+    # EOFError: gzip stream truncated (not an OSError subclass).
+    except (OSError, EOFError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"snapshot file {path.name} is corrupt: {exc}") from exc
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """All artefacts of one servable expansion system.
+
+    ``mu`` records the Dirichlet prior the index was intended to be served
+    with, so a reloaded engine ranks identically to the one used when the
+    snapshot was built.
+    """
+
+    graph: WikiGraph
+    index: PositionalIndex
+    title_index: dict[tuple[str, ...], int]
+    doc_names: dict[str, str]
+    mu: float
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, benchmark: "Benchmark", *, mu: float | None = None) -> "Snapshot":
+        """Derive a snapshot from a benchmark (index + linker vocabulary)."""
+        from repro.collection.benchmark import DEFAULT_ENGINE_MU
+
+        resolved_mu = DEFAULT_ENGINE_MU if mu is None else mu
+        engine = benchmark.build_engine(smoothing=DirichletSmoothing(mu=resolved_mu))
+        linker = EntityLinker(benchmark.graph)
+        return cls(
+            graph=benchmark.graph,
+            index=engine.index,
+            title_index=linker.vocabulary(),
+            doc_names={
+                doc_id: benchmark.documents[doc_id].name
+                for doc_id in sorted(benchmark.documents)
+            },
+            mu=resolved_mu,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Write all artefacts into ``directory`` (created if needed)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Invalidate any existing snapshot before touching its artefacts:
+        # combined with writing the manifest last, a crash mid-save always
+        # leaves a directory load() rejects as "missing manifest" instead
+        # of a torn mix of old and new artefacts that parses.
+        (directory / MANIFEST_NAME).unlink(missing_ok=True)
+        write_graph(self.graph, directory / _GRAPH_NAME)
+        _write_json_gz(directory / _INDEX_NAME, self.index.to_payload())
+        _write_json_gz(
+            directory / _LINKER_NAME,
+            {"entries": [[list(tokens), article_id]
+                         for tokens, article_id in sorted(self.title_index.items())]},
+        )
+        _write_json_gz(directory / _DOCUMENTS_NAME, dict(sorted(self.doc_names.items())))
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "mu": self.mu,
+            "counts": {
+                "articles": self.graph.num_articles,
+                "categories": self.graph.num_categories,
+                "edges": self.graph.num_edges,
+                "documents": self.index.num_documents,
+                "titles": len(self.title_index),
+            },
+        }
+        # The manifest is written last: a crash mid-save leaves a directory
+        # that load() rejects as "missing manifest" rather than a torn
+        # snapshot that parses.
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Snapshot":
+        """Load a snapshot written by :meth:`save`.
+
+        Raises :class:`SnapshotError` on a missing/foreign/mismatched
+        manifest, missing artefact files, or count mismatches.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise SnapshotError(
+                f"{directory} is not a snapshot directory (missing {MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"snapshot manifest is not valid JSON: {exc}") from exc
+        if manifest.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unknown snapshot format {manifest.get('format')!r} "
+                f"(expected {SNAPSHOT_FORMAT!r})"
+            )
+        found_version = manifest.get("version")
+        if found_version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot at {directory} has version {found_version!r}; this build "
+                f"reads version {SNAPSHOT_VERSION} — rebuild the snapshot with "
+                f"`repro serve --build`"
+            )
+        mu = float(manifest.get("mu", 0.0))
+        if mu <= 0:
+            raise SnapshotError(f"snapshot manifest has invalid mu: {manifest.get('mu')!r}")
+
+        graph_path = directory / _GRAPH_NAME
+        if not graph_path.exists():
+            raise SnapshotError(f"snapshot is missing {_GRAPH_NAME}")
+        try:
+            graph = read_graph(graph_path)
+        except (DumpFormatError, OSError, EOFError) as exc:
+            raise SnapshotError(
+                f"snapshot file {_GRAPH_NAME} is corrupt: {exc}"
+            ) from exc
+        index = PositionalIndex.from_payload(_read_json_gz(directory / _INDEX_NAME))
+        linker_payload = _read_json_gz(directory / _LINKER_NAME)
+        try:
+            title_index = {
+                tuple(str(t) for t in tokens): int(article_id)
+                for tokens, article_id in linker_payload["entries"]
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"snapshot file {_LINKER_NAME} is malformed: {exc}") from exc
+        doc_names = {
+            str(doc_id): str(name)
+            for doc_id, name in _read_json_gz(directory / _DOCUMENTS_NAME).items()
+        }
+
+        snapshot = cls(
+            graph=graph, index=index, title_index=title_index,
+            doc_names=doc_names, mu=mu,
+        )
+        snapshot._check_counts(manifest.get("counts", {}), directory)
+        return snapshot
+
+    def _check_counts(self, counts: dict, directory: Path) -> None:
+        actual = {
+            "articles": self.graph.num_articles,
+            "categories": self.graph.num_categories,
+            "edges": self.graph.num_edges,
+            "documents": self.index.num_documents,
+            "titles": len(self.title_index),
+        }
+        for key, expected in counts.items():
+            if key in actual and actual[key] != expected:
+                raise SnapshotError(
+                    f"snapshot at {directory} is inconsistent: manifest declares "
+                    f"{expected} {key}, artefacts contain {actual[key]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def make_engine(self, smoothing: Smoothing | None = None) -> SearchEngine:
+        """A ready engine over the stored index (no re-indexing)."""
+        return SearchEngine(
+            smoothing=smoothing or DirichletSmoothing(mu=self.mu),
+            index=self.index,
+        )
+
+    def make_linker(self, **kwargs) -> EntityLinker:
+        """A ready linker from the stored vocabulary (no title rescan)."""
+        return EntityLinker(self.graph, title_index=self.title_index, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(graph={self.graph!r}, docs={self.index.num_documents}, "
+            f"titles={len(self.title_index)}, mu={self.mu})"
+        )

@@ -1,0 +1,365 @@
+"""The online expansion service.
+
+:class:`ExpansionService` answers a single text query end-to-end — entity
+linking, cycle-based expansion over the knowledge graph, and language-model
+ranking of the expanded ``#combine`` query — without re-running the batch
+pipeline.  It is the serving-layer counterpart of the offline harness: the
+harness proves the method on a benchmark; the service applies the method to
+ad-hoc traffic.
+
+Two LRU layers absorb repeated work (see :mod:`repro.service.cache`):
+
+* ``LinkResult`` by normalised query text — queries that differ only in
+  case/punctuation share one linking pass;
+* ``ExpansionResult`` by linked-entity frozenset — distinct phrasings that
+  link to the same entities share one (expensive) cycle-mining pass.
+
+Concurrency: the service is thread-safe.  An in-flight table deduplicates
+identical expansions across threads — when two requests race on the same
+entity set, one mines cycles and the other waits for the result instead of
+mining twice.  :meth:`ExpansionService.batch_expand` additionally
+deduplicates identical queries *within* a batch and amortises the
+full-graph edge scan across the batch's distinct entity sets (see
+:meth:`repro.core.expansion.NeighborhoodCycleExpander.expand_batch`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.expansion import (
+    Expander,
+    ExpansionResult,
+    NeighborhoodCycleExpander,
+)
+from repro.errors import ServiceError
+from repro.linking.linker import EntityLinker, LinkResult
+from repro.retrieval.engine import SearchEngine, SearchResult
+from repro.retrieval.qlang import CombineNode, TermNode
+from repro.service.artifacts import Snapshot
+from repro.service.cache import CacheStats, LRUCache
+
+__all__ = ["ExpansionService", "ServiceResponse", "ServiceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceResponse:
+    """Everything the service knows about one answered query."""
+
+    query: str
+    normalized_query: str
+    link: LinkResult
+    expansion: ExpansionResult
+    results: tuple[SearchResult, ...]
+    link_cached: bool
+    expansion_cached: bool
+    latency_ms: float
+
+    @property
+    def linked(self) -> bool:
+        """Whether any entity was linked (False => keyword fallback ranking)."""
+        return bool(self.link.article_ids)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStats:
+    """Point-in-time service counters."""
+
+    queries: int
+    batches: int
+    unlinked_queries: int
+    inflight_waits: int
+    link_cache: CacheStats
+    expansion_cache: CacheStats
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "unlinked_queries": self.unlinked_queries,
+            "inflight_waits": self.inflight_waits,
+            "link_cache": self.link_cache.as_dict(),
+            "expansion_cache": self.expansion_cache.as_dict(),
+        }
+
+
+class ExpansionService:
+    """Thread-safe online query expansion over prebuilt artefacts.
+
+    Parameters
+    ----------
+    graph / engine / linker:
+        The knowledge graph, a ready search engine, and a ready entity
+        linker — typically materialised from a :class:`Snapshot`.
+    expander:
+        Expansion strategy; defaults to the paper-tuned
+        :class:`NeighborhoodCycleExpander`.
+    doc_names:
+        Optional ``doc_id -> display name`` map used by callers that render
+        results (the CLI); the service itself only passes it through.
+    link_cache_size / expansion_cache_size:
+        LRU bounds of the two cache layers.
+    """
+
+    def __init__(
+        self,
+        graph,
+        engine: SearchEngine,
+        linker: EntityLinker,
+        expander: Expander | None = None,
+        *,
+        doc_names: dict[str, str] | None = None,
+        link_cache_size: int = 4096,
+        expansion_cache_size: int = 1024,
+    ) -> None:
+        if engine.num_documents == 0:
+            raise ServiceError("cannot serve from an engine with no indexed documents")
+        self._graph = graph
+        self._engine = engine
+        self._linker = linker
+        self._expander = expander or NeighborhoodCycleExpander()
+        self.doc_names = dict(doc_names or {})
+        self._link_cache = LRUCache(link_cache_size)
+        self._expansion_cache = LRUCache(expansion_cache_size)
+        self._lock = threading.Lock()
+        self._inflight: dict[frozenset[int], threading.Event] = {}
+        self._queries = 0
+        self._batches = 0
+        self._unlinked = 0
+        self._inflight_waits = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Snapshot | str | Path, expander: Expander | None = None, **kwargs
+    ) -> "ExpansionService":
+        """Cold-start a service from a snapshot (or a snapshot directory)."""
+        if not isinstance(snapshot, Snapshot):
+            snapshot = Snapshot.load(snapshot)
+        return cls(
+            snapshot.graph,
+            snapshot.make_engine(),
+            snapshot.make_linker(),
+            expander,
+            doc_names=snapshot.doc_names,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_benchmark(
+        cls, benchmark, expander: Expander | None = None, **kwargs
+    ) -> "ExpansionService":
+        """Build a service directly from a benchmark (tests, ad-hoc use)."""
+        return cls.from_snapshot(Snapshot.build(benchmark), expander, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self):
+        return self._graph
+
+    @property
+    def engine(self) -> SearchEngine:
+        return self._engine
+
+    def normalize(self, text: str) -> str:
+        """Canonical form of a query: the tokenised text re-joined."""
+        return " ".join(self._engine.tokenizer.tokenize_phrase(text))
+
+    def expand_query(self, text: str, top_k: int = 10) -> ServiceResponse:
+        """Answer one query: link, expand, rank."""
+        started = time.perf_counter()
+        normalized = self.normalize(text)
+        link, link_cached = self._link(normalized)
+        expansion, expansion_cached = self._expand_seeds(link.article_ids)
+        results = self._rank(normalized, expansion, top_k)
+        with self._lock:
+            self._queries += 1
+            if not link.article_ids:
+                self._unlinked += 1
+        return ServiceResponse(
+            query=text,
+            normalized_query=normalized,
+            link=link,
+            expansion=expansion,
+            results=results,
+            link_cached=link_cached,
+            expansion_cached=expansion_cached,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def batch_expand(self, texts: list[str], top_k: int = 10) -> list[ServiceResponse]:
+        """Answer a batch of queries, sharing work across its members.
+
+        Identical queries (after normalisation) are answered once and the
+        response object reused.  All uncached expansions of the batch run
+        through :meth:`NeighborhoodCycleExpander.expand_batch` when the
+        configured expander provides it, so the full-graph edge scan is
+        paid once per batch instead of once per query.
+        """
+        if not texts:
+            return []
+        normalized = [self.normalize(text) for text in texts]
+        unique_norms = list(dict.fromkeys(normalized))
+
+        links: dict[str, tuple[LinkResult, bool]] = {
+            norm: self._link(norm) for norm in unique_norms
+        }
+
+        # Pre-fill the expansion cache for all distinct, uncached, non-empty
+        # entity sets in one amortised pass.
+        batch_expand = getattr(self._expander, "expand_batch", None)
+        computed_here: set[frozenset[int]] = set()
+        if batch_expand is not None:
+            pending = self._claim_pending(
+                {links[norm][0].article_ids for norm in unique_norms}
+            )
+            if pending:
+                try:
+                    for seeds, result in zip(pending, batch_expand(self._graph, pending)):
+                        self._expansion_cache.put(seeds, result)
+                        computed_here.add(seeds)
+                finally:
+                    self._release_pending(pending)
+
+        by_norm: dict[str, ServiceResponse] = {}
+        for text, norm in zip(texts, normalized):
+            if norm not in by_norm:
+                started = time.perf_counter()
+                link, link_cached = links[norm]
+                expansion, expansion_cached = self._expand_seeds(link.article_ids)
+                # An expansion computed by this batch's pre-fill pass is not
+                # "cached" from the caller's perspective: the batch paid for it.
+                if link.article_ids in computed_here:
+                    expansion_cached = False
+                results = self._rank(norm, expansion, top_k)
+                by_norm[norm] = ServiceResponse(
+                    query=text,
+                    normalized_query=norm,
+                    link=link,
+                    expansion=expansion,
+                    results=results,
+                    link_cached=link_cached,
+                    expansion_cached=expansion_cached,
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                )
+        # Duplicates share a response object but still count as served
+        # queries — throughput accounting should reflect offered load.
+        with self._lock:
+            self._batches += 1
+            self._queries += len(normalized)
+            self._unlinked += sum(
+                1 for norm in normalized if not by_norm[norm].link.article_ids
+            )
+        return [by_norm[norm] for norm in normalized]
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                queries=self._queries,
+                batches=self._batches,
+                unlinked_queries=self._unlinked,
+                inflight_waits=self._inflight_waits,
+                link_cache=self._link_cache.stats,
+                expansion_cache=self._expansion_cache.stats,
+            )
+
+    def clear_caches(self) -> None:
+        """Drop cached links and expansions (counters are preserved)."""
+        self._link_cache.clear()
+        self._expansion_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _link(self, normalized: str) -> tuple[LinkResult, bool]:
+        cached = self._link_cache.get(normalized)
+        if cached is not None:
+            return cached, True
+        result = self._linker.link(normalized)
+        self._link_cache.put(normalized, result)
+        return result, False
+
+    def _expand_seeds(self, seeds: frozenset[int]) -> tuple[ExpansionResult, bool]:
+        """Expansion for one entity set, deduplicating in-flight work.
+
+        The winner of the race computes and publishes to the cache; losers
+        wait on its event and re-read.  If the winner fails, its event is
+        still set and a waiter takes over the computation.
+        """
+        if not seeds:
+            return ExpansionResult(
+                seed_articles=frozenset(), article_ids=frozenset(), titles=()
+            ), False
+        while True:
+            cached = self._expansion_cache.get(seeds)
+            if cached is not None:
+                return cached, True
+            with self._lock:
+                again = self._expansion_cache.peek(seeds)
+                if again is not None:
+                    return again, True
+                event = self._inflight.get(seeds)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[seeds] = event
+                    break
+                self._inflight_waits += 1
+            event.wait()
+        try:
+            result = self._expander.expand(self._graph, seeds)
+            self._expansion_cache.put(seeds, result)
+            return result, False
+        finally:
+            with self._lock:
+                self._inflight.pop(seeds, None)
+            event.set()
+
+    def _claim_pending(self, seed_sets: set[frozenset[int]]) -> list[frozenset[int]]:
+        """Mark uncached entity sets as in-flight for a batch pre-fill."""
+        claimed: list[frozenset[int]] = []
+        with self._lock:
+            for seeds in sorted(seed_sets, key=sorted):
+                if not seeds or self._expansion_cache.peek(seeds) is not None:
+                    continue
+                if seeds in self._inflight:
+                    continue  # another thread is on it; _expand_seeds will wait
+                self._inflight[seeds] = threading.Event()
+                claimed.append(seeds)
+        return claimed
+
+    def _release_pending(self, claimed: list[frozenset[int]]) -> None:
+        with self._lock:
+            events = [self._inflight.pop(seeds, None) for seeds in claimed]
+        for event in events:
+            if event is not None:
+                event.set()
+
+    def _rank(
+        self, normalized: str, expansion: ExpansionResult, top_k: int
+    ) -> tuple[SearchResult, ...]:
+        if expansion.seed_articles:
+            phrases = expansion.all_titles(self._graph)
+            return tuple(self._engine.search_phrases(phrases, top_k=top_k))
+        # Keyword fallback: no entity linked, rank the bag of words.
+        terms = normalized.split()
+        if not terms:
+            return ()
+        query = CombineNode(tuple(TermNode(term) for term in terms))
+        return tuple(self._engine.search(query, top_k=top_k))
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ExpansionService(queries={stats.queries}, "
+            f"link_cache={self._link_cache!r}, expansion_cache={self._expansion_cache!r})"
+        )

@@ -1,0 +1,28 @@
+"""Shared fixtures for service-layer tests: one small benchmark + snapshot."""
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.service import Snapshot
+from repro.wiki import SyntheticWikiConfig
+
+
+@pytest.fixture(scope="module")
+def small_benchmark() -> Benchmark:
+    return Benchmark.synthetic(
+        SyntheticWikiConfig(seed=61, num_domains=5, background_articles=80,
+                            background_categories=10),
+        SyntheticCollectionConfig(seed=62, background_docs=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot(small_benchmark) -> Snapshot:
+    return Snapshot.build(small_benchmark)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(snapshot, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("snapshot")
+    snapshot.save(directory)
+    return directory

@@ -1,0 +1,110 @@
+"""Snapshot round-trip and version-gate tests."""
+
+import json
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.linking.linker import EntityLinker
+from repro.service import MANIFEST_NAME, SNAPSHOT_VERSION, Snapshot
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_counts(self, snapshot, snapshot_dir):
+        loaded = Snapshot.load(snapshot_dir)
+        assert loaded.graph.num_articles == snapshot.graph.num_articles
+        assert loaded.graph.num_edges == snapshot.graph.num_edges
+        assert loaded.index.num_documents == snapshot.index.num_documents
+        assert loaded.index.vocabulary_size == snapshot.index.vocabulary_size
+        assert loaded.index.total_tokens == snapshot.index.total_tokens
+        assert loaded.title_index == snapshot.title_index
+        assert loaded.doc_names == snapshot.doc_names
+        assert loaded.mu == snapshot.mu
+
+    def test_identical_linking_after_reload(self, small_benchmark, snapshot_dir):
+        loaded = Snapshot.load(snapshot_dir)
+        fresh_linker = EntityLinker(small_benchmark.graph)
+        reloaded_linker = loaded.make_linker()
+        assert reloaded_linker.num_titles == fresh_linker.num_titles
+        for topic in small_benchmark.topics:
+            fresh = fresh_linker.link(topic.keywords)
+            reloaded = reloaded_linker.link(topic.keywords)
+            assert reloaded.article_ids == fresh.article_ids, topic.keywords
+            assert reloaded.matches == fresh.matches
+
+    def test_identical_ranking_after_reload(self, small_benchmark, snapshot_dir):
+        loaded = Snapshot.load(snapshot_dir)
+        fresh_engine = small_benchmark.build_engine()
+        reloaded_engine = loaded.make_engine()
+        for topic in small_benchmark.topics:
+            fresh = fresh_engine.search(topic.keywords, top_k=10)
+            reloaded = reloaded_engine.search(topic.keywords, top_k=10)
+            assert [(r.doc_id, r.rank) for r in reloaded] == \
+                   [(r.doc_id, r.rank) for r in fresh]
+            for a, b in zip(reloaded, fresh):
+                assert a.score == pytest.approx(b.score)
+
+
+class TestVersionGate:
+    def _corrupt_manifest(self, snapshot_dir, tmp_path, **overrides):
+        import shutil
+
+        copy = tmp_path / "snap"
+        shutil.copytree(snapshot_dir, copy)
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest.update(overrides)
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        return copy
+
+    def test_wrong_version_raises_clear_error(self, snapshot_dir, tmp_path):
+        bad = self._corrupt_manifest(snapshot_dir, tmp_path,
+                                     version=SNAPSHOT_VERSION + 1)
+        with pytest.raises(SnapshotError, match="version"):
+            Snapshot.load(bad)
+        try:
+            Snapshot.load(bad)
+        except SnapshotError as error:
+            message = str(error)
+            assert str(SNAPSHOT_VERSION + 1) in message  # found version
+            assert str(SNAPSHOT_VERSION) in message      # supported version
+
+    def test_foreign_format_rejected(self, snapshot_dir, tmp_path):
+        bad = self._corrupt_manifest(snapshot_dir, tmp_path, format="not-a-snapshot")
+        with pytest.raises(SnapshotError, match="format"):
+            Snapshot.load(bad)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match=MANIFEST_NAME):
+            Snapshot.load(tmp_path)
+
+    def test_missing_artifact_file_rejected(self, snapshot_dir, tmp_path):
+        import shutil
+
+        copy = tmp_path / "snap"
+        shutil.copytree(snapshot_dir, copy)
+        (copy / "index.json.gz").unlink()
+        with pytest.raises(SnapshotError, match="index.json.gz"):
+            Snapshot.load(copy)
+
+    @pytest.mark.parametrize("victim", ["wiki.jsonl.gz", "index.json.gz",
+                                        "linker.json.gz", "documents.json.gz"])
+    def test_truncated_artifact_rejected(self, snapshot_dir, tmp_path, victim):
+        import shutil
+
+        copy = tmp_path / "snap"
+        shutil.copytree(snapshot_dir, copy)
+        # Keep a valid gzip header but cut the stream short.
+        (copy / victim).write_bytes((snapshot_dir / victim).read_bytes()[:60])
+        with pytest.raises(SnapshotError, match="corrupt"):
+            Snapshot.load(copy)
+
+    def test_count_mismatch_rejected(self, snapshot_dir, tmp_path):
+        import shutil
+
+        copy = tmp_path / "snap"
+        shutil.copytree(snapshot_dir, copy)
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest["counts"]["documents"] += 1
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="inconsistent"):
+            Snapshot.load(copy)

@@ -1,0 +1,205 @@
+"""ExpansionService behaviour: end-to-end answers, batching, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.core.expansion import CycleExpander, NeighborhoodCycleExpander
+from repro.errors import ServiceError
+from repro.linking.linker import EntityLinker
+from repro.service import ExpansionService
+
+
+@pytest.fixture()
+def service(snapshot):
+    return ExpansionService.from_snapshot(snapshot)
+
+
+class TestSingleQuery:
+    def test_matches_manual_pipeline(self, small_benchmark, service):
+        """The service answer equals the hand-assembled offline pipeline."""
+        keywords = small_benchmark.topics[0].keywords
+        response = service.expand_query(keywords, top_k=10)
+
+        linker = EntityLinker(small_benchmark.graph)
+        seeds = linker.link_keywords(keywords)
+        expander = NeighborhoodCycleExpander()
+        expansion = expander.expand(small_benchmark.graph, seeds)
+        engine = small_benchmark.build_engine()
+        expected = engine.search_phrases(
+            expansion.all_titles(small_benchmark.graph), top_k=10
+        )
+
+        assert response.link.article_ids == seeds
+        assert response.expansion.article_ids == expansion.article_ids
+        assert [r.doc_id for r in response.results] == [r.doc_id for r in expected]
+
+    def test_unlinked_query_falls_back_to_keywords(self, service):
+        response = service.expand_query("completely unknowable gibberish")
+        assert not response.linked
+        assert response.expansion.num_features == 0
+        assert service.stats().unlinked_queries == 1
+
+    def test_empty_query_returns_no_results(self, service):
+        response = service.expand_query("!!! ???")
+        assert response.normalized_query == ""
+        assert response.results == ()
+
+    def test_latency_is_reported(self, small_benchmark, service):
+        response = service.expand_query(small_benchmark.topics[0].keywords)
+        assert response.latency_ms > 0.0
+
+    def test_rejects_empty_engine(self, snapshot):
+        from repro.retrieval import SearchEngine
+
+        with pytest.raises(ServiceError):
+            ExpansionService(snapshot.graph, SearchEngine(), snapshot.make_linker())
+
+
+class TestBatch:
+    def test_batch_equals_individual_answers(self, small_benchmark, snapshot):
+        queries = [topic.keywords for topic in small_benchmark.topics]
+        batch_service = ExpansionService.from_snapshot(snapshot)
+        batch = batch_service.batch_expand(queries, top_k=10)
+
+        single_service = ExpansionService.from_snapshot(snapshot)
+        for query, response in zip(queries, batch):
+            single = single_service.expand_query(query, top_k=10)
+            assert response.expansion.article_ids == single.expansion.article_ids
+            assert response.expansion.titles == single.expansion.titles
+            assert [r.doc_id for r in response.results] == \
+                   [r.doc_id for r in single.results]
+
+    def test_duplicate_queries_share_a_response(self, small_benchmark, service):
+        keywords = small_benchmark.topics[0].keywords
+        batch = service.batch_expand([keywords, keywords.upper(), keywords])
+        assert batch[0] is batch[1] is batch[2]
+        assert service.stats().queries == 3  # offered load, not unique load
+
+    def test_batch_marks_own_work_as_cold(self, small_benchmark, service):
+        keywords = small_benchmark.topics[0].keywords
+        first = service.batch_expand([keywords])
+        second = service.batch_expand([keywords])
+        assert not first[0].expansion_cached
+        assert second[0].expansion_cached
+
+    def test_empty_batch(self, service):
+        assert service.batch_expand([]) == []
+
+    def test_expander_without_batch_api_still_works(self, small_benchmark, snapshot):
+        class PlainExpander(NeighborhoodCycleExpander):
+            expand_batch = None  # simulate a custom Expander lacking the API
+
+        service = ExpansionService.from_snapshot(
+            snapshot, expander=PlainExpander()
+        )
+        queries = [topic.keywords for topic in list(small_benchmark.topics)[:3]]
+        batch = service.batch_expand(queries)
+        assert len(batch) == len(queries)
+        assert all(response.results for response in batch)
+
+    def test_expand_batch_matches_expand(self, small_benchmark):
+        """The amortised core API is exactly equivalent to per-query calls."""
+        graph = small_benchmark.graph
+        linker = EntityLinker(graph)
+        seed_sets = [
+            linker.link_keywords(topic.keywords) for topic in small_benchmark.topics
+        ]
+        expander = NeighborhoodCycleExpander(
+            CycleExpander(min_category_ratio=0.2, min_extra_edge_density=0.2)
+        )
+        batched = expander.expand_batch(graph, seed_sets)
+        for seeds, result in zip(seed_sets, batched):
+            single = expander.expand(graph, seeds)
+            assert result.article_ids == single.article_ids
+            assert result.titles == single.titles
+            assert result.seed_articles == single.seed_articles
+
+
+class TestConcurrency:
+    def test_racing_identical_queries_compute_once(self, small_benchmark, snapshot):
+        """N threads hammering one query must mine cycles exactly once."""
+        calls = []
+        call_lock = threading.Lock()
+
+        class CountingExpander(NeighborhoodCycleExpander):
+            def expand(self, graph, seed_articles):
+                with call_lock:
+                    calls.append(frozenset(seed_articles))
+                return super().expand(graph, seed_articles)
+
+        service = ExpansionService.from_snapshot(snapshot, expander=CountingExpander())
+        keywords = small_benchmark.topics[0].keywords
+        barrier = threading.Barrier(8)
+        responses = [None] * 8
+        errors = []
+
+        def worker(slot):
+            try:
+                barrier.wait()
+                responses[slot] = service.expand_query(keywords)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(calls) == 1
+        first = responses[0]
+        assert all(r.expansion is first.expansion for r in responses)
+        stats = service.stats()
+        assert stats.queries == 8
+
+    def test_mixed_concurrent_traffic_is_consistent(self, small_benchmark, snapshot):
+        service = ExpansionService.from_snapshot(snapshot)
+        queries = [topic.keywords for topic in list(small_benchmark.topics)[:4]]
+        expected = {
+            query: service.expand_query(query).expansion.article_ids
+            for query in queries
+        }
+        errors = []
+
+        def worker(query):
+            try:
+                for _ in range(5):
+                    response = service.expand_query(query)
+                    assert response.expansion.article_ids == expected[query]
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(query,))
+            for query in queries for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestStats:
+    def test_counters_accumulate(self, small_benchmark, service):
+        keywords = small_benchmark.topics[0].keywords
+        service.expand_query(keywords)
+        service.expand_query(keywords)
+        service.batch_expand([keywords, small_benchmark.topics[1].keywords])
+        stats = service.stats()
+        assert stats.queries == 4
+        assert stats.batches == 1
+        assert stats.link_cache.hits >= 1
+        assert stats.expansion_cache.hits >= 1
+        payload = stats.as_dict()
+        assert payload["queries"] == 4
+        assert 0.0 <= payload["expansion_cache"]["hit_rate"] <= 1.0
+
+    def test_clear_caches_forces_recompute(self, small_benchmark, service):
+        keywords = small_benchmark.topics[0].keywords
+        service.expand_query(keywords)
+        service.clear_caches()
+        response = service.expand_query(keywords)
+        assert not response.expansion_cached

@@ -8,6 +8,7 @@ from repro.cli import (
     expand_main,
     ground_truth_main,
     main,
+    serve_main,
 )
 from repro.collection import Benchmark, SyntheticCollectionConfig
 from repro.wiki import SyntheticWikiConfig
@@ -98,6 +99,48 @@ class TestDispatcher:
     def test_dispatch(self, tmp_path, capsys):
         out = tmp_path / "b"
         assert main(["build-benchmark", "--out", str(out), "--domains", "2"]) == 0
+
+
+class TestServe:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--snapshot" in capsys.readouterr().out
+
+    def test_build_then_serve_from_disk(self, bench_dir, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        benchmark = Benchmark.load(bench_dir)
+        keywords = benchmark.topics[0].keywords
+
+        code = serve_main([
+            "--snapshot", str(snap), "--build", "--benchmark-dir", bench_dir,
+            "--query", keywords, "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built and saved" in out
+        assert "linked entities" in out
+        assert "#1" in out
+        assert '"expansion_cache"' in out
+
+        # Second run cold-starts from the saved snapshot (no benchmark
+        # rebuild: point --benchmark-dir at a nonexistent path on purpose).
+        code = serve_main([
+            "--snapshot", str(snap), "--benchmark-dir", str(tmp_path / "nope"),
+            "--query", keywords, "--query", keywords,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        assert out.count("#1 ") >= 2
+
+    def test_missing_snapshot_without_build_fails(self, tmp_path, capsys):
+        code = serve_main(["--snapshot", str(tmp_path / "absent"), "--query", "x"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "manifest.json" in out
+        assert "--build" in out
 
 
 class TestReport:
