@@ -1,0 +1,127 @@
+"""Latency microbenchmark of the online expansion service.
+
+Measures per-query latency (p50/p99) and throughput of the service over
+the standard 50-topic benchmark, in three regimes:
+
+* **cold** — fresh service, every query pays linking + cycle mining;
+* **cached** — the same queries again, served from the LRU layers;
+* **batched cold** — fresh service answering everything through
+  ``batch_expand``, which amortises the full-graph edge scan.
+
+Results are written to ``BENCH_service.json`` at the repo root so the
+performance trajectory is tracked across PRs.  The suite asserts the
+service's reason to exist: cached p50 strictly below cold p50.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ExpansionService, Snapshot
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+CACHED_ROUNDS = 3
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _summarize(latencies_ms: list[float], total_seconds: float) -> dict:
+    return {
+        "queries": len(latencies_ms),
+        "p50_ms": round(statistics.median(latencies_ms), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies_ms), 3),
+        "throughput_qps": round(len(latencies_ms) / total_seconds, 1),
+    }
+
+
+@pytest.fixture(scope="module")
+def service_snapshot(bench_benchmark) -> Snapshot:
+    return Snapshot.build(bench_benchmark)
+
+
+@pytest.fixture(scope="module")
+def queries(bench_benchmark) -> list[str]:
+    return [topic.keywords for topic in bench_benchmark.topics]
+
+
+@pytest.fixture(scope="module")
+def measurements(service_snapshot, queries) -> dict:
+    service = ExpansionService.from_snapshot(service_snapshot)
+
+    cold: list[float] = []
+    cold_started = time.perf_counter()
+    for query in queries:
+        cold.append(service.expand_query(query).latency_ms)
+    cold_seconds = time.perf_counter() - cold_started
+
+    cached: list[float] = []
+    cached_started = time.perf_counter()
+    for _ in range(CACHED_ROUNDS):
+        for query in queries:
+            response = service.expand_query(query)
+            assert response.expansion_cached, query
+            cached.append(response.latency_ms)
+    cached_seconds = time.perf_counter() - cached_started
+
+    batch_service = ExpansionService.from_snapshot(service_snapshot)
+    batch_started = time.perf_counter()
+    batch = batch_service.batch_expand(queries)
+    batch_seconds = time.perf_counter() - batch_started
+    assert len(batch) == len(queries)
+
+    stats = service.stats()
+    return {
+        "cold": _summarize(cold, cold_seconds),
+        "cached": _summarize(cached, cached_seconds),
+        "batched_cold": {
+            "queries": len(queries),
+            "total_seconds": round(batch_seconds, 3),
+            "throughput_qps": round(len(queries) / batch_seconds, 1),
+        },
+        "cache_hit_rate": {
+            "link": round(stats.link_cache.hit_rate, 4),
+            "expansion": round(stats.expansion_cache.hit_rate, 4),
+        },
+    }
+
+
+def test_cached_p50_strictly_below_cold(measurements):
+    """The cache layer must make the hot path measurably faster."""
+    assert measurements["cached"]["p50_ms"] < measurements["cold"]["p50_ms"]
+
+
+def test_cached_throughput_exceeds_cold(measurements):
+    assert measurements["cached"]["throughput_qps"] > \
+        measurements["cold"]["throughput_qps"]
+
+
+def test_cache_hit_rate_reflects_warm_traffic(measurements):
+    # 1 cold + CACHED_ROUNDS warm passes => hit rate = rounds / (rounds + 1).
+    expected = CACHED_ROUNDS / (CACHED_ROUNDS + 1)
+    assert measurements["cache_hit_rate"]["expansion"] == pytest.approx(
+        expected, abs=0.01
+    )
+
+
+def test_batched_cold_not_slower_than_sequential_cold(measurements):
+    """Amortised batching must not regress below one-by-one serving."""
+    assert measurements["batched_cold"]["throughput_qps"] >= \
+        0.8 * measurements["cold"]["throughput_qps"]
+
+
+def test_emit_bench_json(measurements):
+    """Persist the numbers so the perf trajectory is tracked across PRs."""
+    BENCH_PATH.write_text(json.dumps(measurements, indent=2) + "\n", encoding="utf-8")
+    written = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    assert written["cold"]["queries"] == written["cached"]["queries"] // CACHED_ROUNDS
+    for regime in ("cold", "cached"):
+        assert written[regime]["p50_ms"] > 0
+        assert written[regime]["p99_ms"] >= written[regime]["p50_ms"]
