@@ -1,29 +1,42 @@
 """Latency microbenchmark of the online expansion service.
 
 Measures per-query latency (p50/p99) and throughput of the service over
-the standard 50-topic benchmark, in three regimes:
+the standard 50-topic benchmark, in five regimes:
 
 * **cold** — fresh service, every query pays linking + cycle mining;
 * **cached** — the same queries again, served from the LRU layers;
 * **batched cold** — fresh service answering everything through
-  ``batch_expand``, which amortises the full-graph edge scan.
+  ``batch_expand``, which amortises the full-graph edge scan;
+* **sharded cold / sharded cached** — the same traffic through a
+  4-shard :class:`ShardRouter` (partitioned graph + index segments with
+  scatter-gather ranking), asserting results identical to the
+  single-shard path before timing anything.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
 performance trajectory is tracked across PRs.  The suite asserts the
 service's reason to exist: cached p50 strictly below cold p50.
+
+Smoke mode: set ``REPRO_BENCH_SMOKE=1`` (CI does) to run a truncated
+query set with one warm round — fast enough for every push, while still
+exercising the full measurement path and validating the emitted JSON
+schema against rot.
 """
 
 import json
+import os
 import statistics
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.service import ExpansionService, Snapshot
+from repro.service import ExpansionService, ShardRouter, ShardedSnapshot, Snapshot
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
-CACHED_ROUNDS = 3
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+CACHED_ROUNDS = 1 if SMOKE else 3
+SMOKE_QUERIES = 6
+SHARD_COUNT = 4
 
 
 def _percentile(samples: list[float], fraction: float) -> float:
@@ -49,17 +62,21 @@ def service_snapshot(bench_benchmark) -> Snapshot:
 
 @pytest.fixture(scope="module")
 def queries(bench_benchmark) -> list[str]:
-    return [topic.keywords for topic in bench_benchmark.topics]
+    all_queries = [topic.keywords for topic in bench_benchmark.topics]
+    return all_queries[:SMOKE_QUERIES] if SMOKE else all_queries
 
 
 @pytest.fixture(scope="module")
 def measurements(service_snapshot, queries) -> dict:
     service = ExpansionService.from_snapshot(service_snapshot)
 
+    cold_responses = []
     cold: list[float] = []
     cold_started = time.perf_counter()
     for query in queries:
-        cold.append(service.expand_query(query).latency_ms)
+        response = service.expand_query(query)
+        cold_responses.append(response)
+        cold.append(response.latency_ms)
     cold_seconds = time.perf_counter() - cold_started
 
     cached: list[float] = []
@@ -77,14 +94,48 @@ def measurements(service_snapshot, queries) -> dict:
     batch_seconds = time.perf_counter() - batch_started
     assert len(batch) == len(queries)
 
+    # Sharded serving: same traffic through the 4-shard router.  Results
+    # must be identical to the single-shard path (same top-k doc ids AND
+    # scores) before any of its timings count.
+    router = ShardRouter(ShardedSnapshot.from_snapshot(service_snapshot, SHARD_COUNT))
+    sharded_cold: list[float] = []
+    sharded_cold_started = time.perf_counter()
+    for query, reference in zip(queries, cold_responses):
+        response = router.expand_query(query)
+        assert response.link.article_ids == reference.link.article_ids, query
+        assert response.expansion.article_ids == \
+            reference.expansion.article_ids, query
+        assert [(r.doc_id, r.score) for r in response.results] == \
+               [(r.doc_id, r.score) for r in reference.results], query
+        sharded_cold.append(response.latency_ms)
+    sharded_cold_seconds = time.perf_counter() - sharded_cold_started
+
+    sharded_cached: list[float] = []
+    sharded_cached_started = time.perf_counter()
+    for _ in range(CACHED_ROUNDS):
+        for query in queries:
+            response = router.expand_query(query)
+            assert response.expansion_cached, query
+            sharded_cached.append(response.latency_ms)
+    sharded_cached_seconds = time.perf_counter() - sharded_cached_started
+
     stats = service.stats()
     return {
+        "smoke": SMOKE,
         "cold": _summarize(cold, cold_seconds),
         "cached": _summarize(cached, cached_seconds),
         "batched_cold": {
             "queries": len(queries),
             "total_seconds": round(batch_seconds, 3),
             "throughput_qps": round(len(queries) / batch_seconds, 1),
+        },
+        "sharded_cold": {
+            "shards": SHARD_COUNT,
+            **_summarize(sharded_cold, sharded_cold_seconds),
+        },
+        "sharded_cached": {
+            "shards": SHARD_COUNT,
+            **_summarize(sharded_cached, sharded_cached_seconds),
         },
         "cache_hit_rate": {
             "link": round(stats.link_cache.hit_rate, 4),
@@ -117,11 +168,23 @@ def test_batched_cold_not_slower_than_sequential_cold(measurements):
         0.8 * measurements["cold"]["throughput_qps"]
 
 
+def test_sharded_cached_p50_strictly_below_sharded_cold(measurements):
+    """The cache layers must keep paying off behind the router too."""
+    assert measurements["sharded_cached"]["p50_ms"] < \
+        measurements["sharded_cold"]["p50_ms"]
+
+
 def test_emit_bench_json(measurements):
-    """Persist the numbers so the perf trajectory is tracked across PRs."""
+    """Persist the numbers so the perf trajectory is tracked across PRs.
+
+    Smoke runs still write and re-validate the JSON (that is the point:
+    the schema cannot silently rot), just with fewer samples.
+    """
     BENCH_PATH.write_text(json.dumps(measurements, indent=2) + "\n", encoding="utf-8")
     written = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
     assert written["cold"]["queries"] == written["cached"]["queries"] // CACHED_ROUNDS
-    for regime in ("cold", "cached"):
+    assert written["sharded_cold"]["shards"] == SHARD_COUNT
+    for regime in ("cold", "cached", "sharded_cold", "sharded_cached"):
         assert written[regime]["p50_ms"] > 0
         assert written[regime]["p99_ms"] >= written[regime]["p50_ms"]
+        assert written[regime]["throughput_qps"] > 0

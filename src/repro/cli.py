@@ -9,9 +9,13 @@ Entry points (also importable as functions):
   and figure side by side with the paper's values;
 * ``repro-expand``         — expand an ad-hoc query against a benchmark's
   knowledge graph using the cycle method (no ground truth required);
+* ``repro-snapshot``       — build and save a service snapshot; with
+  ``--shards N`` the snapshot is written as N graph partitions + index
+  segments served by the shard router;
 * ``repro-serve``          — answer queries online from a saved service
   snapshot (build one with ``--build``), printing linked entities,
-  expansion features and ranked documents per query.
+  expansion features and ranked documents per query.  Single-shard and
+  sharded snapshots are detected automatically.
 
 All commands are also reachable through ``python -m repro.cli <command>``,
 which matters in environments where console scripts cannot be installed.
@@ -58,6 +62,7 @@ __all__ = [
     "analyze_main",
     "expand_main",
     "report_main",
+    "snapshot_main",
     "serve_main",
     "main",
 ]
@@ -263,12 +268,51 @@ def report_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _build_snapshot(args: argparse.Namespace):
+    """Build a v1 snapshot (--shards 1) or a sharded snapshot (N > 1).
+
+    ``--shards 1`` deliberately writes the classic single-shard format so
+    snapshots built by default stay readable by older builds; both formats
+    load through :class:`ShardedSnapshot` and serve identically.
+    """
+    from repro.service import ShardedSnapshot, Snapshot
+
+    benchmark = _benchmark_from_args(args)
+    if args.shards == 1:
+        return Snapshot.build(benchmark)
+    return ShardedSnapshot.build(benchmark, num_shards=args.shards)
+
+
+def snapshot_main(argv: list[str] | None = None) -> int:
+    """Build and save a service snapshot (optionally sharded)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-snapshot", description=snapshot_main.__doc__
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--out", default="snapshot", help="output directory (default ./snapshot)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="number of physical shards (1 writes the classic single-shard "
+             "format; N>1 writes per-shard graph partitions + index segments)",
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+
+    snapshot = _build_snapshot(args)
+    snapshot.save(args.out)
+    print(f"saved {snapshot!r} to {args.out}/")
+    return 0
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """Serve online query expansion from a persistent snapshot."""
     import json
 
     from repro.errors import SnapshotError
-    from repro.service import ExpansionService, Snapshot
+    from repro.service import ExpansionService, ShardRouter, ShardedSnapshot, Snapshot
 
     parser = argparse.ArgumentParser(
         prog="repro-serve", description=serve_main.__doc__
@@ -276,12 +320,18 @@ def serve_main(argv: list[str] | None = None) -> int:
     _add_common(parser)
     parser.add_argument(
         "--snapshot", default="snapshot",
-        help="snapshot directory to serve from (default ./snapshot)",
+        help="snapshot directory to serve from (default ./snapshot); "
+             "single-shard and sharded layouts are detected automatically",
     )
     parser.add_argument(
         "--build", action="store_true",
         help="when the snapshot is missing, build it from the benchmark "
              "(--benchmark-dir or synthetic via --seed) and save it first",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard count used when --build creates a new snapshot "
+             "(existing snapshots keep their own shard count)",
     )
     parser.add_argument(
         "--query", action="append", metavar="TEXT",
@@ -295,22 +345,36 @@ def serve_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
 
     snapshot_dir = Path(args.snapshot)
     try:
-        snapshot = Snapshot.load(snapshot_dir)
+        snapshot = ShardedSnapshot.load(snapshot_dir)
         print(f"loaded {snapshot!r} from {snapshot_dir}/")
     except SnapshotError as error:
         if not args.build:
             print(f"error: {error}")
             print("hint: pass --build to create the snapshot from a benchmark")
             return 2
-        benchmark = _benchmark_from_args(args)
-        snapshot = Snapshot.build(benchmark)
-        snapshot.save(snapshot_dir)
-        print(f"built and saved {snapshot!r} to {snapshot_dir}/")
+        built = _build_snapshot(args)
+        built.save(snapshot_dir)
+        print(f"built and saved {built!r} to {snapshot_dir}/")
+        snapshot = built if isinstance(built, ShardedSnapshot) \
+            else ShardedSnapshot.from_snapshot(built, num_shards=1)
 
-    service = ExpansionService.from_snapshot(snapshot)
+    # One worker serves a single shard directly; N shards go through the
+    # router.  Both expose the same expand_query/batch_expand/stats API.
+    if snapshot.num_shards == 1:
+        partition = snapshot.partitions[0]
+        service = ExpansionService(
+            partition.graph,
+            snapshot.make_segment_engine(0),
+            snapshot.make_linker(partition.graph),
+            doc_names=snapshot.doc_names,
+        )
+    else:
+        service = ShardRouter(snapshot)
 
     def answer(response) -> None:
         print(f"query: {response.query!r}")
@@ -348,6 +412,7 @@ _COMMANDS = {
     "analyze": analyze_main,
     "expand": expand_main,
     "report": report_main,
+    "snapshot": snapshot_main,
     "serve": serve_main,
 }
 

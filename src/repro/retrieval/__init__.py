@@ -6,7 +6,13 @@ the INDRI engine; :class:`SearchEngine` is the drop-in used here (see
 DESIGN.md §2 for the substitution argument).
 """
 
-from repro.retrieval.engine import SearchEngine, SearchResult
+from repro.retrieval.engine import (
+    SearchEngine,
+    SearchResult,
+    background_from_counts,
+    collect_leaves,
+    merge_ranked_lists,
+)
 from repro.retrieval.index import PositionalIndex, Posting
 from repro.retrieval.phrase import (
     PhraseStats,
@@ -34,6 +40,9 @@ from repro.retrieval.tokenizer import DEFAULT_STOPWORDS, Tokenizer
 __all__ = [
     "SearchEngine",
     "SearchResult",
+    "collect_leaves",
+    "background_from_counts",
+    "merge_ranked_lists",
     "PositionalIndex",
     "Posting",
     "phrase_occurrences",

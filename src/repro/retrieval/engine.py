@@ -13,10 +13,24 @@ pipeline.  Ranking follows INDRI's evaluation of structured queries:
 Candidate documents are those containing at least one query term (for
 ``#band``: all terms); documents with no overlap cannot outrank them and
 are omitted, which mirrors how IR engines actually return results.
+
+Sharded retrieval: when documents are split across several index segments
+the language model's background statistics must stay *global* for scores
+to be preserved.  The module supports the classic two-phase protocol:
+each segment reports its local collection counts per query leaf
+(:meth:`SearchEngine.leaf_collection_counts`), the router sums them into
+global background probabilities (:func:`background_from_counts`), each
+segment then scores its own documents under that shared background
+(:meth:`SearchEngine.search_with_background`), and the per-segment ranked
+lists are combined score-preservingly by :func:`merge_ranked_lists`.
+A single-segment engine run through this protocol produces bit-identical
+scores to a plain :meth:`SearchEngine.search`.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.errors import EmptyIndexError, QueryLanguageError
@@ -34,7 +48,13 @@ from repro.retrieval.qlang import (
 from repro.retrieval.scoring import DirichletSmoothing, Smoothing
 from repro.retrieval.tokenizer import Tokenizer
 
-__all__ = ["SearchEngine", "SearchResult"]
+__all__ = [
+    "SearchEngine",
+    "SearchResult",
+    "collect_leaves",
+    "background_from_counts",
+    "merge_ranked_lists",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,6 +64,64 @@ class SearchResult:
     doc_id: str
     score: float
     rank: int
+
+
+def collect_leaves(root: QueryNode) -> tuple[QueryNode, ...]:
+    """Distinct scoring leaves (terms/phrases) of a query AST, in order."""
+    leaves: dict[QueryNode, None] = {}
+
+    def visit(node: QueryNode) -> None:
+        if isinstance(node, (TermNode, PhraseNode)):
+            leaves.setdefault(node)
+        elif isinstance(node, (CombineNode, BandNode)):
+            for child in node.children:
+                visit(child)
+        else:
+            raise QueryLanguageError(f"unknown query node type: {type(node).__name__}")
+
+    visit(root)
+    return tuple(leaves)
+
+
+def background_from_counts(
+    counts: Mapping[QueryNode, int], total_tokens: int
+) -> dict[QueryNode, float]:
+    """Background probabilities from summed collection counts.
+
+    Mirrors :meth:`PositionalIndex.collection_probability` (half-count
+    floor for unseen leaves), so probabilities derived from per-segment
+    counts summed across shards equal the monolithic index's.
+    """
+    if total_tokens <= 0:
+        return {leaf: 0.0 for leaf in counts}
+    return {
+        leaf: (count / total_tokens if count > 0 else 0.5 / total_tokens)
+        for leaf, count in counts.items()
+    }
+
+
+def merge_ranked_lists(
+    ranked_lists: Iterable[list[SearchResult]], top_k: int
+) -> list[SearchResult]:
+    """Score-preserving k-way merge of per-segment ranked lists.
+
+    Each input must already be sorted by ``(-score, doc_id)`` (the order
+    :meth:`SearchEngine.search` emits); scores carry over unchanged and
+    only ranks are re-assigned.  Ties across segments break by doc id,
+    exactly as a single engine over the union of documents would.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    merged = heapq.merge(
+        *ranked_lists, key=lambda result: (-result.score, result.doc_id)
+    )
+    out: list[SearchResult] = []
+    for result in merged:
+        out.append(SearchResult(doc_id=result.doc_id, score=result.score,
+                                rank=len(out) + 1))
+        if len(out) == top_k:
+            break
+    return out
 
 
 class SearchEngine:
@@ -137,6 +215,54 @@ class SearchEngine:
         return self.search(build_phrase_query(phrases, self._tokenizer), top_k=top_k)
 
     # ------------------------------------------------------------------
+    # Sharded retrieval (two-phase statistics exchange)
+    # ------------------------------------------------------------------
+
+    def leaf_collection_counts(self, root: QueryNode) -> dict[QueryNode, int]:
+        """Phase 1: this segment's collection count per scoring leaf.
+
+        Terms report their collection frequency; phrases report their
+        exact-occurrence count over this segment's documents.  A router
+        sums these across segments to build the global background model.
+        """
+        counts: dict[QueryNode, int] = {}
+        for leaf in collect_leaves(root):
+            if isinstance(leaf, TermNode):
+                counts[leaf] = self._index.collection_frequency(leaf.term)
+            else:
+                stats = collect_phrase_stats(self._index, leaf.tokens)
+                counts[leaf] = stats.collection_frequency
+        return counts
+
+    def search_with_background(
+        self,
+        root: QueryNode,
+        background: Mapping[QueryNode, float],
+        top_k: int = 15,
+    ) -> list[SearchResult]:
+        """Phase 2: rank this segment's documents under a given background.
+
+        ``background`` maps every scoring leaf of ``root`` to its global
+        ``p(leaf | C)``; term/phrase frequencies and document lengths stay
+        local.  Returns at most ``top_k`` results sorted by
+        ``(-score, doc_id)`` — the global top-k is always contained in the
+        union of per-segment top-k lists.  An empty segment returns [].
+        """
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self._index.num_documents == 0:
+            return []
+        scored = [
+            (self._score_with(root, doc_id, background), doc_id)
+            for doc_id in self._candidates(root)
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [
+            SearchResult(doc_id=doc_id, score=score, rank=rank)
+            for rank, (score, doc_id) in enumerate(scored[:top_k], start=1)
+        ]
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -178,6 +304,29 @@ class SearchEngine:
         if isinstance(node, (CombineNode, BandNode)):
             children = node.children
             return sum(self._score(child, doc_id) for child in children) / len(children)
+        raise QueryLanguageError(f"unknown query node type: {type(node).__name__}")
+
+    def _score_with(
+        self, node: QueryNode, doc_id: str, background: Mapping[QueryNode, float]
+    ) -> float:
+        if isinstance(node, TermNode):
+            return self._smoothing.log_prob(
+                self._index.term_frequency(node.term, doc_id),
+                self._index.document_length(doc_id),
+                background[node],
+            )
+        if isinstance(node, PhraseNode):
+            stats = collect_phrase_stats(self._index, node.tokens)
+            return self._smoothing.log_prob(
+                stats.occurrences_in(doc_id),
+                self._index.document_length(doc_id),
+                background[node],
+            )
+        if isinstance(node, (CombineNode, BandNode)):
+            children = node.children
+            return sum(
+                self._score_with(child, doc_id, background) for child in children
+            ) / len(children)
         raise QueryLanguageError(f"unknown query node type: {type(node).__name__}")
 
     def __repr__(self) -> str:

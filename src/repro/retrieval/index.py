@@ -152,6 +152,10 @@ class PositionalIndex:
         """Ids of documents containing ``term``."""
         return set(self._postings.get(term, ()))
 
+    def terms(self) -> Iterator[str]:
+        """All indexed terms (the vocabulary), in insertion order."""
+        return iter(self._postings)
+
     # ------------------------------------------------------------------
     # Serialisation (service snapshots)
     # ------------------------------------------------------------------

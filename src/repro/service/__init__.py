@@ -1,35 +1,48 @@
-"""Online serving layer: snapshots, caching, and the expansion service.
+"""Online serving layer: snapshots, sharding, caching, and the services.
 
 The batch harness (:mod:`repro.harness`) proves the paper's method on a
 benchmark; this package turns the same components into a system that
 answers ad-hoc queries online:
 
 * :mod:`repro.service.artifacts` — versioned on-disk snapshots of the
-  graph, index and linker vocabulary (cold-start from disk);
+  graph, index and linker vocabulary (cold-start from disk); one logical
+  snapshot may be stored as N physical shards (:class:`ShardedSnapshot`:
+  graph partitions + index segments + checksummed manifest);
 * :mod:`repro.service.cache` — bounded LRU caching with hit/miss counters;
 * :mod:`repro.service.server` — the thread-safe :class:`ExpansionService`
-  with single-query and deduplicating batch APIs.
+  with single-query and deduplicating batch APIs;
+* :mod:`repro.service.router` — :class:`ShardRouter`, the shard-transparent
+  facade that fans expansion out to shard workers and merges per-segment
+  ranked lists score-preservingly.
 
-CLI entry point: ``python -m repro.cli serve`` (see :func:`repro.cli.serve_main`).
+CLI entry points: ``python -m repro.cli serve`` and ``python -m repro.cli
+snapshot`` (see :func:`repro.cli.serve_main`, :func:`repro.cli.snapshot_main`).
 """
 
 from repro.service.artifacts import (
     MANIFEST_NAME,
+    SHARDED_SNAPSHOT_VERSION,
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
+    ShardedSnapshot,
     Snapshot,
 )
 from repro.service.cache import CacheStats, LRUCache
+from repro.service.router import RouterStats, ShardRouter
 from repro.service.server import ExpansionService, ServiceResponse, ServiceStats
 
 __all__ = [
     "Snapshot",
+    "ShardedSnapshot",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SHARDED_SNAPSHOT_VERSION",
     "MANIFEST_NAME",
     "CacheStats",
     "LRUCache",
     "ExpansionService",
     "ServiceResponse",
     "ServiceStats",
+    "ShardRouter",
+    "RouterStats",
 ]

@@ -19,11 +19,31 @@ raises :class:`~repro.errors.SnapshotError` with a message naming the
 problem, *before* any of the heavier artefacts are parsed.  Counts in the
 manifest are cross-checked after loading so silently truncated files are
 caught instead of serving wrong results.
+
+:class:`ShardedSnapshot` is the partitioned evolution of the format: one
+logical snapshot stored as N physical shards (graph partitions + index
+segments) behind one manifest.  Layout::
+
+    snapshot/
+      manifest.json       # version 2: shards, global counts, checksums
+      linker.json.gz      # shared entity-linker vocabulary
+      documents.json.gz   # shared doc_id -> display name
+      shard-0000/
+        partition.json.gz # GraphPartition payload (core + halo + edges)
+        index.json.gz     # PositionalIndex segment of this shard's docs
+      shard-0001/ ...
+
+The version-2 manifest records a sha256 checksum for every shard artefact
+and shared file; load verifies them before parsing, so a bit-rotted shard
+can never serve silently wrong results.  The manifest is still written
+last.  Version-1 directories remain loadable: :meth:`ShardedSnapshot.load`
+reads them as a single-shard snapshot, unchanged on disk.
 """
 
 from __future__ import annotations
 
 import gzip
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,20 +56,35 @@ from repro.retrieval.index import PositionalIndex
 from repro.retrieval.scoring import DirichletSmoothing, Smoothing
 from repro.wiki.dump import read_graph, write_graph
 from repro.wiki.graph import WikiGraph
+from repro.wiki.partition import (
+    GraphPartition,
+    PartitionedGraphView,
+    partition_graph,
+    shard_of_document,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.collection.benchmark import Benchmark
 
-__all__ = ["Snapshot", "SNAPSHOT_FORMAT", "SNAPSHOT_VERSION", "MANIFEST_NAME"]
+__all__ = [
+    "Snapshot",
+    "ShardedSnapshot",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SHARDED_SNAPSHOT_VERSION",
+    "MANIFEST_NAME",
+]
 
 SNAPSHOT_FORMAT = "repro-expansion-snapshot"
 SNAPSHOT_VERSION = 1
+SHARDED_SNAPSHOT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 
 _GRAPH_NAME = "wiki.jsonl.gz"
 _INDEX_NAME = "index.json.gz"
 _LINKER_NAME = "linker.json.gz"
 _DOCUMENTS_NAME = "documents.json.gz"
+_PARTITION_NAME = "partition.json.gz"
 
 
 def _write_json_gz(path: Path, payload: dict) -> None:
@@ -66,6 +101,29 @@ def _read_json_gz(path: Path) -> dict:
     # EOFError: gzip stream truncated (not an OSError subclass).
     except (OSError, EOFError, json.JSONDecodeError) as exc:
         raise SnapshotError(f"snapshot file {path.name} is corrupt: {exc}") from exc
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _linker_payload(title_index: dict[tuple[str, ...], int]) -> dict:
+    return {"entries": [[list(tokens), article_id]
+                        for tokens, article_id in sorted(title_index.items())]}
+
+
+def _parse_linker_payload(payload: dict) -> dict[tuple[str, ...], int]:
+    try:
+        return {
+            tuple(str(t) for t in tokens): int(article_id)
+            for tokens, article_id in payload["entries"]
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"snapshot file {_LINKER_NAME} is malformed: {exc}") from exc
 
 
 @dataclass(slots=True)
@@ -121,11 +179,7 @@ class Snapshot:
         (directory / MANIFEST_NAME).unlink(missing_ok=True)
         write_graph(self.graph, directory / _GRAPH_NAME)
         _write_json_gz(directory / _INDEX_NAME, self.index.to_payload())
-        _write_json_gz(
-            directory / _LINKER_NAME,
-            {"entries": [[list(tokens), article_id]
-                         for tokens, article_id in sorted(self.title_index.items())]},
-        )
+        _write_json_gz(directory / _LINKER_NAME, _linker_payload(self.title_index))
         _write_json_gz(directory / _DOCUMENTS_NAME, dict(sorted(self.doc_names.items())))
         manifest = {
             "format": SNAPSHOT_FORMAT,
@@ -170,6 +224,12 @@ class Snapshot:
                 f"(expected {SNAPSHOT_FORMAT!r})"
             )
         found_version = manifest.get("version")
+        if found_version == SHARDED_SNAPSHOT_VERSION and "shards" in manifest:
+            raise SnapshotError(
+                f"snapshot at {directory} is a sharded snapshot "
+                f"({manifest['shards']} shards); load it with ShardedSnapshot.load "
+                f"or serve it with `repro serve`"
+            )
         if found_version != SNAPSHOT_VERSION:
             raise SnapshotError(
                 f"snapshot at {directory} has version {found_version!r}; this build "
@@ -190,14 +250,7 @@ class Snapshot:
                 f"snapshot file {_GRAPH_NAME} is corrupt: {exc}"
             ) from exc
         index = PositionalIndex.from_payload(_read_json_gz(directory / _INDEX_NAME))
-        linker_payload = _read_json_gz(directory / _LINKER_NAME)
-        try:
-            title_index = {
-                tuple(str(t) for t in tokens): int(article_id)
-                for tokens, article_id in linker_payload["entries"]
-            }
-        except (KeyError, TypeError, ValueError) as exc:
-            raise SnapshotError(f"snapshot file {_LINKER_NAME} is malformed: {exc}") from exc
+        title_index = _parse_linker_payload(_read_json_gz(directory / _LINKER_NAME))
         doc_names = {
             str(doc_id): str(name)
             for doc_id, name in _read_json_gz(directory / _DOCUMENTS_NAME).items()
@@ -244,4 +297,320 @@ class Snapshot:
         return (
             f"Snapshot(graph={self.graph!r}, docs={self.index.num_documents}, "
             f"titles={len(self.title_index)}, mu={self.mu})"
+        )
+
+
+def _shard_dir_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}"
+
+
+def _split_index(index: PositionalIndex, num_shards: int) -> list[PositionalIndex]:
+    """Split one index into per-shard segments by document hash.
+
+    Per-segment collection statistics are recomputed by ``from_payload``,
+    so summing them across segments reproduces the monolithic statistics
+    exactly (same integer counts, same totals).
+    """
+    doc_shard = {
+        doc_id: shard_of_document(doc_id, num_shards) for doc_id in index.doc_ids()
+    }
+    payloads: list[dict] = [
+        {"documents": [], "postings": {}} for _ in range(num_shards)
+    ]
+    for doc_id, shard in doc_shard.items():
+        payloads[shard]["documents"].append([doc_id, index.document_length(doc_id)])
+    for term in index.terms():
+        for posting in index.postings(term):
+            shard_payload = payloads[doc_shard[posting.doc_id]]
+            shard_payload["postings"].setdefault(term, {})[posting.doc_id] = \
+                posting.positions
+    return [
+        PositionalIndex.from_payload(payload, tokenizer=index.tokenizer)
+        for payload in payloads
+    ]
+
+
+@dataclass(slots=True)
+class ShardedSnapshot:
+    """One logical snapshot stored and served as N physical shards.
+
+    Each shard pairs a :class:`GraphPartition` (core nodes + halo + every
+    incident edge) with the :class:`PositionalIndex` segment of the
+    documents hashed to it.  The linker vocabulary and document names are
+    shared across shards.  ``view()`` reassembles the exact logical graph;
+    the router in :mod:`repro.service.router` serves queries over the
+    shards without ever materialising the monolithic index.
+    """
+
+    partitions: tuple[GraphPartition, ...]
+    segments: tuple[PositionalIndex, ...]
+    title_index: dict[tuple[str, ...], int]
+    doc_names: dict[str, str]
+    mu: float
+
+    def __post_init__(self) -> None:
+        if len(self.partitions) != len(self.segments):
+            raise SnapshotError(
+                f"shard mismatch: {len(self.partitions)} graph partitions vs "
+                f"{len(self.segments)} index segments"
+            )
+        if not self.partitions:
+            raise SnapshotError("a sharded snapshot needs >= 1 shard")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def num_documents(self) -> int:
+        return sum(segment.num_documents for segment in self.segments)
+
+    @classmethod
+    def build(
+        cls, benchmark: "Benchmark", *, num_shards: int, mu: float | None = None
+    ) -> "ShardedSnapshot":
+        """Partition a benchmark into ``num_shards`` servable shards."""
+        return cls.from_snapshot(Snapshot.build(benchmark, mu=mu), num_shards)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot, num_shards: int) -> "ShardedSnapshot":
+        """Shard a monolithic snapshot (the migration path for v1 dirs)."""
+        if num_shards < 1:
+            raise SnapshotError("num_shards must be >= 1")
+        if num_shards == 1:
+            # Single shard IS the monolithic snapshot: reuse its graph and
+            # index directly instead of re-partitioning and round-tripping
+            # every posting — v1 cold starts must cost what they used to.
+            graph = snapshot.graph
+            partition = GraphPartition(
+                shard_id=0,
+                num_shards=1,
+                graph=graph,
+                core_articles=frozenset(a.node_id for a in graph.articles()),
+                core_categories=frozenset(c.node_id for c in graph.categories()),
+            )
+            partitions: tuple[GraphPartition, ...] = (partition,)
+            segments: tuple[PositionalIndex, ...] = (snapshot.index,)
+        else:
+            partitions = tuple(partition_graph(snapshot.graph, num_shards))
+            segments = tuple(_split_index(snapshot.index, num_shards))
+        return cls(
+            partitions=partitions,
+            segments=segments,
+            title_index=dict(snapshot.title_index),
+            doc_names=dict(snapshot.doc_names),
+            mu=snapshot.mu,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        """Write all shards; the checksummed manifest is written last."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / MANIFEST_NAME).unlink(missing_ok=True)
+
+        shard_entries = []
+        for partition, segment in zip(self.partitions, self.segments):
+            shard_dir = directory / _shard_dir_name(partition.shard_id)
+            shard_dir.mkdir(exist_ok=True)
+            _write_json_gz(shard_dir / _PARTITION_NAME, partition.to_payload())
+            _write_json_gz(shard_dir / _INDEX_NAME, segment.to_payload())
+            shard_entries.append({
+                "dir": shard_dir.name,
+                "checksums": {
+                    _PARTITION_NAME: _sha256(shard_dir / _PARTITION_NAME),
+                    _INDEX_NAME: _sha256(shard_dir / _INDEX_NAME),
+                },
+                "counts": {
+                    "core_articles": len(partition.core_articles),
+                    "core_categories": len(partition.core_categories),
+                    "owned_edges": partition.num_owned_edges,
+                    "documents": segment.num_documents,
+                },
+            })
+        _write_json_gz(directory / _LINKER_NAME, _linker_payload(self.title_index))
+        _write_json_gz(directory / _DOCUMENTS_NAME, dict(sorted(self.doc_names.items())))
+
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SHARDED_SNAPSHOT_VERSION,
+            "mu": self.mu,
+            "shards": self.num_shards,
+            "counts": {
+                "articles": sum(len(p.core_articles) for p in self.partitions),
+                "categories": sum(len(p.core_categories) for p in self.partitions),
+                "edges": sum(p.num_owned_edges for p in self.partitions),
+                "documents": self.num_documents,
+                "titles": len(self.title_index),
+            },
+            "shard_artifacts": shard_entries,
+            "shared_checksums": {
+                _LINKER_NAME: _sha256(directory / _LINKER_NAME),
+                _DOCUMENTS_NAME: _sha256(directory / _DOCUMENTS_NAME),
+            },
+        }
+        # Written last, like Snapshot.save: a crash mid-save leaves a
+        # directory load() rejects instead of a torn shard mix.
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ShardedSnapshot":
+        """Load a sharded snapshot; v1 directories load as one shard.
+
+        Every artefact's sha256 is verified against the manifest before
+        parsing.  Raises :class:`SnapshotError` on checksum mismatches,
+        missing shards, or count inconsistencies.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise SnapshotError(
+                f"{directory} is not a snapshot directory (missing {MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"snapshot manifest is not valid JSON: {exc}") from exc
+        if manifest.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unknown snapshot format {manifest.get('format')!r} "
+                f"(expected {SNAPSHOT_FORMAT!r})"
+            )
+        version = manifest.get("version")
+        if version == SNAPSHOT_VERSION:
+            # Pre-shard snapshot: serve it unchanged as a single shard.
+            return cls.from_snapshot(Snapshot.load(directory), num_shards=1)
+        if version != SHARDED_SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"snapshot at {directory} has version {version!r}; this build reads "
+                f"versions {SNAPSHOT_VERSION} and {SHARDED_SNAPSHOT_VERSION} — "
+                f"rebuild the snapshot with `repro snapshot`"
+            )
+        mu = float(manifest.get("mu", 0.0))
+        if mu <= 0:
+            raise SnapshotError(f"snapshot manifest has invalid mu: {manifest.get('mu')!r}")
+        declared_shards = manifest.get("shards")
+        shard_entries = manifest.get("shard_artifacts", [])
+        if not isinstance(declared_shards, int) or declared_shards < 1 \
+                or len(shard_entries) != declared_shards:
+            raise SnapshotError(
+                f"snapshot manifest declares {declared_shards!r} shards but lists "
+                f"{len(shard_entries)} shard artefact entries"
+            )
+
+        def verified(path: Path, expected: str | None) -> Path:
+            if not path.exists():
+                raise SnapshotError(f"snapshot is missing {path.name}")
+            # A v2 manifest must checksum every artefact it references —
+            # a deleted checksum entry would otherwise disable integrity
+            # checking exactly when tampering is most likely.
+            if expected is None:
+                raise SnapshotError(
+                    f"snapshot manifest lists no checksum for "
+                    f"{path.parent.name}/{path.name} (tampered manifest?)"
+                )
+            if _sha256(path) != expected:
+                raise SnapshotError(
+                    f"snapshot file {path.parent.name}/{path.name} fails its "
+                    f"manifest checksum (corrupt or tampered)"
+                )
+            return path
+
+        shared = manifest.get("shared_checksums", {})
+        title_index = _parse_linker_payload(_read_json_gz(
+            verified(directory / _LINKER_NAME, shared.get(_LINKER_NAME))
+        ))
+        doc_names = {
+            str(doc_id): str(name)
+            for doc_id, name in _read_json_gz(
+                verified(directory / _DOCUMENTS_NAME, shared.get(_DOCUMENTS_NAME))
+            ).items()
+        }
+
+        partitions: list[GraphPartition] = []
+        segments: list[PositionalIndex] = []
+        for entry in shard_entries:
+            shard_dir = directory / str(entry.get("dir", ""))
+            checksums = entry.get("checksums", {})
+            partition = GraphPartition.from_payload(_read_json_gz(
+                verified(shard_dir / _PARTITION_NAME, checksums.get(_PARTITION_NAME))
+            ))
+            segment = PositionalIndex.from_payload(_read_json_gz(
+                verified(shard_dir / _INDEX_NAME, checksums.get(_INDEX_NAME))
+            ))
+            counts = entry.get("counts", {})
+            actual = {
+                "core_articles": len(partition.core_articles),
+                "core_categories": len(partition.core_categories),
+                "owned_edges": partition.num_owned_edges,
+                "documents": segment.num_documents,
+            }
+            for key, expected in counts.items():
+                if key in actual and actual[key] != expected:
+                    raise SnapshotError(
+                        f"snapshot shard {shard_dir.name} is inconsistent: manifest "
+                        f"declares {expected} {key}, artefacts contain {actual[key]}"
+                    )
+            partitions.append(partition)
+            segments.append(segment)
+
+        snapshot = cls(
+            partitions=tuple(partitions), segments=tuple(segments),
+            title_index=title_index, doc_names=doc_names, mu=mu,
+        )
+        counts = manifest.get("counts", {})
+        actual_global = {
+            "articles": sum(len(p.core_articles) for p in partitions),
+            "categories": sum(len(p.core_categories) for p in partitions),
+            "edges": sum(p.num_owned_edges for p in partitions),
+            "documents": snapshot.num_documents,
+            "titles": len(title_index),
+        }
+        for key, expected in counts.items():
+            if key in actual_global and actual_global[key] != expected:
+                raise SnapshotError(
+                    f"snapshot at {directory} is inconsistent: manifest declares "
+                    f"{expected} {key}, artefacts contain {actual_global[key]}"
+                )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def view(self) -> PartitionedGraphView:
+        """The exact logical graph reassembled over the partitions."""
+        return PartitionedGraphView(self.partitions)
+
+    def make_segment_engine(
+        self, shard_id: int, smoothing: Smoothing | None = None
+    ) -> SearchEngine:
+        """A ready engine over one shard's index segment."""
+        return SearchEngine(
+            smoothing=smoothing or DirichletSmoothing(mu=self.mu),
+            index=self.segments[shard_id],
+        )
+
+    def make_linker(self, graph=None, **kwargs) -> EntityLinker:
+        """A ready linker from the shared vocabulary (defaults to the view)."""
+        return EntityLinker(
+            graph if graph is not None else self.view(),
+            title_index=self.title_index, **kwargs,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSnapshot(shards={self.num_shards}, "
+            f"docs={self.num_documents}, titles={len(self.title_index)}, "
+            f"mu={self.mu})"
         )

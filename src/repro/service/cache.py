@@ -46,12 +46,20 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
+        """JSON-ready counters, including the bound and current occupancy
+        (``serve --stats`` consumers size caches from these).
+
+        ``capacity`` and ``max_size`` carry the same value: ``max_size``
+        is the key PR 1 shipped and existing consumers parse; ``capacity``
+        is the clearer name going forward.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "size": self.size,
             "max_size": self.max_size,
+            "capacity": self.max_size,
             "hit_rate": round(self.hit_rate, 4),
         }
 

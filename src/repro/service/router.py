@@ -1,0 +1,342 @@
+"""Multi-worker shard router: one service facade over N shard workers.
+
+:class:`ShardRouter` serves the same ``expand_query`` / ``batch_expand`` /
+``stats`` API as :class:`~repro.service.server.ExpansionService`, but over
+a :class:`~repro.service.artifacts.ShardedSnapshot`:
+
+* **Linking** happens once at the router (shared vocabulary, its own LRU),
+  because the owning shard of a query is only known after linking.
+* **Expansion** is fanned out to the shard *owning* the linked seed set
+  (the shard of the smallest seed id — deterministic, so a seed set always
+  lands on the same worker and its expansion cache).  Workers are full
+  :class:`ExpansionService` instances: per-shard LRU caches, in-flight
+  dedup, and the amortised ``expand_batch`` pre-fill all apply per shard.
+  Cycle mining is shard-local: the worker's bounded neighbourhood is
+  assembled through the :class:`PartitionedGraphView`, whose per-node halo
+  answers are exact, so the mined cycles are identical to the monolithic
+  graph's.
+* **Ranking** is a scatter-gather over every shard's index segment with a
+  global statistics exchange (each segment reports local collection counts
+  per query leaf, the router sums them into the global background model,
+  each segment scores its own documents under it) followed by a
+  score-preserving k-way merge.  Scores and top-k order are bit-identical
+  to a single engine over the whole collection.
+
+Thread pool: shard fan-out (batch expansion pre-fill, both ranking phases)
+runs on one pool sized to the shard count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.expansion import Expander, ExpansionResult, NeighborhoodCycleExpander
+from repro.linking.linker import LinkResult
+from repro.retrieval.engine import (
+    SearchResult,
+    background_from_counts,
+    collect_leaves,
+    merge_ranked_lists,
+)
+from repro.retrieval.qlang import CombineNode, QueryNode, TermNode, build_phrase_query
+from repro.service.artifacts import ShardedSnapshot
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.server import ExpansionService, ServiceResponse, ServiceStats
+
+__all__ = ["ShardRouter", "RouterStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouterStats:
+    """Point-in-time counters of the router and each shard worker."""
+
+    shards: int
+    queries: int
+    batches: int
+    unlinked_queries: int
+    link_cache: CacheStats
+    shard_stats: tuple[ServiceStats, ...]
+
+    @property
+    def expansion_cache(self) -> CacheStats:
+        """All shard expansion caches summed into one aggregate view."""
+        per_shard = [stats.expansion_cache for stats in self.shard_stats]
+        return CacheStats(
+            hits=sum(c.hits for c in per_shard),
+            misses=sum(c.misses for c in per_shard),
+            evictions=sum(c.evictions for c in per_shard),
+            size=sum(c.size for c in per_shard),
+            max_size=sum(c.max_size for c in per_shard),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "queries": self.queries,
+            "batches": self.batches,
+            "unlinked_queries": self.unlinked_queries,
+            "link_cache": self.link_cache.as_dict(),
+            "expansion_cache": self.expansion_cache.as_dict(),
+            "per_shard": [stats.as_dict() for stats in self.shard_stats],
+        }
+
+
+class ShardRouter:
+    """Shard-transparent serving over a :class:`ShardedSnapshot`.
+
+    Parameters
+    ----------
+    snapshot:
+        The sharded snapshot to serve (or a snapshot directory path, v1
+        single-shard directories included).
+    expander:
+        Expansion strategy shared by all workers; defaults to the
+        paper-tuned :class:`NeighborhoodCycleExpander` (stateless, so one
+        instance is safe to share).
+    link_cache_size / expansion_cache_size:
+        Router link-LRU bound and per-worker expansion-LRU bound.
+    """
+
+    def __init__(
+        self,
+        snapshot: ShardedSnapshot,
+        expander: Expander | None = None,
+        *,
+        link_cache_size: int = 4096,
+        expansion_cache_size: int = 1024,
+    ) -> None:
+        self._view = snapshot.view()
+        self.doc_names = dict(snapshot.doc_names)
+        self._linker = snapshot.make_linker(self._view)
+        shared_expander = expander or NeighborhoodCycleExpander()
+        self._workers = [
+            ExpansionService(
+                self._view,
+                snapshot.make_segment_engine(shard_id),
+                self._linker,
+                shared_expander,
+                doc_names=snapshot.doc_names,
+                # Linking happens once at the router (owner routing needs
+                # the seeds before a worker is chosen), so worker link
+                # caches would only ever hold dead entries — keep them at
+                # the minimum size instead of the 4096 default.
+                link_cache_size=1,
+                expansion_cache_size=expansion_cache_size,
+                allow_empty_index=True,
+            )
+            for shard_id in range(snapshot.num_shards)
+        ]
+        self._tokenizer = self._workers[0].engine.tokenizer
+        self._link_cache = LRUCache(link_cache_size)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._workers), thread_name_prefix="shard-router"
+        )
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._batches = 0
+        self._unlinked = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: ShardedSnapshot | str | Path,
+        expander: Expander | None = None, **kwargs,
+    ) -> "ShardRouter":
+        """Cold-start a router from a (sharded or v1) snapshot directory."""
+        if not isinstance(snapshot, ShardedSnapshot):
+            snapshot = ShardedSnapshot.load(snapshot)
+        return cls(snapshot, expander, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serving (ExpansionService-compatible surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self):
+        """The exact logical graph (a :class:`PartitionedGraphView`)."""
+        return self._view
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> tuple[ExpansionService, ...]:
+        return tuple(self._workers)
+
+    def normalize(self, text: str) -> str:
+        """Canonical form of a query: the tokenised text re-joined."""
+        return " ".join(self._tokenizer.tokenize_phrase(text))
+
+    def owner_shard(self, seeds: frozenset[int]) -> int:
+        """Shard whose worker owns this seed set's expansion.
+
+        The shard of the smallest seed id: deterministic, so repeats of a
+        query always hit the same worker's expansion cache.  Empty seed
+        sets (keyword fallback) go to shard 0; they never mine cycles.
+        """
+        if not seeds:
+            return 0
+        return self._view.owner_shard(min(seeds))
+
+    def expand_query(self, text: str, top_k: int = 10) -> ServiceResponse:
+        """Answer one query: link at the router, expand on the owning
+        shard, rank across all segments."""
+        started = time.perf_counter()
+        normalized = self.normalize(text)
+        link, link_cached = self._link(normalized)
+        worker = self._workers[self.owner_shard(link.article_ids)]
+        expansion, expansion_cached = worker.expand_seeds(link.article_ids)
+        results = self._rank(normalized, expansion, top_k)
+        with self._lock:
+            self._queries += 1
+            if not link.article_ids:
+                self._unlinked += 1
+        return ServiceResponse(
+            query=text,
+            normalized_query=normalized,
+            link=link,
+            expansion=expansion,
+            results=results,
+            link_cached=link_cached,
+            expansion_cached=expansion_cached,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def batch_expand(self, texts: list[str], top_k: int = 10) -> list[ServiceResponse]:
+        """Answer a batch, fanning expansion work out across shards.
+
+        Raw duplicates are answered once.  Distinct seed sets are grouped
+        by owning shard and pre-filled in parallel — each shard pays its
+        amortised edge scan once, concurrently with the other shards.
+        """
+        if not texts:
+            return []
+        norm_by_text = {text: self.normalize(text) for text in dict.fromkeys(texts)}
+        normalized = [norm_by_text[text] for text in texts]
+        unique_norms = list(dict.fromkeys(normalized))
+
+        links: dict[str, tuple[LinkResult, bool]] = {
+            norm: self._link(norm) for norm in unique_norms
+        }
+
+        by_shard: dict[int, set[frozenset[int]]] = {}
+        for norm in unique_norms:
+            seeds = links[norm][0].article_ids
+            by_shard.setdefault(self.owner_shard(seeds), set()).add(seeds)
+        prefills = list(self._pool.map(
+            lambda item: self._workers[item[0]].prefill_expansions(item[1]),
+            by_shard.items(),
+        ))
+        computed_here: set[frozenset[int]] = set().union(*prefills) if prefills else set()
+
+        by_norm: dict[str, ServiceResponse] = {}
+        for text, norm in zip(texts, normalized):
+            if norm in by_norm:
+                continue
+            started = time.perf_counter()
+            link, link_cached = links[norm]
+            worker = self._workers[self.owner_shard(link.article_ids)]
+            expansion, expansion_cached = worker.expand_seeds(link.article_ids)
+            # The batch itself paid for pre-filled expansions: report cold.
+            if link.article_ids in computed_here:
+                expansion_cached = False
+            results = self._rank(norm, expansion, top_k)
+            by_norm[norm] = ServiceResponse(
+                query=text,
+                normalized_query=norm,
+                link=link,
+                expansion=expansion,
+                results=results,
+                link_cached=link_cached,
+                expansion_cached=expansion_cached,
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+            )
+        with self._lock:
+            self._batches += 1
+            self._queries += len(normalized)
+            self._unlinked += sum(
+                1 for norm in normalized if not by_norm[norm].link.article_ids
+            )
+        return [by_norm[norm] for norm in normalized]
+
+    def stats(self) -> RouterStats:
+        with self._lock:
+            return RouterStats(
+                shards=self.num_shards,
+                queries=self._queries,
+                batches=self._batches,
+                unlinked_queries=self._unlinked,
+                link_cache=self._link_cache.stats,
+                shard_stats=tuple(worker.stats() for worker in self._workers),
+            )
+
+    def clear_caches(self) -> None:
+        """Drop the router link cache and every worker's caches."""
+        self._link_cache.clear()
+        for worker in self._workers:
+            worker.clear_caches()
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (the router stops serving)."""
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _link(self, normalized: str) -> tuple[LinkResult, bool]:
+        cached = self._link_cache.get(normalized)
+        if cached is not None:
+            return cached, True
+        result = self._linker.link(normalized)
+        self._link_cache.put(normalized, result)
+        return result, False
+
+    def _rank(
+        self, normalized: str, expansion: ExpansionResult, top_k: int
+    ) -> tuple[SearchResult, ...]:
+        if expansion.seed_articles:
+            phrases = expansion.all_titles(self._view)
+            root: QueryNode = build_phrase_query(phrases, self._tokenizer)
+        else:
+            terms = normalized.split()
+            if not terms:
+                return ()
+            root = CombineNode(tuple(TermNode(term) for term in terms))
+        return tuple(self._scatter_search(root, top_k))
+
+    def _scatter_search(self, root: QueryNode, top_k: int) -> list[SearchResult]:
+        """Two-phase distributed ranking with exact global statistics."""
+        engines = [worker.engine for worker in self._workers]
+        # Phase 1: local collection counts per scoring leaf, in parallel.
+        per_segment = list(self._pool.map(
+            lambda engine: engine.leaf_collection_counts(root), engines
+        ))
+        totals = {leaf: 0 for leaf in collect_leaves(root)}
+        for counts in per_segment:
+            for leaf, count in counts.items():
+                totals[leaf] += count
+        total_tokens = sum(engine.index.total_tokens for engine in engines)
+        background = background_from_counts(totals, total_tokens)
+        # Phase 2: every segment ranks its own documents under the shared
+        # background; the merge preserves scores and global tie-breaks.
+        ranked_lists = list(self._pool.map(
+            lambda engine: engine.search_with_background(root, background, top_k),
+            engines,
+        ))
+        return merge_ranked_lists(ranked_lists, top_k)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ShardRouter(shards={stats.shards}, queries={stats.queries}, "
+            f"link_cache={self._link_cache!r})"
+        )

@@ -102,6 +102,11 @@ class ExpansionService:
         results (the CLI); the service itself only passes it through.
     link_cache_size / expansion_cache_size:
         LRU bounds of the two cache layers.
+    allow_empty_index:
+        Permit an engine with no indexed documents.  Standalone services
+        reject that (serving nothing is a misconfiguration), but a shard
+        worker behind :class:`repro.service.router.ShardRouter` may own an
+        empty index segment and still perform linking/expansion work.
     """
 
     def __init__(
@@ -114,8 +119,9 @@ class ExpansionService:
         doc_names: dict[str, str] | None = None,
         link_cache_size: int = 4096,
         expansion_cache_size: int = 1024,
+        allow_empty_index: bool = False,
     ) -> None:
-        if engine.num_documents == 0:
+        if engine.num_documents == 0 and not allow_empty_index:
             raise ServiceError("cannot serve from an engine with no indexed documents")
         self._graph = graph
         self._engine = engine
@@ -199,7 +205,10 @@ class ExpansionService:
     def batch_expand(self, texts: list[str], top_k: int = 10) -> list[ServiceResponse]:
         """Answer a batch of queries, sharing work across its members.
 
-        Identical queries (after normalisation) are answered once and the
+        Identical raw strings are deduplicated before any work happens (a
+        batch of N copies of one query costs one tokenisation, one link and
+        one expansion, not N cache probes racing the in-flight table), and
+        identical queries after normalisation are answered once with the
         response object reused.  All uncached expansions of the batch run
         through :meth:`NeighborhoodCycleExpander.expand_batch` when the
         configured expander provides it, so the full-graph edge scan is
@@ -207,7 +216,10 @@ class ExpansionService:
         """
         if not texts:
             return []
-        normalized = [self.normalize(text) for text in texts]
+        # Dedupe raw strings first: repeated identical queries are common
+        # in real batches and should not even pay repeated normalisation.
+        norm_by_text = {text: self.normalize(text) for text in dict.fromkeys(texts)}
+        normalized = [norm_by_text[text] for text in texts]
         unique_norms = list(dict.fromkeys(normalized))
 
         links: dict[str, tuple[LinkResult, bool]] = {
@@ -216,19 +228,9 @@ class ExpansionService:
 
         # Pre-fill the expansion cache for all distinct, uncached, non-empty
         # entity sets in one amortised pass.
-        batch_expand = getattr(self._expander, "expand_batch", None)
-        computed_here: set[frozenset[int]] = set()
-        if batch_expand is not None:
-            pending = self._claim_pending(
-                {links[norm][0].article_ids for norm in unique_norms}
-            )
-            if pending:
-                try:
-                    for seeds, result in zip(pending, batch_expand(self._graph, pending)):
-                        self._expansion_cache.put(seeds, result)
-                        computed_here.add(seeds)
-                finally:
-                    self._release_pending(pending)
+        computed_here = self.prefill_expansions(
+            links[norm][0].article_ids for norm in unique_norms
+        )
 
         by_norm: dict[str, ServiceResponse] = {}
         for text, norm in zip(texts, normalized):
@@ -276,6 +278,46 @@ class ExpansionService:
         """Drop cached links and expansions (counters are preserved)."""
         self._link_cache.clear()
         self._expansion_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Shard-worker API (used by the router; also the batch building block)
+    # ------------------------------------------------------------------
+
+    def link_text(self, normalized: str) -> tuple[LinkResult, bool]:
+        """Entity-link one normalised query through the link cache."""
+        return self._link(normalized)
+
+    def expand_seeds(self, seeds: frozenset[int]) -> tuple[ExpansionResult, bool]:
+        """Expansion for one entity set (cached, in-flight deduplicated).
+
+        Returns ``(result, was_cached)``.  This is the unit of work a
+        router fans out to the shard owning ``seeds``.
+        """
+        return self._expand_seeds(frozenset(seeds))
+
+    def prefill_expansions(self, seed_sets) -> set[frozenset[int]]:
+        """Amortised pre-fill of the expansion cache for a batch.
+
+        Claims every distinct, uncached, non-empty entity set, computes
+        them in one :meth:`NeighborhoodCycleExpander.expand_batch` pass
+        (when the expander provides it) and publishes the results.
+        Returns the seed sets computed by this call; sets already cached
+        or being computed by another thread are left to
+        :meth:`expand_seeds` to pick up.
+        """
+        batch_expand = getattr(self._expander, "expand_batch", None)
+        computed_here: set[frozenset[int]] = set()
+        if batch_expand is None:
+            return computed_here
+        pending = self._claim_pending({frozenset(seeds) for seeds in seed_sets})
+        if pending:
+            try:
+                for seeds, result in zip(pending, batch_expand(self._graph, pending)):
+                    self._expansion_cache.put(seeds, result)
+                    computed_here.add(seeds)
+            finally:
+                self._release_pending(pending)
+        return computed_here
 
     # ------------------------------------------------------------------
     # Internals

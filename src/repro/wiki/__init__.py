@@ -8,6 +8,13 @@ model follows Figure 1 exactly: articles with titles, categories with names,
 from repro.wiki.builder import WikiGraphBuilder
 from repro.wiki.dump import dumps_graph, loads_graph, read_graph, write_graph
 from repro.wiki.graph import WikiGraph
+from repro.wiki.partition import (
+    GraphPartition,
+    PartitionedGraphView,
+    partition_graph,
+    shard_of_document,
+    shard_of_node,
+)
 from repro.wiki.paths import bfs_distances, distance_histogram, eccentricity
 from repro.wiki.schema import Article, Category, Edge, EdgeKind, NodeKind, normalize_title
 from repro.wiki.stats import (
@@ -30,6 +37,11 @@ __all__ = [
     "normalize_title",
     "WikiGraph",
     "WikiGraphBuilder",
+    "GraphPartition",
+    "PartitionedGraphView",
+    "partition_graph",
+    "shard_of_node",
+    "shard_of_document",
     "write_graph",
     "read_graph",
     "dumps_graph",

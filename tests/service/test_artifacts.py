@@ -1,4 +1,4 @@
-"""Snapshot round-trip and version-gate tests."""
+"""Snapshot round-trip and version-gate tests (single-shard and sharded)."""
 
 import json
 
@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import SnapshotError
 from repro.linking.linker import EntityLinker
-from repro.service import MANIFEST_NAME, SNAPSHOT_VERSION, Snapshot
+from repro.service import (
+    MANIFEST_NAME,
+    SNAPSHOT_VERSION,
+    ShardedSnapshot,
+    Snapshot,
+)
 
 
 class TestRoundTrip:
@@ -108,3 +113,130 @@ class TestVersionGate:
         (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
         with pytest.raises(SnapshotError, match="inconsistent"):
             Snapshot.load(copy)
+
+
+@pytest.fixture(scope="module")
+def sharded(snapshot) -> ShardedSnapshot:
+    return ShardedSnapshot.from_snapshot(snapshot, num_shards=4)
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(sharded, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("sharded_snapshot")
+    sharded.save(directory)
+    return directory
+
+
+class TestShardedRoundTrip:
+    def test_save_load_preserves_shards_and_counts(self, sharded, sharded_dir):
+        loaded = ShardedSnapshot.load(sharded_dir)
+        assert loaded.num_shards == sharded.num_shards
+        assert loaded.num_documents == sharded.num_documents
+        assert loaded.title_index == sharded.title_index
+        assert loaded.doc_names == sharded.doc_names
+        assert loaded.mu == sharded.mu
+        for mine, original in zip(loaded.partitions, sharded.partitions):
+            assert mine.core_articles == original.core_articles
+            assert mine.core_categories == original.core_categories
+            assert mine.graph.num_edges == original.graph.num_edges
+        for mine, original in zip(loaded.segments, sharded.segments):
+            assert mine.num_documents == original.num_documents
+            assert mine.total_tokens == original.total_tokens
+            assert mine.vocabulary_size == original.vocabulary_size
+
+    def test_view_equals_original_graph(self, snapshot, sharded_dir):
+        view = ShardedSnapshot.load(sharded_dir).view()
+        graph = snapshot.graph
+        assert view.num_articles == graph.num_articles
+        assert view.num_edges == graph.num_edges
+        for node_id in graph.node_ids():
+            assert view.undirected_neighbors(node_id) == \
+                graph.undirected_neighbors(node_id)
+
+    def test_segments_partition_the_collection(self, snapshot, sharded):
+        seen: set[str] = set()
+        for segment in sharded.segments:
+            ids = set(segment.doc_ids())
+            assert not (ids & seen)
+            seen |= ids
+        assert seen == set(snapshot.index.doc_ids())
+        assert sum(s.total_tokens for s in sharded.segments) == \
+            snapshot.index.total_tokens
+
+    def test_v1_directory_loads_as_single_shard(self, snapshot, snapshot_dir):
+        before = sorted(p.name for p in snapshot_dir.iterdir())
+        loaded = ShardedSnapshot.load(snapshot_dir)
+        assert loaded.num_shards == 1
+        assert loaded.num_documents == snapshot.index.num_documents
+        # Loading must not rewrite or migrate the directory in place.
+        assert sorted(p.name for p in snapshot_dir.iterdir()) == before
+
+    def test_mu_round_trips(self, small_benchmark, tmp_path):
+        built = ShardedSnapshot.build(small_benchmark, num_shards=2, mu=123.0)
+        built.save(tmp_path / "snap")
+        assert ShardedSnapshot.load(tmp_path / "snap").mu == 123.0
+
+
+class TestShardedGate:
+    def _copy(self, sharded_dir, tmp_path):
+        import shutil
+
+        copy = tmp_path / "snap"
+        shutil.copytree(sharded_dir, copy)
+        return copy
+
+    def test_v1_loader_names_the_sharded_format(self, sharded_dir):
+        with pytest.raises(SnapshotError, match="sharded"):
+            Snapshot.load(sharded_dir)
+
+    def test_checksum_mismatch_rejected(self, sharded_dir, tmp_path):
+        import gzip
+
+        copy = self._copy(sharded_dir, tmp_path)
+        victim = copy / "shard-0001" / "index.json.gz"
+        payload = json.loads(gzip.decompress(victim.read_bytes()))
+        payload["documents"] = payload["documents"][:-1]
+        victim.write_bytes(gzip.compress(json.dumps(payload).encode()))
+        with pytest.raises(SnapshotError, match="checksum"):
+            ShardedSnapshot.load(copy)
+
+    def test_stripped_checksum_entries_rejected(self, sharded_dir, tmp_path):
+        """Deleting checksum entries must not silently disable the check."""
+        copy = self._copy(sharded_dir, tmp_path)
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest["shard_artifacts"][0]["checksums"] = {}
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="no checksum"):
+            ShardedSnapshot.load(copy)
+
+    def test_missing_shard_dir_rejected(self, sharded_dir, tmp_path):
+        import shutil
+
+        copy = self._copy(sharded_dir, tmp_path)
+        shutil.rmtree(copy / "shard-0002")
+        with pytest.raises(SnapshotError, match="missing"):
+            ShardedSnapshot.load(copy)
+
+    def test_shard_count_mismatch_rejected(self, sharded_dir, tmp_path):
+        copy = self._copy(sharded_dir, tmp_path)
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest["shards"] = 5
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="shard"):
+            ShardedSnapshot.load(copy)
+
+    def test_unknown_version_rejected(self, sharded_dir, tmp_path):
+        copy = self._copy(sharded_dir, tmp_path)
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest["version"] = 99
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            ShardedSnapshot.load(copy)
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match=MANIFEST_NAME):
+            ShardedSnapshot.load(tmp_path)
+
+    def test_invalid_shard_count_for_build(self, snapshot):
+        with pytest.raises(SnapshotError):
+            ShardedSnapshot.from_snapshot(snapshot, num_shards=0)

@@ -1,0 +1,155 @@
+"""ShardRouter behaviour: exact equivalence with the single-shard path."""
+
+import pytest
+
+from repro.retrieval import SearchResult, merge_ranked_lists
+from repro.service import ExpansionService, ShardRouter, ShardedSnapshot
+
+
+@pytest.fixture(scope="module")
+def sharded_snapshot(snapshot) -> ShardedSnapshot:
+    return ShardedSnapshot.from_snapshot(snapshot, num_shards=4)
+
+
+@pytest.fixture()
+def router(sharded_snapshot) -> ShardRouter:
+    return ShardRouter(sharded_snapshot)
+
+
+@pytest.fixture()
+def single(snapshot) -> ExpansionService:
+    return ExpansionService.from_snapshot(snapshot)
+
+
+class TestEquivalence:
+    def test_expand_query_identical_to_single_shard(
+        self, small_benchmark, router, single
+    ):
+        """Same linked entities, same expansion, same doc ids AND scores."""
+        for topic in small_benchmark.topics:
+            mine = router.expand_query(topic.keywords, top_k=10)
+            reference = single.expand_query(topic.keywords, top_k=10)
+            assert mine.link.article_ids == reference.link.article_ids
+            assert mine.expansion.article_ids == reference.expansion.article_ids
+            assert mine.expansion.titles == reference.expansion.titles
+            assert [(r.doc_id, r.rank) for r in mine.results] == \
+                   [(r.doc_id, r.rank) for r in reference.results]
+            for a, b in zip(mine.results, reference.results):
+                assert a.score == b.score  # bit-identical, not approx
+
+    def test_batch_expand_identical_to_single_shard(
+        self, small_benchmark, router, single
+    ):
+        queries = [topic.keywords for topic in small_benchmark.topics]
+        batch = router.batch_expand(queries, top_k=10)
+        for query, response in zip(queries, batch):
+            reference = single.expand_query(query, top_k=10)
+            assert [(r.doc_id, r.score) for r in response.results] == \
+                   [(r.doc_id, r.score) for r in reference.results]
+
+    def test_single_shard_router_matches_too(self, snapshot, small_benchmark, single):
+        one = ShardRouter(ShardedSnapshot.from_snapshot(snapshot, num_shards=1))
+        for topic in small_benchmark.topics:
+            mine = one.expand_query(topic.keywords, top_k=10)
+            reference = single.expand_query(topic.keywords, top_k=10)
+            assert [(r.doc_id, r.score) for r in mine.results] == \
+                   [(r.doc_id, r.score) for r in reference.results]
+
+    def test_unlinked_query_falls_back_to_keywords(self, router, single):
+        text = "completely unknowable gibberish"
+        mine = router.expand_query(text)
+        reference = single.expand_query(text)
+        assert not mine.linked
+        assert [(r.doc_id, r.score) for r in mine.results] == \
+               [(r.doc_id, r.score) for r in reference.results]
+        assert router.stats().unlinked_queries == 1
+
+    def test_empty_query_returns_no_results(self, router):
+        response = router.expand_query("!!! ???")
+        assert response.normalized_query == ""
+        assert response.results == ()
+
+
+class TestRouting:
+    def test_seed_sets_route_to_their_owner_shard(self, small_benchmark, router):
+        """Repeats of one query always hit the same worker's cache."""
+        keywords = small_benchmark.topics[0].keywords
+        first = router.expand_query(keywords)
+        assert first.linked
+        owner = router.owner_shard(first.link.article_ids)
+        second = router.expand_query(keywords)
+        assert second.expansion_cached
+        per_shard = router.stats().shard_stats
+        assert per_shard[owner].expansion_cache.hits >= 1
+        for shard_id, stats in enumerate(per_shard):
+            if shard_id != owner:
+                assert stats.expansion_cache.hits == 0
+
+    def test_batch_prefills_across_shards(self, small_benchmark, router):
+        queries = [topic.keywords for topic in small_benchmark.topics]
+        batch = router.batch_expand(queries)
+        # The batch pays for its own expansions: nothing reports cached.
+        assert not any(r.expansion_cached for r in batch if r.linked)
+        again = router.batch_expand(queries)
+        assert all(r.expansion_cached for r in again if r.linked)
+
+    def test_duplicate_raw_queries_share_a_response(self, small_benchmark, router):
+        keywords = small_benchmark.topics[0].keywords
+        batch = router.batch_expand([keywords, keywords, keywords.upper()])
+        assert batch[0] is batch[1] is batch[2]
+        assert router.stats().queries == 3  # offered load
+
+    def test_clear_caches_forces_recompute(self, small_benchmark, router):
+        keywords = small_benchmark.topics[0].keywords
+        router.expand_query(keywords)
+        router.clear_caches()
+        response = router.expand_query(keywords)
+        assert not response.expansion_cached
+        assert not response.link_cached
+
+
+class TestStats:
+    def test_stats_shape(self, small_benchmark, router):
+        router.expand_query(small_benchmark.topics[0].keywords)
+        router.batch_expand([small_benchmark.topics[1].keywords])
+        stats = router.stats()
+        assert stats.shards == 4
+        assert stats.queries == 2
+        assert stats.batches == 1
+        payload = stats.as_dict()
+        assert payload["shards"] == 4
+        assert len(payload["per_shard"]) == 4
+        for cache_key in ("link_cache", "expansion_cache"):
+            assert payload[cache_key]["capacity"] > 0
+            assert payload[cache_key]["size"] >= 0
+        aggregate = stats.expansion_cache
+        assert aggregate.misses == sum(
+            s.expansion_cache.misses for s in stats.shard_stats
+        )
+
+    def test_empty_segments_are_tolerated(self, snapshot, small_benchmark):
+        """More shards than needed leaves some segments empty; ranking
+        still works and matches the single-shard path."""
+        many = ShardRouter(ShardedSnapshot.from_snapshot(snapshot, num_shards=16))
+        single = ExpansionService.from_snapshot(snapshot)
+        keywords = small_benchmark.topics[0].keywords
+        mine = many.expand_query(keywords, top_k=5)
+        reference = single.expand_query(keywords, top_k=5)
+        assert [(r.doc_id, r.score) for r in mine.results] == \
+               [(r.doc_id, r.score) for r in reference.results]
+
+
+class TestMerge:
+    def test_merge_preserves_scores_and_breaks_ties_by_doc_id(self):
+        left = [SearchResult("b", -1.0, 1), SearchResult("d", -3.0, 2)]
+        right = [SearchResult("c", -1.0, 1), SearchResult("a", -2.0, 2)]
+        merged = merge_ranked_lists([left, right], top_k=3)
+        assert [(r.doc_id, r.score, r.rank) for r in merged] == [
+            ("b", -1.0, 1), ("c", -1.0, 2), ("a", -2.0, 3),
+        ]
+
+    def test_merge_top_k_bounds(self):
+        merged = merge_ranked_lists([[SearchResult("a", -1.0, 1)]], top_k=5)
+        assert len(merged) == 1
+        with pytest.raises(ValueError):
+            merge_ranked_lists([], top_k=0)

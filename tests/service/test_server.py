@@ -86,6 +86,40 @@ class TestBatch:
     def test_empty_batch(self, service):
         assert service.batch_expand([]) == []
 
+    def test_identical_raw_queries_pay_one_pass(self, small_benchmark, snapshot):
+        """N copies of one string cost one tokenisation, one link and one
+        expansion — not N cache probes racing the in-flight table."""
+        calls = []
+
+        class CountingExpander(NeighborhoodCycleExpander):
+            def expand(self, graph, seed_articles):
+                calls.append(frozenset(seed_articles))
+                return super().expand(graph, seed_articles)
+
+            expand_batch = None  # force the per-set path through expand()
+
+        service = ExpansionService.from_snapshot(snapshot, expander=CountingExpander())
+        tokenize_calls = []
+        original = service.engine.tokenizer.tokenize_phrase
+
+        def counting_tokenize(text):
+            tokenize_calls.append(text)
+            return original(text)
+
+        service.engine.tokenizer.tokenize_phrase = counting_tokenize
+        try:
+            keywords = small_benchmark.topics[0].keywords
+            batch = service.batch_expand([keywords] * 5)
+        finally:
+            service.engine.tokenizer.tokenize_phrase = original
+
+        assert len(batch) == 5
+        assert len(calls) == 1
+        assert tokenize_calls.count(keywords) == 1
+        stats = service.stats()
+        assert stats.link_cache.misses == 1
+        assert stats.queries == 5
+
     def test_expander_without_batch_api_still_works(self, small_benchmark, snapshot):
         class PlainExpander(NeighborhoodCycleExpander):
             expand_batch = None  # simulate a custom Expander lacking the API
@@ -196,6 +230,19 @@ class TestStats:
         payload = stats.as_dict()
         assert payload["queries"] == 4
         assert 0.0 <= payload["expansion_cache"]["hit_rate"] <= 1.0
+
+    def test_stats_report_cache_capacity_and_size(self, small_benchmark, snapshot):
+        """The stats payload must expose cache bounds and occupancy, not
+        just hit/miss counters (operators size caches from it)."""
+        service = ExpansionService.from_snapshot(
+            snapshot, link_cache_size=17, expansion_cache_size=9
+        )
+        service.expand_query(small_benchmark.topics[0].keywords)
+        payload = service.stats().as_dict()
+        assert payload["link_cache"]["capacity"] == 17
+        assert payload["expansion_cache"]["capacity"] == 9
+        assert payload["link_cache"]["size"] == 1
+        assert payload["expansion_cache"]["size"] == 1
 
     def test_clear_caches_forces_recompute(self, small_benchmark, service):
         keywords = small_benchmark.topics[0].keywords

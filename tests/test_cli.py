@@ -142,6 +142,73 @@ class TestServe:
         assert "manifest.json" in out
         assert "--build" in out
 
+    def test_build_and_serve_sharded(self, bench_dir, tmp_path, capsys):
+        snap = tmp_path / "snap4"
+        benchmark = Benchmark.load(bench_dir)
+        keywords = benchmark.topics[0].keywords
+
+        code = serve_main([
+            "--snapshot", str(snap), "--build", "--shards", "4",
+            "--benchmark-dir", bench_dir, "--query", keywords, "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards=4" in out
+        assert "linked entities" in out
+        assert '"per_shard"' in out
+        assert (snap / "shard-0003").is_dir()
+
+        # Second run cold-starts from the sharded snapshot on disk.
+        code = serve_main([
+            "--snapshot", str(snap), "--benchmark-dir", str(tmp_path / "nope"),
+            "--query", keywords,
+        ])
+        assert code == 0
+        assert "loaded ShardedSnapshot" in capsys.readouterr().out
+
+    def test_sharded_results_match_single_shard(self, bench_dir, tmp_path, capsys):
+        benchmark = Benchmark.load(bench_dir)
+        keywords = benchmark.topics[0].keywords
+        assert serve_main([
+            "--snapshot", str(tmp_path / "s1"), "--build", "--benchmark-dir",
+            bench_dir, "--query", keywords,
+        ]) == 0
+        single_out = capsys.readouterr().out
+        assert serve_main([
+            "--snapshot", str(tmp_path / "s4"), "--build", "--shards", "4",
+            "--benchmark-dir", bench_dir, "--query", keywords,
+        ]) == 0
+        sharded_out = capsys.readouterr().out
+
+        def result_lines(text):
+            return [line for line in text.splitlines() if line.startswith("  #")]
+
+        assert result_lines(single_out) == result_lines(sharded_out)
+
+
+class TestSnapshotCommand:
+    def test_writes_single_shard_snapshot(self, bench_dir, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        code = main(["snapshot", "--out", str(out_dir),
+                     "--benchmark-dir", bench_dir])
+        assert code == 0
+        assert "saved Snapshot" in capsys.readouterr().out
+        assert (out_dir / "manifest.json").exists()
+        assert (out_dir / "wiki.jsonl.gz").exists()
+
+    def test_writes_sharded_snapshot(self, bench_dir, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        code = main(["snapshot", "--out", str(out_dir), "--shards", "2",
+                     "--benchmark-dir", bench_dir])
+        assert code == 0
+        assert "saved ShardedSnapshot" in capsys.readouterr().out
+        assert (out_dir / "shard-0000" / "partition.json.gz").exists()
+        assert (out_dir / "shard-0001" / "index.json.gz").exists()
+
+    def test_rejects_bad_shard_count(self, bench_dir):
+        with pytest.raises(SystemExit):
+            main(["snapshot", "--shards", "0", "--benchmark-dir", bench_dir])
+
 
 class TestReport:
     def test_writes_markdown(self, bench_dir, tmp_path, capsys):

@@ -1,0 +1,204 @@
+"""Partition invariants: exact halos, co-location, view equivalence."""
+
+import pytest
+
+from repro.errors import AnalysisError, UnknownNodeError
+from repro.wiki import (
+    GraphPartition,
+    PartitionedGraphView,
+    SyntheticWikiConfig,
+    generate_wiki,
+    partition_graph,
+    shard_of_document,
+    shard_of_node,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_wiki(SyntheticWikiConfig(
+        seed=31, num_domains=4, background_articles=60, background_categories=8,
+    )).graph
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4])
+def partitioned(request, graph):
+    partitions = partition_graph(graph, request.param)
+    return graph, partitions, PartitionedGraphView(partitions)
+
+
+class TestHashing:
+    def test_node_hash_is_deterministic_and_in_range(self):
+        for node_id in range(200):
+            shard = shard_of_node(node_id, 4)
+            assert 0 <= shard < 4
+            assert shard == shard_of_node(node_id, 4)
+
+    def test_document_hash_is_deterministic_and_in_range(self):
+        for doc_id in ("doc-1", "doc-2", "img/302887", ""):
+            shard = shard_of_document(doc_id, 3)
+            assert 0 <= shard < 3
+            assert shard == shard_of_document(doc_id, 3)
+
+    def test_hashes_spread_across_shards(self):
+        node_shards = {shard_of_node(n, 4) for n in range(100)}
+        doc_shards = {shard_of_document(f"d{n}", 4) for n in range(100)}
+        assert node_shards == {0, 1, 2, 3}
+        assert doc_shards == {0, 1, 2, 3}
+
+
+class TestPartitioning:
+    def test_core_sets_partition_the_nodes(self, partitioned):
+        graph, partitions, _ = partitioned
+        seen: set[int] = set()
+        for partition in partitions:
+            assert not (partition.core_ids & seen)
+            seen |= partition.core_ids
+        assert seen == set(graph.node_ids())
+
+    def test_owned_edges_cover_every_edge_once(self, partitioned):
+        graph, partitions, _ = partitioned
+        owned = [
+            (e.source, e.target, e.kind)
+            for p in partitions for e in p.owned_edges()
+        ]
+        assert len(owned) == len(set(owned)) == graph.num_edges
+
+    def test_core_adjacency_is_exact(self, partitioned):
+        """Every core node's shard answers adjacency like the full graph."""
+        graph, partitions, _ = partitioned
+        for partition in partitions:
+            for node_id in partition.core_ids:
+                assert partition.graph.undirected_neighbors(node_id) == \
+                    graph.undirected_neighbors(node_id)
+                if graph.is_article(node_id):
+                    assert partition.graph.links_from(node_id) == \
+                        graph.links_from(node_id)
+                    assert partition.graph.categories_of(node_id) == \
+                        graph.categories_of(node_id)
+                    assert partition.graph.redirects_of(node_id) == \
+                        graph.redirects_of(node_id)
+
+    def test_redirects_colocated_with_target(self, graph):
+        partitions = partition_graph(graph, 4)
+        owner = {
+            node_id: p.shard_id for p in partitions for node_id in p.core_ids
+        }
+        redirects = [a for a in graph.articles() if a.is_redirect]
+        assert redirects, "fixture graph should contain redirects"
+        for article in redirects:
+            assert owner[article.node_id] == owner[graph.resolve(article.node_id)]
+
+    def test_single_shard_has_no_halo(self, graph):
+        (partition,) = partition_graph(graph, 1)
+        assert partition.core_ids == set(graph.node_ids())
+        assert partition.graph.num_edges == graph.num_edges
+
+    def test_invalid_shard_count(self, graph):
+        with pytest.raises(AnalysisError):
+            partition_graph(graph, 0)
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_preserves_everything(self, graph):
+        for partition in partition_graph(graph, 3):
+            rebuilt = GraphPartition.from_payload(partition.to_payload())
+            assert rebuilt.shard_id == partition.shard_id
+            assert rebuilt.num_shards == partition.num_shards
+            assert rebuilt.core_articles == partition.core_articles
+            assert rebuilt.core_categories == partition.core_categories
+            assert rebuilt.graph.num_nodes == partition.graph.num_nodes
+            assert rebuilt.graph.num_edges == partition.graph.num_edges
+            for node_id in rebuilt.core_ids:
+                assert rebuilt.graph.undirected_neighbors(node_id) == \
+                    partition.graph.undirected_neighbors(node_id)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(AnalysisError):
+            GraphPartition.from_payload({"shard": 0})
+
+
+class TestViewEquivalence:
+    def test_counts_match(self, partitioned):
+        graph, _, view = partitioned
+        assert view.num_articles == graph.num_articles
+        assert view.num_main_articles == graph.num_main_articles
+        assert view.num_categories == graph.num_categories
+        assert view.num_nodes == graph.num_nodes
+        assert view.num_edges == graph.num_edges
+        assert len(view) == len(graph)
+
+    def test_adjacency_matches_everywhere(self, partitioned):
+        graph, _, view = partitioned
+        for node_id in graph.node_ids():
+            assert view.undirected_neighbors(node_id) == \
+                graph.undirected_neighbors(node_id)
+            assert view.degree(node_id) == graph.degree(node_id)
+            assert view.title(node_id) == graph.title(node_id)
+            assert view.kind(node_id) == graph.kind(node_id)
+        for article in graph.articles():
+            node_id = article.node_id
+            assert view.links_from(node_id) == graph.links_from(node_id)
+            assert view.links_to(node_id) == graph.links_to(node_id)
+            assert view.categories_of(node_id) == graph.categories_of(node_id)
+            assert view.resolve(node_id) == graph.resolve(node_id)
+            assert view.redirect_target(node_id) == graph.redirect_target(node_id)
+        for category in graph.categories():
+            node_id = category.node_id
+            assert view.members_of(node_id) == graph.members_of(node_id)
+            assert view.parents_of(node_id) == graph.parents_of(node_id)
+            assert view.children_of(node_id) == graph.children_of(node_id)
+
+    def test_node_iteration_and_title_lookup(self, partitioned):
+        graph, _, view = partitioned
+        assert {a.node_id for a in view.articles()} == \
+            {a.node_id for a in graph.articles()}
+        assert {c.node_id for c in view.categories()} == \
+            {c.node_id for c in graph.categories()}
+        assert set(view.node_ids()) == set(graph.node_ids())
+        assert set(view.titles()) == set(graph.titles())
+        some = next(iter(graph.main_articles()))
+        assert view.article_by_title(some.title) == some
+
+    def test_edges_iterate_once_each(self, partitioned):
+        graph, _, view = partitioned
+        mine = sorted(
+            (e.kind.value, e.source, e.target) for e in view.edges()
+        )
+        reference = sorted(
+            (e.kind.value, e.source, e.target) for e in graph.edges()
+        )
+        assert mine == reference
+
+    def test_induced_subgraph_matches_monolithic(self, partitioned):
+        graph, _, view = partitioned
+        # A ball around an article plus an arbitrary slice of node ids.
+        seed = next(iter(graph.main_articles())).node_id
+        ball = {seed} | graph.undirected_neighbors(seed)
+        for keep in (ball, set(list(graph.node_ids())[::3])):
+            mine = view.induced_subgraph(keep)
+            reference = graph.induced_subgraph(keep)
+            assert mine.num_nodes == reference.num_nodes
+            assert mine.num_edges == reference.num_edges
+            for node_id in keep:
+                assert mine.undirected_neighbors(node_id) == \
+                    reference.undirected_neighbors(node_id)
+
+    def test_unknown_nodes(self, partitioned):
+        graph, _, view = partitioned
+        missing = max(graph.node_ids()) + 1000
+        assert missing not in view
+        assert view.undirected_neighbors(missing) == set()
+        with pytest.raises(UnknownNodeError):
+            view.node(missing)
+        with pytest.raises(UnknownNodeError):
+            view.induced_subgraph({missing})
+        with pytest.raises(UnknownNodeError):
+            view.owner_shard(missing)
+
+    def test_incomplete_partition_set_rejected(self, graph):
+        partitions = partition_graph(graph, 3)
+        with pytest.raises(AnalysisError):
+            PartitionedGraphView(partitions[:2])
+        with pytest.raises(AnalysisError):
+            PartitionedGraphView([])
