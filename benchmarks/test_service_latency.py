@@ -1,25 +1,38 @@
 """Latency microbenchmark of the online expansion service.
 
 Measures per-query latency (p50/p99) and throughput of the service over
-the standard 50-topic benchmark, in five regimes:
+the standard 50-topic benchmark, in several regimes:
 
-* **cold** — fresh service, every query pays linking + cycle mining;
-* **cached** — the same queries again, served from the LRU layers;
-* **batched cold** — fresh service answering everything through
-  ``batch_expand``, which amortises the full-graph edge scan;
+* **cold / cached** — the dict-backed (``compact=False``) service, fresh
+  and then warm: the historical baseline every PR compares against;
+* **compact cold / compact cached** — the same traffic through the
+  frozen array-backed read path (:class:`CompactIndex` +
+  :class:`CompactGraphView`), which production serving uses by default.
+  Cold queries of the two paths are *interleaved* in one process so
+  machine drift cancels out of the speedup ratio, and every compact
+  response is asserted bit-identical (doc ids AND scores, expansion
+  sets AND cycles) to the dict response before any timing counts;
+* **batched cold** — a fresh compact service answering everything
+  through ``batch_expand``, which amortises neighbourhood work;
 * **sharded cold / sharded cached** — the same traffic through a
-  4-shard :class:`ShardRouter` (partitioned graph + index segments with
-  scatter-gather ranking), asserting results identical to the
-  single-shard path before timing anything.
+  4-shard :class:`ShardRouter` (partitioned graph + compact index
+  segments with scatter-gather ranking), results asserted identical to
+  the single-shard path;
+* **prefilled** — a cold-started 4-shard router over a snapshot built
+  with warm-cache prefill: the very first hit of every benchmark topic
+  must come from the expansion cache (asserted) and land at
+  cached-tier latency.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
 performance trajectory is tracked across PRs.  The suite asserts the
-service's reason to exist: cached p50 strictly below cold p50.
+two reasons this layer exists: cached p50 strictly below cold p50, and
+(on full runs) the compact read path at least 1.5x faster cold than the
+dict path measured in the same process.
 
 Smoke mode: set ``REPRO_BENCH_SMOKE=1`` (CI does) to run a truncated
 query set with one warm round — fast enough for every push, while still
 exercising the full measurement path and validating the emitted JSON
-schema against rot.
+schema (including the ``compact_speedup`` key) against rot.
 """
 
 import json
@@ -37,6 +50,7 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 CACHED_ROUNDS = 1 if SMOKE else 3
 SMOKE_QUERIES = 6
 SHARD_COUNT = 4
+COMPACT_SPEEDUP_FLOOR = 1.5
 
 
 def _percentile(samples: list[float], fraction: float) -> float:
@@ -55,6 +69,13 @@ def _summarize(latencies_ms: list[float], total_seconds: float) -> dict:
     }
 
 
+def _assert_same_answer(mine, reference, query: str) -> None:
+    assert mine.link.article_ids == reference.link.article_ids, query
+    assert mine.expansion.article_ids == reference.expansion.article_ids, query
+    assert [(r.doc_id, r.score) for r in mine.results] == \
+           [(r.doc_id, r.score) for r in reference.results], query
+
+
 @pytest.fixture(scope="module")
 def service_snapshot(bench_benchmark) -> Snapshot:
     return Snapshot.build(bench_benchmark)
@@ -68,25 +89,39 @@ def queries(bench_benchmark) -> list[str]:
 
 @pytest.fixture(scope="module")
 def measurements(service_snapshot, queries) -> dict:
-    service = ExpansionService.from_snapshot(service_snapshot)
+    dict_service = ExpansionService.from_snapshot(service_snapshot, compact=False)
+    compact_service = ExpansionService.from_snapshot(service_snapshot)
 
+    # Cold: dict and compact interleaved per query, same process, so the
+    # speedup ratio is insensitive to load drift.  The compact answer
+    # must be bit-identical (ids, scores, expansion, cycles) before its
+    # timing counts.
     cold_responses = []
     cold: list[float] = []
-    cold_started = time.perf_counter()
+    compact_cold: list[float] = []
     for query in queries:
-        response = service.expand_query(query)
-        cold_responses.append(response)
-        cold.append(response.latency_ms)
-    cold_seconds = time.perf_counter() - cold_started
+        reference = dict_service.expand_query(query)
+        mine = compact_service.expand_query(query)
+        _assert_same_answer(mine, reference, query)
+        assert mine.expansion.cycles == reference.expansion.cycles, query
+        cold_responses.append(reference)
+        cold.append(reference.latency_ms)
+        compact_cold.append(mine.latency_ms)
+    cold_seconds = sum(cold) / 1000.0
+    compact_cold_seconds = sum(compact_cold) / 1000.0
 
     cached: list[float] = []
-    cached_started = time.perf_counter()
+    compact_cached: list[float] = []
     for _ in range(CACHED_ROUNDS):
         for query in queries:
-            response = service.expand_query(query)
+            response = dict_service.expand_query(query)
             assert response.expansion_cached, query
             cached.append(response.latency_ms)
-    cached_seconds = time.perf_counter() - cached_started
+            response = compact_service.expand_query(query)
+            assert response.expansion_cached, query
+            compact_cached.append(response.latency_ms)
+    cached_seconds = sum(cached) / 1000.0
+    compact_cached_seconds = sum(compact_cached) / 1000.0
 
     batch_service = ExpansionService.from_snapshot(service_snapshot)
     batch_started = time.perf_counter()
@@ -94,19 +129,15 @@ def measurements(service_snapshot, queries) -> dict:
     batch_seconds = time.perf_counter() - batch_started
     assert len(batch) == len(queries)
 
-    # Sharded serving: same traffic through the 4-shard router.  Results
-    # must be identical to the single-shard path (same top-k doc ids AND
-    # scores) before any of its timings count.
+    # Sharded serving: same traffic through the 4-shard router (compact
+    # segments behind the scenes).  Results must be identical to the
+    # single-shard path before any of its timings count.
     router = ShardRouter(ShardedSnapshot.from_snapshot(service_snapshot, SHARD_COUNT))
     sharded_cold: list[float] = []
     sharded_cold_started = time.perf_counter()
     for query, reference in zip(queries, cold_responses):
         response = router.expand_query(query)
-        assert response.link.article_ids == reference.link.article_ids, query
-        assert response.expansion.article_ids == \
-            reference.expansion.article_ids, query
-        assert [(r.doc_id, r.score) for r in response.results] == \
-               [(r.doc_id, r.score) for r in reference.results], query
+        _assert_same_answer(response, reference, query)
         sharded_cold.append(response.latency_ms)
     sharded_cold_seconds = time.perf_counter() - sharded_cold_started
 
@@ -119,11 +150,38 @@ def measurements(service_snapshot, queries) -> dict:
             sharded_cached.append(response.latency_ms)
     sharded_cached_seconds = time.perf_counter() - sharded_cached_started
 
-    stats = service.stats()
+    # Warm-cache prefill: a router cold-started from a prefilled
+    # snapshot must answer every benchmark topic from the expansion
+    # cache on the FIRST hit, with the exact same results.
+    prefilled_snapshot = ShardedSnapshot.from_snapshot(
+        service_snapshot, SHARD_COUNT
+    ).with_prefill(queries)
+    assert prefilled_snapshot.num_prefilled > 0
+    prefilled_router = ShardRouter(prefilled_snapshot)
+    prefilled: list[float] = []
+    prefilled_started = time.perf_counter()
+    for query, reference in zip(queries, cold_responses):
+        response = prefilled_router.expand_query(query)
+        assert response.expansion_cached, f"prefill missed first hit: {query}"
+        _assert_same_answer(response, reference, query)
+        prefilled.append(response.latency_ms)
+    prefilled_seconds = time.perf_counter() - prefilled_started
+
+    stats = dict_service.stats()
     return {
         "smoke": SMOKE,
         "cold": _summarize(cold, cold_seconds),
         "cached": _summarize(cached, cached_seconds),
+        "compact_cold": _summarize(compact_cold, compact_cold_seconds),
+        "compact_cached": _summarize(compact_cached, compact_cached_seconds),
+        "compact_speedup": {
+            "cold_p50_ratio": round(
+                statistics.median(cold) / statistics.median(compact_cold), 2
+            ),
+            "cold_mean_ratio": round(
+                statistics.fmean(cold) / statistics.fmean(compact_cold), 2
+            ),
+        },
         "batched_cold": {
             "queries": len(queries),
             "total_seconds": round(batch_seconds, 3),
@@ -136,6 +194,12 @@ def measurements(service_snapshot, queries) -> dict:
         "sharded_cached": {
             "shards": SHARD_COUNT,
             **_summarize(sharded_cached, sharded_cached_seconds),
+        },
+        "prefilled": {
+            "shards": SHARD_COUNT,
+            "entries": prefilled_snapshot.num_prefilled,
+            "first_hit_cached": True,  # asserted per query above
+            **_summarize(prefilled, prefilled_seconds),
         },
         "cache_hit_rate": {
             "link": round(stats.link_cache.hit_rate, 4),
@@ -174,6 +238,33 @@ def test_sharded_cached_p50_strictly_below_sharded_cold(measurements):
         measurements["sharded_cold"]["p50_ms"]
 
 
+def test_compact_cold_is_at_least_1_5x_faster(measurements):
+    """The frozen read path must beat the dict path by >= 1.5x cold.
+
+    Measured in one process over interleaved queries, so the ratio —
+    unlike raw latencies — is robust to machine speed.  Smoke runs keep
+    the key in the schema but skip the floor: six queries are too few
+    for a stable median on a loaded CI box.
+    """
+    ratio = measurements["compact_speedup"]["cold_p50_ratio"]
+    assert ratio > 0
+    if measurements["smoke"]:
+        pytest.skip(f"smoke run (ratio {ratio}); the floor is asserted on full runs")
+    assert ratio >= COMPACT_SPEEDUP_FLOOR, measurements["compact_speedup"]
+
+
+def test_prefilled_router_serves_first_hits_at_cached_tier(measurements):
+    """A prefilled snapshot's topics never pay the cold path at all.
+
+    ``first_hit_cached`` is asserted per query while measuring; here the
+    latency must sit far below cold — prefilled first hits only pay
+    ranking, like any cache hit.
+    """
+    assert measurements["prefilled"]["first_hit_cached"]
+    assert measurements["prefilled"]["entries"] > 0
+    assert measurements["prefilled"]["p50_ms"] < measurements["cold"]["p50_ms"]
+
+
 def test_emit_bench_json(measurements):
     """Persist the numbers so the perf trajectory is tracked across PRs.
 
@@ -184,7 +275,11 @@ def test_emit_bench_json(measurements):
     written = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
     assert written["cold"]["queries"] == written["cached"]["queries"] // CACHED_ROUNDS
     assert written["sharded_cold"]["shards"] == SHARD_COUNT
-    for regime in ("cold", "cached", "sharded_cold", "sharded_cached"):
+    for regime in ("cold", "cached", "compact_cold", "compact_cached",
+                   "sharded_cold", "sharded_cached", "prefilled"):
         assert written[regime]["p50_ms"] > 0
         assert written[regime]["p99_ms"] >= written[regime]["p50_ms"]
         assert written[regime]["throughput_qps"] > 0
+    assert written["compact_speedup"]["cold_p50_ratio"] > 0
+    assert written["compact_speedup"]["cold_mean_ratio"] > 0
+    assert written["prefilled"]["first_hit_cached"] is True

@@ -1,0 +1,165 @@
+"""Shared binary container for compact (frozen) artifacts.
+
+The compact read path (:mod:`repro.retrieval.compact`,
+:mod:`repro.wiki.compact`) serialises its numeric arrays into one flat
+blob per artifact so a service can map the file into memory and serve
+straight from the page cache — no per-posting parsing on the cold-start
+path.  This module is the container format both artifact kinds share:
+
+* an 8-byte magic identifying the artifact kind;
+* a little-endian ``uint32`` header length followed by a UTF-8 JSON
+  header (small metadata: vocabularies, titles, counts) carrying a
+  ``__sections__`` table that names every numeric section with its
+  relative offset, item count and ``array`` typecode;
+* 8-byte-aligned numeric sections (``array('i')`` / ``array('d')`` /
+  raw bytes), written with :meth:`array.array.tobytes` and read back as
+  zero-copy ``memoryview.cast`` slices.
+
+Readers therefore never copy the bulk data: :func:`unpack_blob` returns
+typed memoryviews into the caller's buffer, which may be a ``bytes``
+object or an ``mmap`` (see :func:`map_blob`).  Native byte order is
+recorded in the header and checked on read; a blob written on a
+different-endian machine is rejected instead of silently misread.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import sys
+from array import array
+from pathlib import Path
+
+__all__ = ["pack_blob", "unpack_blob", "map_blob", "BlobHandle"]
+
+_HEADER_LEN_STRUCT = struct.Struct("<I")
+_ALIGNMENT = 8
+_MAGIC_LEN = 8
+
+
+def _aligned(offset: int) -> int:
+    return offset + (-offset) % _ALIGNMENT
+
+
+def pack_blob(magic: bytes, header: dict, sections: dict[str, "array | bytes"]) -> bytes:
+    """Serialise ``header`` + numeric ``sections`` into one blob.
+
+    ``magic`` must be exactly 8 bytes.  ``sections`` maps names to
+    ``array.array`` instances (any typecode) or raw ``bytes`` (stored
+    with typecode ``B``).  Section order is preserved.
+    """
+    if len(magic) != _MAGIC_LEN:
+        raise ValueError(f"blob magic must be {_MAGIC_LEN} bytes, got {len(magic)}")
+    payload = bytearray()
+    table: dict[str, list] = {}
+    for name, data in sections.items():
+        offset = _aligned(len(payload))
+        payload += b"\0" * (offset - len(payload))
+        if isinstance(data, (bytes, bytearray)):
+            typecode, raw, count = "B", bytes(data), len(data)
+        else:
+            typecode, raw, count = data.typecode, data.tobytes(), len(data)
+        table[name] = [offset, count, typecode]
+        payload += raw
+    full_header = dict(header)
+    full_header["__sections__"] = table
+    full_header["__byteorder__"] = sys.byteorder
+    header_bytes = json.dumps(full_header, ensure_ascii=False).encode("utf-8")
+    prefix = magic + _HEADER_LEN_STRUCT.pack(len(header_bytes)) + header_bytes
+    return bytes(prefix) + b"\0" * (_aligned(len(prefix)) - len(prefix)) + bytes(payload)
+
+
+def unpack_blob(
+    magic: bytes, data, error: type[Exception]
+) -> tuple[dict, dict[str, memoryview]]:
+    """Parse a blob written by :func:`pack_blob` without copying sections.
+
+    Returns ``(header, sections)`` where each section is a typed
+    ``memoryview`` into ``data``.  Raises ``error`` (an exception class)
+    on a foreign magic, truncation, endianness mismatch, or a malformed
+    header — every failure mode a bit-rotted file can produce.
+    """
+    view = memoryview(data)
+    prefix_len = _MAGIC_LEN + _HEADER_LEN_STRUCT.size
+    if len(view) < prefix_len or bytes(view[:_MAGIC_LEN]) != magic:
+        raise error(f"not a {magic.decode('ascii', 'replace').strip()} blob (bad magic)")
+    (header_len,) = _HEADER_LEN_STRUCT.unpack(view[_MAGIC_LEN:prefix_len])
+    if prefix_len + header_len > len(view):
+        raise error("blob header is truncated")
+    try:
+        header = json.loads(bytes(view[prefix_len : prefix_len + header_len]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise error(f"blob header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or "__sections__" not in header:
+        raise error("blob header is missing its section table")
+    if header.get("__byteorder__") != sys.byteorder:
+        raise error(
+            f"blob was written on a {header.get('__byteorder__')!r}-endian machine; "
+            f"this machine is {sys.byteorder!r}-endian"
+        )
+    base = _aligned(prefix_len + header_len)
+    sections: dict[str, memoryview] = {}
+    try:
+        items = list(header["__sections__"].items())
+    except AttributeError as exc:
+        raise error("blob section table is malformed") from exc
+    for name, entry in items:
+        try:
+            offset, count, typecode = entry
+            offset, count = int(offset), int(count)
+            itemsize = struct.calcsize(str(typecode))
+        except (ValueError, TypeError, struct.error) as exc:
+            raise error(f"blob section {name!r} has a malformed table entry") from exc
+        # Offsets are writer-controlled data: a bit flip landing in a
+        # header digit still parses as JSON, so reject anything the
+        # writer could not have produced (negative, unaligned, or out of
+        # bounds) instead of silently serving views over wrong bytes.
+        if offset < 0 or offset % _ALIGNMENT != 0 or count < 0:
+            raise error(f"blob section {name!r} has an invalid offset or count")
+        start = base + offset
+        end = start + count * itemsize
+        if end > len(view):
+            raise error(f"blob section {name!r} is truncated")
+        sections[name] = view[start:end].cast(str(typecode))
+    return header, sections
+
+
+class BlobHandle:
+    """Keeps an mmap alive and nameable while memoryviews point into it.
+
+    The mapping is never closed explicitly: exported memoryviews (which
+    may linger in exception tracebacks) would make ``close()`` raise
+    ``BufferError``; instead the mapping is reclaimed when the last view
+    and the handle are garbage collected.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping) -> None:
+        self._map = mapping
+
+
+def map_blob(
+    path: str | Path, magic: bytes, error: type[Exception]
+) -> tuple[dict, dict[str, memoryview], BlobHandle]:
+    """Memory-map ``path`` and parse it as a blob (zero-copy sections).
+
+    The returned :class:`BlobHandle` should be kept referenced for as
+    long as the section memoryviews are used; it makes the buffer
+    ownership explicit.  The file descriptor is closed before returning
+    — the mapping keeps the pages alive on its own.
+    """
+    path = Path(path)
+    try:
+        handle = path.open("rb")
+    except FileNotFoundError:
+        raise error(f"missing blob file {path.name}") from None
+    try:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (ValueError, OSError) as exc:  # empty or unmappable file
+        raise error(f"blob file {path.name} cannot be mapped: {exc}") from exc
+    finally:
+        handle.close()
+    header, sections = unpack_blob(magic, mapping, error)
+    return header, sections, BlobHandle(mapping)

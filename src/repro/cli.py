@@ -11,7 +11,9 @@ Entry points (also importable as functions):
   knowledge graph using the cycle method (no ground truth required);
 * ``repro-snapshot``       — build and save a service snapshot; with
   ``--shards N`` the snapshot is written as N graph partitions + index
-  segments served by the shard router;
+  segments served by the shard router, and with ``--prefill [topics]``
+  each shard additionally ships the expansions of its owned benchmark
+  topics, precomputed at build time (warm-cache cold starts);
 * ``repro-serve``          — answer queries online from a saved service
   snapshot (build one with ``--build``), printing linked entities,
   expansion features and ranked documents per query.  Single-shard and
@@ -274,13 +276,21 @@ def _build_snapshot(args: argparse.Namespace):
     ``--shards 1`` deliberately writes the classic single-shard format so
     snapshots built by default stay readable by older builds; both formats
     load through :class:`ShardedSnapshot` and serve identically.
+    ``--prefill`` forces the sharded (version-3) format even for one
+    shard, because only it can carry the precomputed expansions.
     """
+    from repro.collection.topics import TopicSet
     from repro.service import ShardedSnapshot, Snapshot
 
     benchmark = _benchmark_from_args(args)
-    if args.shards == 1:
+    prefill = getattr(args, "prefill", None)
+    if args.shards == 1 and prefill is None:
         return Snapshot.build(benchmark)
-    return ShardedSnapshot.build(benchmark, num_shards=args.shards)
+    snapshot = ShardedSnapshot.build(benchmark, num_shards=args.shards)
+    if prefill is not None:
+        topics = TopicSet.load(prefill) if prefill else benchmark.topics
+        snapshot = snapshot.with_prefill([topic.keywords for topic in topics])
+    return snapshot
 
 
 def snapshot_main(argv: list[str] | None = None) -> int:
@@ -296,6 +306,13 @@ def snapshot_main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=1,
         help="number of physical shards (1 writes the classic single-shard "
              "format; N>1 writes per-shard graph partitions + index segments)",
+    )
+    parser.add_argument(
+        "--prefill", nargs="?", const="", default=None, metavar="TOPICS_JSON",
+        help="precompute expansions for these topics (a topics.json file; "
+             "with no value, the benchmark's own topics) and ship them "
+             "inside each owning shard, so a cold-started service answers "
+             "them at cached latency; forces the sharded snapshot format",
     )
     args = parser.parse_args(argv)
     if args.shards < 1:
@@ -364,15 +381,25 @@ def serve_main(argv: list[str] | None = None) -> int:
             else ShardedSnapshot.from_snapshot(built, num_shards=1)
 
     # One worker serves a single shard directly; N shards go through the
-    # router.  Both expose the same expand_query/batch_expand/stats API.
+    # router.  Both expose the same expand_query/batch_expand/stats API
+    # and both serve from the frozen (compact) read path.
     if snapshot.num_shards == 1:
+        snapshot = snapshot.frozen()
         partition = snapshot.partitions[0]
+        expander = NeighborhoodCycleExpander()
+        # prefill_for applies the expander-fingerprint guard and the
+        # cache-must-hold-the-prefill sizing rule (same as ShardRouter).
+        prefill = snapshot.prefill_for(0, expander)
         service = ExpansionService(
-            partition.graph,
+            snapshot.compact_graph,
             snapshot.make_segment_engine(0),
             snapshot.make_linker(partition.graph),
+            expander,
             doc_names=snapshot.doc_names,
+            expansion_cache_size=max(1024, len(prefill)),
         )
+        if prefill:
+            service.warm_expansions(prefill)
     else:
         service = ShardRouter(snapshot)
 

@@ -85,7 +85,15 @@ def count_edges(graph: WikiGraph, nodes: tuple[int, ...]) -> int:
     contributes 2); BELONGS contributes 1 per (article, category) pair;
     INSIDE contributes 1 per unordered category pair regardless of
     direction(s).
+
+    Graphs may provide a fused ``count_edges_among`` implementing these
+    exact conventions natively (the compact read path does, over its
+    cached adjacency sets); it is preferred when present — this function
+    runs once per enumerated cycle, the hottest loop of the analysis.
     """
+    counter = getattr(graph, "count_edges_among", None)
+    if counter is not None:
+        return counter(nodes)
     node_set = set(nodes)
     edges = 0
     for index, u in enumerate(nodes):
@@ -106,7 +114,11 @@ def count_edges(graph: WikiGraph, nodes: tuple[int, ...]) -> int:
 
 def compute_features(graph: WikiGraph, cycle: Cycle) -> CycleFeatures:
     """Compute every structural feature of ``cycle`` within ``graph``."""
-    num_articles = sum(1 for node in cycle.nodes if graph.is_article(node))
+    counter = getattr(graph, "count_articles_in", None)
+    if counter is not None:
+        num_articles = counter(cycle.nodes)
+    else:
+        num_articles = sum(1 for node in cycle.nodes if graph.is_article(node))
     num_categories = cycle.length - num_articles
     return CycleFeatures(
         cycle=cycle,

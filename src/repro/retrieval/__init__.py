@@ -13,6 +13,7 @@ from repro.retrieval.engine import (
     collect_leaves,
     merge_ranked_lists,
 )
+from repro.retrieval.compact import CompactIndex
 from repro.retrieval.index import PositionalIndex, Posting
 from repro.retrieval.phrase import (
     PhraseStats,
@@ -45,6 +46,7 @@ __all__ = [
     "merge_ranked_lists",
     "PositionalIndex",
     "Posting",
+    "CompactIndex",
     "phrase_occurrences",
     "phrase_documents",
     "PhraseStats",

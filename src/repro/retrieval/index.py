@@ -7,7 +7,9 @@ bag-of-words scorers and the exact-phrase operator run on.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from collections.abc import Iterable, Iterator
+from itertools import islice
 
 from repro.errors import IndexError_
 from repro.retrieval.tokenizer import Tokenizer
@@ -60,22 +62,42 @@ class PositionalIndex:
 
         Raises :class:`IndexError_` when the id was already indexed.
         """
+        return self._add_tokens(doc_id, self._tokenizer.tokenize(text))
+
+    def _add_tokens(self, doc_id: str, tokens: list[str]) -> int:
         if doc_id in self._doc_lengths:
             raise IndexError_(f"document {doc_id!r} already indexed")
-        tokens = self._tokenizer.tokenize(text)
+        # Group positions per term locally first: one postings/frequency
+        # update per distinct term instead of one per token.  Insertion
+        # order of new terms (first occurrence) is preserved, so the
+        # resulting index contents are byte-for-byte what the per-token
+        # loop produced.
+        per_term: defaultdict[str, list[int]] = defaultdict(list)
         for position, token in enumerate(tokens):
-            self._postings.setdefault(token, {}).setdefault(doc_id, []).append(position)
-            self._collection_frequency[token] = self._collection_frequency.get(token, 0) + 1
+            per_term[token].append(position)
+        postings = self._postings
+        frequency = self._collection_frequency
+        for token, positions in per_term.items():
+            postings.setdefault(token, {})[doc_id] = positions
+            frequency[token] = frequency.get(token, 0) + len(positions)
         self._doc_lengths[doc_id] = len(tokens)
         self._total_tokens += len(tokens)
         return len(tokens)
 
     def add_documents(self, items: Iterable[tuple[str, str]]) -> int:
-        """Index many ``(doc_id, text)`` pairs; returns documents added."""
+        """Index many ``(doc_id, text)`` pairs; returns documents added.
+
+        Tokenises in bounded chunks through
+        :meth:`Tokenizer.tokenize_many`, so a generator over a large
+        dump is never materialised wholesale.
+        """
         count = 0
-        for doc_id, text in items:
-            self.add_document(doc_id, text)
-            count += 1
+        iterator = iter(items)
+        while chunk := list(islice(iterator, 512)):
+            token_lists = self._tokenizer.tokenize_many(text for _, text in chunk)
+            for (doc_id, _), tokens in zip(chunk, token_lists):
+                self._add_tokens(doc_id, tokens)
+            count += len(chunk)
         return count
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ depends on.
 from __future__ import annotations
 
 import re
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 __all__ = ["Tokenizer", "DEFAULT_STOPWORDS"]
 
@@ -50,35 +50,56 @@ class Tokenizer:
             raise ValueError("min_length must be >= 1")
         self._stopwords = frozenset(stopwords) if stopwords else frozenset()
         self._min_length = min_length
+        # Bind the compiled machinery once at construction: tokenisation
+        # is the indexing inner loop, and per-call global lookups of the
+        # pattern and translation table are measurable there.
+        self._finditer = _TOKEN_RE.finditer
+        self._accent_map = _ACCENT_MAP
+        self._filtering = bool(self._stopwords) or min_length > 1
 
     @property
     def stopwords(self) -> frozenset[str]:
         return self._stopwords
 
+    @property
+    def min_length(self) -> int:
+        return self._min_length
+
     def normalize(self, text: str) -> str:
         """Lower-case and strip the accents the token pattern can't match."""
-        return text.lower().translate(_ACCENT_MAP)
+        return text.lower().translate(self._accent_map)
 
     def iter_tokens(self, text: str) -> Iterator[str]:
         """Yield tokens in order of appearance (filtered)."""
-        for match in _TOKEN_RE.finditer(self.normalize(text)):
+        min_length = self._min_length
+        stopwords = self._stopwords
+        for match in self._finditer(self.normalize(text)):
             token = match.group()
-            if len(token) < self._min_length:
+            if len(token) < min_length:
                 continue
-            if token in self._stopwords:
+            if token in stopwords:
                 continue
             yield token
 
     def tokenize(self, text: str) -> list[str]:
         """Tokenise ``text`` into a list."""
+        if not self._filtering:
+            # No stopping, no length filter: one findall beats a
+            # generator round-trip per token.
+            return _TOKEN_RE.findall(self.normalize(text))
         return list(self.iter_tokens(text))
+
+    def tokenize_many(self, texts: Iterable[str]) -> list[list[str]]:
+        """Tokenise a batch of texts (the bulk-indexing entry point)."""
+        tokenize = self.tokenize
+        return [tokenize(text) for text in texts]
 
     def tokenize_phrase(self, phrase: str) -> tuple[str, ...]:
         """Tokenise a phrase for exact matching (stopwords are *kept* even
         when the tokenizer filters them for free text: dropping 'of' from
         'Bridge of Sighs' would change what the phrase matches)."""
         return tuple(
-            match.group() for match in _TOKEN_RE.finditer(self.normalize(phrase))
+            match.group() for match in self._finditer(self.normalize(phrase))
         )
 
     def __repr__(self) -> str:

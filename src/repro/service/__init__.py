@@ -20,6 +20,7 @@ snapshot`` (see :func:`repro.cli.serve_main`, :func:`repro.cli.snapshot_main`).
 """
 
 from repro.service.artifacts import (
+    COMPACT_SNAPSHOT_VERSION,
     MANIFEST_NAME,
     SHARDED_SNAPSHOT_VERSION,
     SNAPSHOT_FORMAT,
@@ -37,6 +38,7 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SHARDED_SNAPSHOT_VERSION",
+    "COMPACT_SNAPSHOT_VERSION",
     "MANIFEST_NAME",
     "CacheStats",
     "LRUCache",

@@ -22,22 +22,29 @@ caught instead of serving wrong results.
 
 :class:`ShardedSnapshot` is the partitioned evolution of the format: one
 logical snapshot stored as N physical shards (graph partitions + index
-segments) behind one manifest.  Layout::
+segments) behind one manifest.  Version 3 — the current write format —
+additionally stores the *compact* read-path artefacts as binary blobs
+that load through ``mmap`` instead of being parsed posting by posting.
+Layout::
 
     snapshot/
-      manifest.json       # version 2: shards, global counts, checksums
+      manifest.json       # version 3: shards, global counts, checksums
       linker.json.gz      # shared entity-linker vocabulary
       documents.json.gz   # shared doc_id -> display name
+      graph.bin           # CompactGraphView blob (CSR typed adjacency)
       shard-0000/
         partition.json.gz # GraphPartition payload (core + halo + edges)
-        index.json.gz     # PositionalIndex segment of this shard's docs
+        index.bin         # CompactIndex blob (interned CSR postings)
+        prefill.json.gz   # precomputed expansions (only when prefilled)
       shard-0001/ ...
 
-The version-2 manifest records a sha256 checksum for every shard artefact
-and shared file; load verifies them before parsing, so a bit-rotted shard
+The manifest records a sha256 checksum for every shard artefact and
+shared file; load verifies them before parsing, so a bit-rotted shard
 can never serve silently wrong results.  The manifest is still written
-last.  Version-1 directories remain loadable: :meth:`ShardedSnapshot.load`
-reads them as a single-shard snapshot, unchanged on disk.
+last.  Older directories remain loadable: version-1 snapshots read as a
+single shard and version-2 snapshots parse their JSON segments, and both
+are *frozen on load* into the compact read path, so every loaded
+snapshot serves from the same array-backed structures.
 """
 
 from __future__ import annotations
@@ -45,15 +52,26 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
-from dataclasses import dataclass
+from collections.abc import Iterable
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.errors import DumpFormatError, SnapshotError
+from repro.core.cycles import Cycle
+from repro.core.expansion import (
+    Expander,
+    ExpansionResult,
+    NeighborhoodCycleExpander,
+    expander_fingerprint,
+)
+from repro.core.features import CycleFeatures
+from repro.errors import DumpFormatError, ReproError, SnapshotError
 from repro.linking.linker import EntityLinker
+from repro.retrieval.compact import CompactIndex
 from repro.retrieval.engine import SearchEngine
 from repro.retrieval.index import PositionalIndex
 from repro.retrieval.scoring import DirichletSmoothing, Smoothing
+from repro.wiki.compact import CompactGraphView
 from repro.wiki.dump import read_graph, write_graph
 from repro.wiki.graph import WikiGraph
 from repro.wiki.partition import (
@@ -72,12 +90,14 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SHARDED_SNAPSHOT_VERSION",
+    "COMPACT_SNAPSHOT_VERSION",
     "MANIFEST_NAME",
 ]
 
 SNAPSHOT_FORMAT = "repro-expansion-snapshot"
 SNAPSHOT_VERSION = 1
 SHARDED_SNAPSHOT_VERSION = 2
+COMPACT_SNAPSHOT_VERSION = 3
 MANIFEST_NAME = "manifest.json"
 
 _GRAPH_NAME = "wiki.jsonl.gz"
@@ -85,6 +105,12 @@ _INDEX_NAME = "index.json.gz"
 _LINKER_NAME = "linker.json.gz"
 _DOCUMENTS_NAME = "documents.json.gz"
 _PARTITION_NAME = "partition.json.gz"
+_INDEX_BLOB_NAME = "index.bin"
+_GRAPH_BLOB_NAME = "graph.bin"
+_PREFILL_NAME = "prefill.json.gz"
+
+# One shard's prefilled expansions: (seed set, precomputed result) pairs.
+PrefillEntries = tuple[tuple[frozenset[int], ExpansionResult], ...]
 
 
 def _write_json_gz(path: Path, payload: dict) -> None:
@@ -124,6 +150,60 @@ def _parse_linker_payload(payload: dict) -> dict[tuple[str, ...], int]:
         }
     except (KeyError, TypeError, ValueError) as exc:
         raise SnapshotError(f"snapshot file {_LINKER_NAME} is malformed: {exc}") from exc
+
+
+def _prefill_payload(entries: PrefillEntries, expander: str) -> dict:
+    """JSON-ready dump of one shard's precomputed expansions."""
+    return {
+        "expander": expander,
+        "entries": [
+            {
+                "seeds": sorted(seeds),
+                "articles": sorted(result.article_ids),
+                "titles": list(result.titles),
+                "cycles": [
+                    {
+                        "nodes": list(features.cycle.nodes),
+                        "counts": [
+                            features.num_articles,
+                            features.num_categories,
+                            features.num_edges,
+                            features.max_possible_edges,
+                        ],
+                    }
+                    for features in result.cycles
+                ],
+            }
+            for seeds, result in entries
+        ]
+    }
+
+
+def _parse_prefill_payload(payload: dict) -> PrefillEntries:
+    try:
+        entries = []
+        for record in payload["entries"]:
+            seeds = frozenset(int(node) for node in record["seeds"])
+            cycles = tuple(
+                CycleFeatures(
+                    cycle=Cycle(tuple(int(n) for n in item["nodes"])),
+                    num_articles=int(item["counts"][0]),
+                    num_categories=int(item["counts"][1]),
+                    num_edges=int(item["counts"][2]),
+                    max_possible_edges=int(item["counts"][3]),
+                )
+                for item in record["cycles"]
+            )
+            result = ExpansionResult(
+                seed_articles=seeds,
+                article_ids=frozenset(int(a) for a in record["articles"]),
+                titles=tuple(str(t) for t in record["titles"]),
+                cycles=cycles,
+            )
+            entries.append((seeds, result))
+        return tuple(entries)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SnapshotError(f"snapshot file {_PREFILL_NAME} is malformed: {exc}") from exc
 
 
 @dataclass(slots=True)
@@ -224,7 +304,8 @@ class Snapshot:
                 f"(expected {SNAPSHOT_FORMAT!r})"
             )
         found_version = manifest.get("version")
-        if found_version == SHARDED_SNAPSHOT_VERSION and "shards" in manifest:
+        if found_version in (SHARDED_SNAPSHOT_VERSION, COMPACT_SNAPSHOT_VERSION) \
+                and "shards" in manifest:
             raise SnapshotError(
                 f"snapshot at {directory} is a sharded snapshot "
                 f"({manifest['shards']} shards); load it with ShardedSnapshot.load "
@@ -335,18 +416,34 @@ class ShardedSnapshot:
     """One logical snapshot stored and served as N physical shards.
 
     Each shard pairs a :class:`GraphPartition` (core nodes + halo + every
-    incident edge) with the :class:`PositionalIndex` segment of the
-    documents hashed to it.  The linker vocabulary and document names are
-    shared across shards.  ``view()`` reassembles the exact logical graph;
-    the router in :mod:`repro.service.router` serves queries over the
-    shards without ever materialising the monolithic index.
+    incident edge) with the index segment of the documents hashed to it —
+    a :class:`PositionalIndex` on the build path, a :class:`CompactIndex`
+    once frozen (``frozen()``, or any load).  The linker vocabulary and
+    document names are shared across shards.  ``view()`` reassembles the
+    exact logical graph; ``compact_graph`` is its frozen CSR adjacency;
+    ``prefills`` optionally carries expansions precomputed per owner
+    shard (``with_prefill``).  The router in :mod:`repro.service.router`
+    serves queries over the shards without ever materialising the
+    monolithic index.
     """
 
     partitions: tuple[GraphPartition, ...]
-    segments: tuple[PositionalIndex, ...]
+    segments: tuple[PositionalIndex | CompactIndex, ...]
     title_index: dict[tuple[str, ...], int]
     doc_names: dict[str, str]
     mu: float
+    # Warm-cache prefill: per shard, the expansions precomputed at build
+    # time for that shard's owned seed sets (empty tuple = no prefill).
+    prefills: tuple[PrefillEntries, ...] = field(default=())
+    # Fingerprint (class + configuration) of the expander that computed
+    # the prefills.  Serving layers skip warm-up when their configured
+    # expander's fingerprint differs, so neither a custom expander nor a
+    # re-parameterised default ever silently serves another strategy's
+    # cached results ("" = no prefill recorded).
+    prefill_expander: str = ""
+    # Frozen CSR adjacency of the whole logical graph; populated by
+    # ``frozen()`` and by the version-3 loader.
+    compact_graph: CompactGraphView | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.partitions) != len(self.segments):
@@ -356,6 +453,11 @@ class ShardedSnapshot:
             )
         if not self.partitions:
             raise SnapshotError("a sharded snapshot needs >= 1 shard")
+        if self.prefills and len(self.prefills) != len(self.partitions):
+            raise SnapshotError(
+                f"shard mismatch: {len(self.prefills)} prefill entries vs "
+                f"{len(self.partitions)} shards"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -407,27 +509,160 @@ class ShardedSnapshot:
         )
 
     # ------------------------------------------------------------------
+    # Compact read path
+    # ------------------------------------------------------------------
+
+    def frozen(self) -> "ShardedSnapshot":
+        """This snapshot with every read-path artefact in compact form.
+
+        Index segments are interned into :class:`CompactIndex` and the
+        logical graph's adjacency into one :class:`CompactGraphView`.
+        Idempotent and cheap when already frozen (version-3 loads are);
+        the partitions (the write path and the linker's graph) are kept
+        as they are.
+        """
+        segments_frozen = all(
+            isinstance(segment, CompactIndex) for segment in self.segments
+        )
+        if segments_frozen and self.compact_graph is not None:
+            return self
+        return replace(
+            self,
+            segments=tuple(
+                CompactIndex.from_index(segment) for segment in self.segments
+            ),
+            compact_graph=self.compact_graph or CompactGraphView.from_graph(self.view()),
+        )
+
+    def with_prefill(
+        self, queries: Iterable[str], expander: Expander | None = None
+    ) -> "ShardedSnapshot":
+        """Precompute expansions for ``queries`` and ship them per shard.
+
+        Each query is entity-linked with this snapshot's vocabulary; the
+        resulting seed sets are grouped by *owner shard* (the shard of
+        the smallest seed id — exactly the routing rule
+        :class:`~repro.service.router.ShardRouter` applies), expanded
+        once with ``expander`` (default: the paper-tuned
+        :class:`~repro.core.expansion.NeighborhoodCycleExpander`, the
+        same default the serving layer uses — pass the serving expander
+        when it is customised; the expander's class name is recorded and
+        serving layers skip warm-up on a mismatch), and stored inside
+        the owning shard.  A
+        cold-started service warms its expansion caches from these
+        entries, so the prefilled queries hit at cached-tier latency
+        from the first request on.
+
+        Queries that link to no entity are skipped (the keyword fallback
+        never mines cycles, so there is nothing to precompute).
+        """
+        frozen = self.frozen()
+        view = frozen.view()
+        linker = frozen.make_linker(view)
+        resolved_expander = expander or NeighborhoodCycleExpander()
+        seed_sets = [linker.link_keywords(text) for text in queries]
+        unique = [seeds for seeds in dict.fromkeys(seed_sets) if seeds]
+        by_shard: dict[int, list[frozenset[int]]] = {}
+        for seeds in unique:
+            by_shard.setdefault(view.owner_shard(min(seeds)), []).append(seeds)
+
+        graph = frozen.compact_graph
+        expand_batch = getattr(resolved_expander, "expand_batch", None)
+        prefills: list[PrefillEntries] = []
+        for shard_id in range(frozen.num_shards):
+            owned = sorted(by_shard.get(shard_id, []), key=sorted)
+            if not owned:
+                prefills.append(())
+                continue
+            if expand_batch is not None:
+                results = expand_batch(graph, owned)
+            else:
+                results = [resolved_expander.expand(graph, seeds) for seeds in owned]
+            prefills.append(tuple(zip(owned, results)))
+        return replace(
+            frozen,
+            prefills=tuple(prefills),
+            prefill_expander=expander_fingerprint(resolved_expander),
+        )
+
+    @property
+    def num_prefilled(self) -> int:
+        """Total precomputed expansions across all shards."""
+        return sum(len(entries) for entries in self.prefills)
+
+    def prefill_for(self, shard_id: int, expander) -> PrefillEntries:
+        """Entries a worker for ``shard_id`` should warm its cache with.
+
+        Returns ``()`` when the snapshot carries no prefill or when
+        ``expander``'s fingerprint differs from the one that computed
+        the prefill — warming would then serve another strategy's (or
+        another configuration's) results; those queries must run cold
+        instead.  Serving layers size the expansion cache to
+        ``len()`` of this result so warmed entries cannot evict each
+        other before the first request.
+        """
+        if not self.prefills:
+            return ()
+        if self.prefill_expander != expander_fingerprint(expander):
+            return ()
+        return self.prefills[shard_id]
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, directory: str | Path) -> Path:
-        """Write all shards; the checksummed manifest is written last."""
+    def save(
+        self, directory: str | Path, *, version: int = COMPACT_SNAPSHOT_VERSION
+    ) -> Path:
+        """Write all shards; the checksummed manifest is written last.
+
+        ``version`` selects the on-disk format: 3 (default) stores index
+        segments and the graph adjacency as compact binary blobs that
+        load via ``mmap``; 2 writes the legacy JSON segments for
+        consumers pinned to the old format.  Prefilled expansions
+        require version 3.
+        """
+        if version not in (SHARDED_SNAPSHOT_VERSION, COMPACT_SNAPSHOT_VERSION):
+            raise SnapshotError(
+                f"cannot write snapshot version {version!r}; supported write "
+                f"versions are {SHARDED_SNAPSHOT_VERSION} and "
+                f"{COMPACT_SNAPSHOT_VERSION}"
+            )
+        compact = version == COMPACT_SNAPSHOT_VERSION
+        if self.prefills and not compact:
+            raise SnapshotError(
+                "prefilled expansions require the version-3 snapshot format"
+            )
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         (directory / MANIFEST_NAME).unlink(missing_ok=True)
 
+        source = self.frozen() if compact else self
         shard_entries = []
-        for partition, segment in zip(self.partitions, self.segments):
+        for shard_id, (partition, segment) in enumerate(
+            zip(source.partitions, source.segments)
+        ):
             shard_dir = directory / _shard_dir_name(partition.shard_id)
             shard_dir.mkdir(exist_ok=True)
             _write_json_gz(shard_dir / _PARTITION_NAME, partition.to_payload())
-            _write_json_gz(shard_dir / _INDEX_NAME, segment.to_payload())
+            checksums = {_PARTITION_NAME: _sha256(shard_dir / _PARTITION_NAME)}
+            if compact:
+                (shard_dir / _INDEX_BLOB_NAME).write_bytes(segment.to_blob())
+                checksums[_INDEX_BLOB_NAME] = _sha256(shard_dir / _INDEX_BLOB_NAME)
+                if source.prefills:
+                    _write_json_gz(
+                        shard_dir / _PREFILL_NAME,
+                        _prefill_payload(
+                            source.prefills[shard_id], source.prefill_expander
+                        ),
+                    )
+                    checksums[_PREFILL_NAME] = _sha256(shard_dir / _PREFILL_NAME)
+            else:
+                _write_json_gz(shard_dir / _INDEX_NAME, segment.to_payload())
+                checksums[_INDEX_NAME] = _sha256(shard_dir / _INDEX_NAME)
             shard_entries.append({
                 "dir": shard_dir.name,
-                "checksums": {
-                    _PARTITION_NAME: _sha256(shard_dir / _PARTITION_NAME),
-                    _INDEX_NAME: _sha256(shard_dir / _INDEX_NAME),
-                },
+                "checksums": checksums,
                 "counts": {
                     "core_articles": len(partition.core_articles),
                     "core_categories": len(partition.core_categories),
@@ -437,10 +672,17 @@ class ShardedSnapshot:
             })
         _write_json_gz(directory / _LINKER_NAME, _linker_payload(self.title_index))
         _write_json_gz(directory / _DOCUMENTS_NAME, dict(sorted(self.doc_names.items())))
+        shared_checksums = {
+            _LINKER_NAME: _sha256(directory / _LINKER_NAME),
+            _DOCUMENTS_NAME: _sha256(directory / _DOCUMENTS_NAME),
+        }
+        if compact:
+            (directory / _GRAPH_BLOB_NAME).write_bytes(source.compact_graph.to_blob())
+            shared_checksums[_GRAPH_BLOB_NAME] = _sha256(directory / _GRAPH_BLOB_NAME)
 
         manifest = {
             "format": SNAPSHOT_FORMAT,
-            "version": SHARDED_SNAPSHOT_VERSION,
+            "version": version,
             "mu": self.mu,
             "shards": self.num_shards,
             "counts": {
@@ -449,12 +691,10 @@ class ShardedSnapshot:
                 "edges": sum(p.num_owned_edges for p in self.partitions),
                 "documents": self.num_documents,
                 "titles": len(self.title_index),
+                "prefill_entries": source.num_prefilled,
             },
             "shard_artifacts": shard_entries,
-            "shared_checksums": {
-                _LINKER_NAME: _sha256(directory / _LINKER_NAME),
-                _DOCUMENTS_NAME: _sha256(directory / _DOCUMENTS_NAME),
-            },
+            "shared_checksums": shared_checksums,
         }
         # Written last, like Snapshot.save: a crash mid-save leaves a
         # directory load() rejects instead of a torn shard mix.
@@ -468,7 +708,10 @@ class ShardedSnapshot:
         """Load a sharded snapshot; v1 directories load as one shard.
 
         Every artefact's sha256 is verified against the manifest before
-        parsing.  Raises :class:`SnapshotError` on checksum mismatches,
+        parsing.  Version-3 directories map their compact blobs with
+        ``mmap``; version-1/2 directories are parsed the old way and
+        then frozen on load, so callers always receive the compact read
+        path.  Raises :class:`SnapshotError` on checksum mismatches,
         missing shards, or count inconsistencies.
         """
         directory = Path(directory)
@@ -488,14 +731,17 @@ class ShardedSnapshot:
             )
         version = manifest.get("version")
         if version == SNAPSHOT_VERSION:
-            # Pre-shard snapshot: serve it unchanged as a single shard.
-            return cls.from_snapshot(Snapshot.load(directory), num_shards=1)
-        if version != SHARDED_SNAPSHOT_VERSION:
+            # Pre-shard snapshot: serve it unchanged as a single shard
+            # (frozen on load so serving runs the compact path).
+            return cls.from_snapshot(Snapshot.load(directory), num_shards=1).frozen()
+        if version not in (SHARDED_SNAPSHOT_VERSION, COMPACT_SNAPSHOT_VERSION):
             raise SnapshotError(
                 f"snapshot at {directory} has version {version!r}; this build reads "
-                f"versions {SNAPSHOT_VERSION} and {SHARDED_SNAPSHOT_VERSION} — "
-                f"rebuild the snapshot with `repro snapshot`"
+                f"versions {SNAPSHOT_VERSION}, {SHARDED_SNAPSHOT_VERSION} and "
+                f"{COMPACT_SNAPSHOT_VERSION} — rebuild the snapshot with "
+                f"`repro snapshot`"
             )
+        compact = version == COMPACT_SNAPSHOT_VERSION
         mu = float(manifest.get("mu", 0.0))
         if mu <= 0:
             raise SnapshotError(f"snapshot manifest has invalid mu: {manifest.get('mu')!r}")
@@ -526,6 +772,16 @@ class ShardedSnapshot:
                 )
             return path
 
+        def load_blob(loader, path: Path):
+            try:
+                return loader(path)
+            except ReproError as exc:
+                if isinstance(exc, SnapshotError):
+                    raise
+                raise SnapshotError(
+                    f"snapshot file {path.parent.name}/{path.name} is corrupt: {exc}"
+                ) from exc
+
         shared = manifest.get("shared_checksums", {})
         title_index = _parse_linker_payload(_read_json_gz(
             verified(directory / _LINKER_NAME, shared.get(_LINKER_NAME))
@@ -536,18 +792,36 @@ class ShardedSnapshot:
                 verified(directory / _DOCUMENTS_NAME, shared.get(_DOCUMENTS_NAME))
             ).items()
         }
+        compact_graph = None
+        if compact:
+            compact_graph = load_blob(CompactGraphView.load, verified(
+                directory / _GRAPH_BLOB_NAME, shared.get(_GRAPH_BLOB_NAME)
+            ))
 
         partitions: list[GraphPartition] = []
-        segments: list[PositionalIndex] = []
+        segments: list[PositionalIndex | CompactIndex] = []
+        prefills: list[PrefillEntries] = []
+        prefill_expanders: set[str] = set()
         for entry in shard_entries:
             shard_dir = directory / str(entry.get("dir", ""))
             checksums = entry.get("checksums", {})
             partition = GraphPartition.from_payload(_read_json_gz(
                 verified(shard_dir / _PARTITION_NAME, checksums.get(_PARTITION_NAME))
             ))
-            segment = PositionalIndex.from_payload(_read_json_gz(
-                verified(shard_dir / _INDEX_NAME, checksums.get(_INDEX_NAME))
-            ))
+            if compact:
+                segment = load_blob(CompactIndex.load, verified(
+                    shard_dir / _INDEX_BLOB_NAME, checksums.get(_INDEX_BLOB_NAME)
+                ))
+                if _PREFILL_NAME in checksums:
+                    prefill_payload = _read_json_gz(
+                        verified(shard_dir / _PREFILL_NAME, checksums[_PREFILL_NAME])
+                    )
+                    prefills.append(_parse_prefill_payload(prefill_payload))
+                    prefill_expanders.add(str(prefill_payload.get("expander", "")))
+            else:
+                segment = PositionalIndex.from_payload(_read_json_gz(
+                    verified(shard_dir / _INDEX_NAME, checksums.get(_INDEX_NAME))
+                ))
             counts = entry.get("counts", {})
             actual = {
                 "core_articles": len(partition.core_articles),
@@ -564,9 +838,21 @@ class ShardedSnapshot:
             partitions.append(partition)
             segments.append(segment)
 
+        if prefills and len(prefills) != len(partitions):
+            raise SnapshotError(
+                f"snapshot at {directory} is inconsistent: {len(prefills)} shards "
+                f"carry prefill artefacts but {len(partitions)} shards exist"
+            )
+        if len(prefill_expanders) > 1:
+            raise SnapshotError(
+                f"snapshot at {directory} is inconsistent: shards disagree on "
+                f"the prefill expander ({sorted(prefill_expanders)})"
+            )
         snapshot = cls(
             partitions=tuple(partitions), segments=tuple(segments),
             title_index=title_index, doc_names=doc_names, mu=mu,
+            prefills=tuple(prefills), compact_graph=compact_graph,
+            prefill_expander=next(iter(prefill_expanders), ""),
         )
         counts = manifest.get("counts", {})
         actual_global = {
@@ -575,6 +861,7 @@ class ShardedSnapshot:
             "edges": sum(p.num_owned_edges for p in partitions),
             "documents": snapshot.num_documents,
             "titles": len(title_index),
+            "prefill_entries": snapshot.num_prefilled,
         }
         for key, expected in counts.items():
             if key in actual_global and actual_global[key] != expected:
@@ -582,7 +869,7 @@ class ShardedSnapshot:
                     f"snapshot at {directory} is inconsistent: manifest declares "
                     f"{expected} {key}, artefacts contain {actual_global[key]}"
                 )
-        return snapshot
+        return snapshot if compact else snapshot.frozen()
 
     # ------------------------------------------------------------------
     # Materialisation
@@ -612,5 +899,5 @@ class ShardedSnapshot:
         return (
             f"ShardedSnapshot(shards={self.num_shards}, "
             f"docs={self.num_documents}, titles={len(self.title_index)}, "
-            f"mu={self.mu})"
+            f"mu={self.mu}, prefilled={self.num_prefilled})"
         )

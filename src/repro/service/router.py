@@ -11,10 +11,12 @@ a :class:`~repro.service.artifacts.ShardedSnapshot`:
   lands on the same worker and its expansion cache).  Workers are full
   :class:`ExpansionService` instances: per-shard LRU caches, in-flight
   dedup, and the amortised ``expand_batch`` pre-fill all apply per shard.
-  Cycle mining is shard-local: the worker's bounded neighbourhood is
-  assembled through the :class:`PartitionedGraphView`, whose per-node halo
-  answers are exact, so the mined cycles are identical to the monolithic
-  graph's.
+  Cycle mining runs on the snapshot's frozen
+  :class:`~repro.wiki.compact.CompactGraphView` (built from the
+  :class:`PartitionedGraphView`, whose per-node halo answers are exact),
+  so the mined cycles are identical to the monolithic graph's while the
+  neighbourhood/subgraph work stays on CSR arrays.  Snapshots built with
+  ``--prefill`` warm each worker's expansion cache at construction.
 * **Ranking** is a scatter-gather over every shard's index segment with a
   global statistics exchange (each segment reports local collection counts
   per query leaf, the router sums them into the global background model,
@@ -73,6 +75,18 @@ class RouterStats:
             max_size=sum(c.max_size for c in per_shard),
         )
 
+    @property
+    def per_shard_hit_rates(self) -> tuple[float, ...]:
+        """Expansion-cache hit rate of each shard worker, in shard order.
+
+        A shard that never saw a lookup reports 0.0 (not a division
+        error) — common right after cold start or behind a skewed
+        routing distribution.
+        """
+        return tuple(
+            stats.expansion_cache.hit_rate for stats in self.shard_stats
+        )
+
     def as_dict(self) -> dict:
         return {
             "shards": self.shards,
@@ -81,6 +95,9 @@ class RouterStats:
             "unlinked_queries": self.unlinked_queries,
             "link_cache": self.link_cache.as_dict(),
             "expansion_cache": self.expansion_cache.as_dict(),
+            "per_shard_hit_rates": [
+                round(rate, 4) for rate in self.per_shard_hit_rates
+            ],
             "per_shard": [stats.as_dict() for stats in self.shard_stats],
         }
 
@@ -109,13 +126,28 @@ class ShardRouter:
         link_cache_size: int = 4096,
         expansion_cache_size: int = 1024,
     ) -> None:
+        # Serve from the compact read path: CSR adjacency for expansion,
+        # interned CSR postings for ranking.  frozen() is a no-op for
+        # snapshots loaded from the version-3 format.
+        snapshot = snapshot.frozen()
         self._view = snapshot.view()
         self.doc_names = dict(snapshot.doc_names)
         self._linker = snapshot.make_linker(self._view)
         shared_expander = expander or NeighborhoodCycleExpander()
+        # Warm-cache prefill: expansions precomputed at snapshot build
+        # time are owner-shard-local, so each worker warms only its own.
+        # prefill_for returns () when this router's expander fingerprint
+        # differs from the one that computed the prefill (those queries
+        # just run cold), and each worker's cache is sized to hold its
+        # whole prefill so warmed entries cannot evict each other before
+        # the first request.
+        prefill = [
+            snapshot.prefill_for(shard_id, shared_expander)
+            for shard_id in range(snapshot.num_shards)
+        ]
         self._workers = [
             ExpansionService(
-                self._view,
+                snapshot.compact_graph,
                 snapshot.make_segment_engine(shard_id),
                 self._linker,
                 shared_expander,
@@ -125,11 +157,16 @@ class ShardRouter:
                 # caches would only ever hold dead entries — keep them at
                 # the minimum size instead of the 4096 default.
                 link_cache_size=1,
-                expansion_cache_size=expansion_cache_size,
+                expansion_cache_size=max(
+                    expansion_cache_size, len(prefill[shard_id])
+                ),
                 allow_empty_index=True,
             )
             for shard_id in range(snapshot.num_shards)
         ]
+        for shard_id, entries in enumerate(prefill):
+            if entries:
+                self._workers[shard_id].warm_expansions(entries)
         self._tokenizer = self._workers[0].engine.tokenizer
         self._link_cache = LRUCache(link_cache_size)
         self._pool = ThreadPoolExecutor(

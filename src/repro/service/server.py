@@ -37,10 +37,13 @@ from repro.core.expansion import (
 )
 from repro.errors import ServiceError
 from repro.linking.linker import EntityLinker, LinkResult
+from repro.retrieval.compact import CompactIndex
 from repro.retrieval.engine import SearchEngine, SearchResult
 from repro.retrieval.qlang import CombineNode, TermNode
+from repro.retrieval.scoring import DirichletSmoothing
 from repro.service.artifacts import Snapshot
 from repro.service.cache import CacheStats, LRUCache
+from repro.wiki.compact import CompactGraphView
 
 __all__ = ["ExpansionService", "ServiceResponse", "ServiceStats"]
 
@@ -143,14 +146,36 @@ class ExpansionService:
 
     @classmethod
     def from_snapshot(
-        cls, snapshot: Snapshot | str | Path, expander: Expander | None = None, **kwargs
+        cls,
+        snapshot: Snapshot | str | Path,
+        expander: Expander | None = None,
+        *,
+        compact: bool = True,
+        **kwargs,
     ) -> "ExpansionService":
-        """Cold-start a service from a snapshot (or a snapshot directory)."""
+        """Cold-start a service from a snapshot (or a snapshot directory).
+
+        With ``compact`` (the default) the hot read path is frozen into
+        the array-backed structures — :class:`CompactGraphView` for
+        expansion, :class:`CompactIndex` for ranking — which answer
+        bit-identically to the dict-backed originals but markedly
+        faster.  ``compact=False`` keeps the dict path; the latency
+        benchmark uses it to measure the speedup in one process.
+        """
         if not isinstance(snapshot, Snapshot):
             snapshot = Snapshot.load(snapshot)
+        if compact:
+            graph = CompactGraphView.from_graph(snapshot.graph)
+            engine = SearchEngine(
+                smoothing=DirichletSmoothing(mu=snapshot.mu),
+                index=CompactIndex.from_index(snapshot.index),
+            )
+        else:
+            graph = snapshot.graph
+            engine = snapshot.make_engine()
         return cls(
-            snapshot.graph,
-            snapshot.make_engine(),
+            graph,
+            engine,
             snapshot.make_linker(),
             expander,
             doc_names=snapshot.doc_names,
@@ -278,6 +303,25 @@ class ExpansionService:
         """Drop cached links and expansions (counters are preserved)."""
         self._link_cache.clear()
         self._expansion_cache.clear()
+
+    def warm_expansions(self, entries) -> int:
+        """Seed the expansion cache with precomputed results.
+
+        ``entries`` yields ``(seed_set, ExpansionResult)`` pairs — the
+        shape :attr:`ShardedSnapshot.prefills` stores per shard.  Warming
+        counts neither hits nor misses; the first real lookup of a warmed
+        entry reports as a cache hit, so prefilled queries serve at
+        cached-tier latency from the very first request.  Returns the
+        number of entries installed.  The expansion cache must be sized
+        to hold every entry (:class:`~repro.service.router.ShardRouter`
+        and the CLI guarantee this) — a smaller bound would evict warmed
+        entries before the first request ever reads them.
+        """
+        count = 0
+        for seeds, result in entries:
+            self._expansion_cache.put(frozenset(seeds), result)
+            count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Shard-worker API (used by the router; also the batch building block)

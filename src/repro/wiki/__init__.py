@@ -6,6 +6,7 @@ model follows Figure 1 exactly: articles with titles, categories with names,
 """
 
 from repro.wiki.builder import WikiGraphBuilder
+from repro.wiki.compact import CompactGraphView
 from repro.wiki.dump import dumps_graph, loads_graph, read_graph, write_graph
 from repro.wiki.graph import WikiGraph
 from repro.wiki.partition import (
@@ -37,6 +38,7 @@ __all__ = [
     "normalize_title",
     "WikiGraph",
     "WikiGraphBuilder",
+    "CompactGraphView",
     "GraphPartition",
     "PartitionedGraphView",
     "partition_graph",

@@ -1,0 +1,194 @@
+"""CompactIndex: exact equivalence with the dict index + blob failures."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.retrieval import (
+    CompactIndex,
+    DirichletSmoothing,
+    PositionalIndex,
+    SearchEngine,
+    collect_phrase_stats,
+    phrase_occurrences,
+)
+
+DOCS = [
+    ("doc-b", "the bridge of sighs crosses the rio di palazzo"),
+    ("doc-a", "gondola rides pass under the bridge of sighs at dusk"),
+    ("doc-c", "venice carnival masks and gondola parades"),
+    ("doc-d", "sighs bridge bridge sighs"),
+    ("doc-e", ""),
+]
+
+
+@pytest.fixture()
+def dict_index() -> PositionalIndex:
+    index = PositionalIndex()
+    index.add_documents(DOCS)
+    return index
+
+
+@pytest.fixture()
+def compact(dict_index) -> CompactIndex:
+    return CompactIndex.from_index(dict_index)
+
+
+class TestEquivalence:
+    def test_statistics_match(self, dict_index, compact):
+        assert compact.num_documents == dict_index.num_documents
+        assert compact.total_tokens == dict_index.total_tokens
+        assert compact.vocabulary_size == dict_index.vocabulary_size
+        assert list(compact.terms()) == list(dict_index.terms())
+        assert set(compact.doc_ids()) == set(dict_index.doc_ids())
+
+    def test_per_term_values_match(self, dict_index, compact):
+        for term in dict_index.terms():
+            assert compact.document_frequency(term) == \
+                dict_index.document_frequency(term)
+            assert compact.collection_frequency(term) == \
+                dict_index.collection_frequency(term)
+            # Bit-identical, not approx: same division of the same ints.
+            assert compact.collection_probability(term) == \
+                dict_index.collection_probability(term)
+            assert compact.documents_containing(term) == \
+                dict_index.documents_containing(term)
+            assert [(p.doc_id, p.positions) for p in compact.postings(term)] == \
+                   [(p.doc_id, p.positions) for p in dict_index.postings(term)]
+
+    def test_unknown_term_and_document(self, dict_index, compact):
+        assert compact.collection_frequency("zzz") == 0
+        assert compact.collection_probability("zzz") == \
+            dict_index.collection_probability("zzz")
+        assert compact.documents_containing("zzz") == set()
+        assert compact.positions("bridge", "nope") == []
+        assert compact.term_frequency("zzz", "doc-a") == 0
+        with pytest.raises(IndexError_):
+            compact.document_length("nope")
+
+    def test_conjunctive_lookup_matches(self, dict_index, compact):
+        for terms in (["bridge"], ["bridge", "sighs"], ["bridge", "zzz"],
+                      ["gondola", "bridge"], []):
+            assert compact.documents_containing_all(terms) == \
+                dict_index.documents_containing_all(terms)
+
+    def test_phrase_machinery_matches(self, dict_index, compact):
+        phrase = ("bridge", "of", "sighs")
+        for doc_id, _ in DOCS:
+            assert phrase_occurrences(compact, phrase, doc_id) == \
+                phrase_occurrences(dict_index, phrase, doc_id)
+        mine = collect_phrase_stats(compact, phrase)
+        reference = collect_phrase_stats(dict_index, phrase)
+        assert mine.collection_frequency == reference.collection_frequency
+        assert mine.per_document == reference.per_document
+
+    def test_search_scores_bit_identical(self, dict_index, compact):
+        reference = SearchEngine(
+            smoothing=DirichletSmoothing(mu=300.0), index=dict_index
+        )
+        mine = SearchEngine(smoothing=DirichletSmoothing(mu=300.0), index=compact)
+        for query in ("bridge of sighs", "gondola venice", "sighs"):
+            expected = reference.search(query, top_k=10)
+            got = mine.search(query, top_k=10)
+            assert [(r.doc_id, r.score, r.rank) for r in got] == \
+                   [(r.doc_id, r.score, r.rank) for r in expected]
+
+    def test_freezing_a_compact_index_is_identity(self, compact):
+        assert CompactIndex.from_index(compact) is compact
+
+    def test_payload_round_trips_to_dict_index(self, dict_index, compact):
+        """Same contents up to dict ordering (compact interns documents
+        in sorted order; the dict index keeps insertion order)."""
+        rebuilt = PositionalIndex.from_payload(compact.to_payload())
+        mine, reference = rebuilt.to_payload(), dict_index.to_payload()
+        assert sorted(mine["documents"]) == sorted(reference["documents"])
+        assert mine["postings"] == reference["postings"]
+
+
+class TestFrozen:
+    def test_mutation_raises(self, compact):
+        with pytest.raises(IndexError_, match="frozen"):
+            compact.add_document("new", "text")
+        with pytest.raises(IndexError_, match="frozen"):
+            compact.add_documents([("new", "text")])
+
+
+class TestBlob:
+    def test_round_trip_in_memory(self, dict_index, compact):
+        again = CompactIndex.from_blob(compact.to_blob())
+        assert again.total_tokens == dict_index.total_tokens
+        assert list(again.terms()) == list(dict_index.terms())
+        for term in dict_index.terms():
+            assert again.collection_probability(term) == \
+                dict_index.collection_probability(term)
+            assert [(p.doc_id, p.positions) for p in again.postings(term)] == \
+                   [(p.doc_id, p.positions) for p in dict_index.postings(term)]
+
+    def test_mmap_round_trip_survives_reopen(self, dict_index, compact, tmp_path):
+        """Save, drop every in-memory object, and reload from disk — the
+        mmap-backed index must answer exactly like the original."""
+        path = tmp_path / "index.bin"
+        compact.save(path)
+        del compact
+        reloaded = CompactIndex.load(path)
+        assert reloaded.num_documents == dict_index.num_documents
+        for term in dict_index.terms():
+            assert reloaded.documents_containing(term) == \
+                dict_index.documents_containing(term)
+        # A second, independent mapping of the same file works too
+        # (simulates a process restart reopening the snapshot).
+        again = CompactIndex.load(path)
+        assert again.total_tokens == reloaded.total_tokens
+
+    def test_truncated_blob_rejected(self, compact, tmp_path):
+        blob = compact.to_blob()
+        for cut in (4, 10, len(blob) // 2, len(blob) - 3):
+            with pytest.raises(IndexError_):
+                CompactIndex.from_blob(blob[:cut])
+
+    def test_foreign_magic_rejected(self, compact):
+        blob = bytearray(compact.to_blob())
+        blob[:8] = b"NOTMAGIC"
+        with pytest.raises(IndexError_, match="magic"):
+            CompactIndex.from_blob(bytes(blob))
+
+    def test_garbage_header_rejected(self):
+        blob = b"RPCIDX1\n" + b"\xff" * 64
+        with pytest.raises(IndexError_):
+            CompactIndex.from_blob(blob)
+
+    def test_tampered_section_offset_rejected(self, compact):
+        """A bit flip inside a header offset digit still parses as JSON;
+        the section table validation must reject it rather than serve
+        views over the wrong bytes."""
+        import json
+        import struct
+
+        blob = compact.to_blob()
+        header_len = struct.unpack("<I", blob[8:12])[0]
+        header = json.loads(blob[12:12 + header_len])
+        name = next(iter(header["__sections__"]))
+        for bad_offset in (-8, 3):  # negative, unaligned
+            tampered = json.loads(json.dumps(header))
+            tampered["__sections__"][name][0] = bad_offset
+            header_bytes = json.dumps(tampered).encode()
+            rebuilt = blob[:8] + struct.pack("<I", len(header_bytes)) \
+                + header_bytes + blob[12 + header_len:]
+            with pytest.raises(IndexError_):
+                CompactIndex.from_blob(rebuilt)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(IndexError_, match="missing"):
+            CompactIndex.load(tmp_path / "absent.bin")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(IndexError_):
+            CompactIndex.load(path)
+
+    def test_empty_index_round_trips(self):
+        empty = CompactIndex.from_index(PositionalIndex())
+        again = CompactIndex.from_blob(empty.to_blob())
+        assert again.num_documents == 0
+        assert again.total_tokens == 0
+        assert again.collection_probability("anything") == 0.0

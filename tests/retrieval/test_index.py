@@ -30,6 +30,26 @@ class TestBuilding:
         assert added == 2
         assert idx.num_documents == 2
 
+    def test_add_documents_equals_one_by_one(self):
+        """The bulk path (tokenize_many + per-term folding) must produce
+        byte-for-byte the same index as repeated add_document calls."""
+        docs = [("a", "to be or not to be"), ("b", ""),
+                ("c", "be the bridge of sighs"), ("d", "sighs sighs be")]
+        bulk, single = PositionalIndex(), PositionalIndex()
+        bulk.add_documents(docs)
+        for doc_id, text in docs:
+            single.add_document(doc_id, text)
+        assert bulk.to_payload() == single.to_payload()
+        assert list(bulk.terms()) == list(single.terms())
+        for term in single.terms():
+            assert bulk.collection_frequency(term) == \
+                single.collection_frequency(term)
+
+    def test_add_documents_rejects_duplicates_mid_batch(self):
+        idx = PositionalIndex()
+        with pytest.raises(IndexError_, match="already indexed"):
+            idx.add_documents([("a", "one"), ("a", "again")])
+
     def test_empty_document_indexed(self):
         idx = PositionalIndex()
         assert idx.add_document("empty", "") == 0

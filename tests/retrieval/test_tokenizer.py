@@ -35,6 +35,18 @@ class TestTokenize:
         text = "summer field in Belgium"
         assert list(tok.iter_tokens(text)) == tok.tokenize(text)
 
+    def test_tokenize_many_matches_per_text(self):
+        tok = Tokenizer()
+        texts = ["Gondola in Venice", "", "bridge, of-sighs!"]
+        assert tok.tokenize_many(texts) == [tok.tokenize(text) for text in texts]
+
+    def test_tokenize_many_applies_filters(self):
+        tok = Tokenizer(stopwords={"in"}, min_length=3)
+        assert tok.tokenize_many(["a ride in Venice"]) == [["ride", "venice"]]
+
+    def test_min_length_property(self):
+        assert Tokenizer(min_length=2).min_length == 2
+
 
 class TestStopwordsAndFilters:
     def test_stopwords_removed(self):

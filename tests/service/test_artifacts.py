@@ -190,13 +190,11 @@ class TestShardedGate:
             Snapshot.load(sharded_dir)
 
     def test_checksum_mismatch_rejected(self, sharded_dir, tmp_path):
-        import gzip
-
         copy = self._copy(sharded_dir, tmp_path)
-        victim = copy / "shard-0001" / "index.json.gz"
-        payload = json.loads(gzip.decompress(victim.read_bytes()))
-        payload["documents"] = payload["documents"][:-1]
-        victim.write_bytes(gzip.compress(json.dumps(payload).encode()))
+        victim = copy / "shard-0001" / "index.bin"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF  # flip bits deep in the postings payload
+        victim.write_bytes(bytes(blob))
         with pytest.raises(SnapshotError, match="checksum"):
             ShardedSnapshot.load(copy)
 

@@ -1,0 +1,291 @@
+"""Snapshot v3 (compact blobs + prefill): round trips and failure modes."""
+
+import json
+
+import pytest
+
+from repro.retrieval import CompactIndex
+from repro.errors import SnapshotError
+from repro.service import (
+    COMPACT_SNAPSHOT_VERSION,
+    MANIFEST_NAME,
+    ExpansionService,
+    ShardRouter,
+    ShardedSnapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def sharded(snapshot) -> ShardedSnapshot:
+    return ShardedSnapshot.from_snapshot(snapshot, num_shards=3)
+
+
+@pytest.fixture(scope="module")
+def v3_dir(sharded, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("v3_snapshot")
+    sharded.save(directory)
+    return directory
+
+
+def _sha256_of(path):
+    import hashlib
+
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestV3RoundTrip:
+    def test_layout_and_manifest_version(self, v3_dir):
+        manifest = json.loads((v3_dir / MANIFEST_NAME).read_text())
+        assert manifest["version"] == COMPACT_SNAPSHOT_VERSION
+        assert (v3_dir / "graph.bin").exists()
+        assert (v3_dir / "shard-0000" / "index.bin").exists()
+        assert not (v3_dir / "shard-0000" / "index.json.gz").exists()
+        assert "graph.bin" in manifest["shared_checksums"]
+        assert "index.bin" in manifest["shard_artifacts"][0]["checksums"]
+
+    def test_load_is_frozen_and_equivalent(self, sharded, v3_dir):
+        loaded = ShardedSnapshot.load(v3_dir)
+        assert loaded.compact_graph is not None
+        assert all(isinstance(s, CompactIndex) for s in loaded.segments)
+        assert loaded.num_documents == sharded.num_documents
+        assert loaded.title_index == sharded.title_index
+        for mine, original in zip(loaded.segments, sharded.segments):
+            assert mine.num_documents == original.num_documents
+            assert mine.total_tokens == original.total_tokens
+            assert list(mine.terms()) == list(original.terms())
+        graph = sharded.view()
+        for node_id in list(graph.node_ids())[:50]:
+            assert loaded.compact_graph.undirected_neighbors(node_id) == \
+                graph.undirected_neighbors(node_id)
+
+    def test_served_answers_match_in_memory_snapshot(
+        self, small_benchmark, sharded, v3_dir
+    ):
+        mine = ShardRouter(ShardedSnapshot.load(v3_dir))
+        reference = ShardRouter(sharded)
+        for topic in small_benchmark.topics:
+            a = mine.expand_query(topic.keywords, top_k=10)
+            b = reference.expand_query(topic.keywords, top_k=10)
+            assert a.expansion.article_ids == b.expansion.article_ids
+            assert [(r.doc_id, r.score) for r in a.results] == \
+                   [(r.doc_id, r.score) for r in b.results]
+
+    def test_reopened_snapshot_serves_identically(self, small_benchmark, v3_dir):
+        """Two independent loads (a restart stand-in) answer the same."""
+        first = ShardRouter(ShardedSnapshot.load(v3_dir))
+        again = ShardRouter(ShardedSnapshot.load(v3_dir))
+        keywords = small_benchmark.topics[0].keywords
+        a = first.expand_query(keywords)
+        b = again.expand_query(keywords)
+        assert [(r.doc_id, r.score) for r in a.results] == \
+               [(r.doc_id, r.score) for r in b.results]
+
+
+class TestFreezeOnLoad:
+    def test_v2_directory_loads_frozen_and_equivalent(
+        self, small_benchmark, sharded, tmp_path
+    ):
+        """A legacy v2 directory freezes on load: compact structures,
+        identical answers."""
+        v2_dir = tmp_path / "v2"
+        sharded.save(v2_dir, version=2)
+        manifest = json.loads((v2_dir / MANIFEST_NAME).read_text())
+        assert manifest["version"] == 2
+        assert (v2_dir / "shard-0000" / "index.json.gz").exists()
+        assert not (v2_dir / "graph.bin").exists()
+
+        loaded = ShardedSnapshot.load(v2_dir)
+        assert loaded.compact_graph is not None
+        assert all(isinstance(s, CompactIndex) for s in loaded.segments)
+        mine = ShardRouter(loaded)
+        reference = ShardRouter(sharded)
+        for topic in small_benchmark.topics:
+            a = mine.expand_query(topic.keywords, top_k=10)
+            b = reference.expand_query(topic.keywords, top_k=10)
+            assert a.expansion.article_ids == b.expansion.article_ids
+            assert [(r.doc_id, r.score) for r in a.results] == \
+                   [(r.doc_id, r.score) for r in b.results]
+
+    def test_v1_directory_loads_frozen(self, snapshot_dir):
+        loaded = ShardedSnapshot.load(snapshot_dir)
+        assert loaded.num_shards == 1
+        assert loaded.compact_graph is not None
+        assert isinstance(loaded.segments[0], CompactIndex)
+
+
+class TestFailureModes:
+    def _copy(self, source, tmp_path):
+        import shutil
+
+        copy = tmp_path / "snap"
+        shutil.copytree(source, copy)
+        return copy
+
+    def test_truncated_index_blob_rejected(self, v3_dir, tmp_path):
+        """Truncation caught even when the manifest checksum 'matches'
+        the truncated file (a tampered manifest cannot sneak a torn blob
+        past the parser)."""
+        copy = self._copy(v3_dir, tmp_path)
+        victim = copy / "shard-0001" / "index.bin"
+        victim.write_bytes(victim.read_bytes()[:40])
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest["shard_artifacts"][1]["checksums"]["index.bin"] = \
+            _sha256_of(victim)
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="corrupt"):
+            ShardedSnapshot.load(copy)
+
+    def test_truncated_graph_blob_rejected(self, v3_dir, tmp_path):
+        copy = self._copy(v3_dir, tmp_path)
+        victim = copy / "graph.bin"
+        victim.write_bytes(victim.read_bytes()[:64])
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest["shared_checksums"]["graph.bin"] = _sha256_of(victim)
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="corrupt"):
+            ShardedSnapshot.load(copy)
+
+    def test_blob_checksum_mismatch_rejected(self, v3_dir, tmp_path):
+        copy = self._copy(v3_dir, tmp_path)
+        victim = copy / "graph.bin"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum"):
+            ShardedSnapshot.load(copy)
+
+    def test_missing_blob_rejected(self, v3_dir, tmp_path):
+        copy = self._copy(v3_dir, tmp_path)
+        (copy / "shard-0002" / "index.bin").unlink()
+        with pytest.raises(SnapshotError, match="missing"):
+            ShardedSnapshot.load(copy)
+
+    def test_unknown_write_version_rejected(self, sharded, tmp_path):
+        with pytest.raises(SnapshotError, match="version"):
+            sharded.save(tmp_path / "snap", version=4)
+
+    def test_prefill_requires_v3(self, sharded, small_benchmark, tmp_path):
+        prefilled = sharded.with_prefill(
+            [t.keywords for t in small_benchmark.topics]
+        )
+        with pytest.raises(SnapshotError, match="version-3"):
+            prefilled.save(tmp_path / "snap", version=2)
+
+
+class TestPrefill:
+    @pytest.fixture(scope="class")
+    def prefilled(self, sharded, small_benchmark) -> ShardedSnapshot:
+        return sharded.with_prefill(
+            [topic.keywords for topic in small_benchmark.topics]
+        )
+
+    def test_prefill_counts_and_owner_locality(self, prefilled):
+        assert prefilled.num_prefilled > 0
+        view = prefilled.view()
+        for shard, entries in enumerate(prefilled.prefills):
+            for seeds, result in entries:
+                assert result.seed_articles == seeds
+                # Every entry sits on the shard the router would pick.
+                assert view.owner_shard(min(seeds)) == shard
+
+    def test_prefill_round_trips_through_disk(self, prefilled, tmp_path):
+        directory = tmp_path / "snap"
+        prefilled.save(directory)
+        assert (directory / "shard-0000" / "prefill.json.gz").exists()
+        loaded = ShardedSnapshot.load(directory)
+        assert loaded.num_prefilled == prefilled.num_prefilled
+        for mine, original in zip(loaded.prefills, prefilled.prefills):
+            assert len(mine) == len(original)
+            for (my_seeds, my_result), (seeds, result) in zip(mine, original):
+                assert my_seeds == seeds
+                assert my_result.article_ids == result.article_ids
+                assert my_result.titles == result.titles
+                assert my_result.cycles == result.cycles
+
+    def test_cold_router_serves_prefilled_topics_from_cache(
+        self, prefilled, sharded, small_benchmark, tmp_path
+    ):
+        directory = tmp_path / "snap"
+        prefilled.save(directory)
+        router = ShardRouter(ShardedSnapshot.load(directory))
+        # A non-prefilled router over the same data computes everything
+        # cold; the prefilled answers must match it exactly.
+        reference = ShardRouter(sharded)
+        for topic in small_benchmark.topics:
+            response = router.expand_query(topic.keywords)
+            if response.linked:
+                assert response.expansion_cached, topic.keywords
+            cold = reference.expand_query(topic.keywords)
+            assert [(r.doc_id, r.score) for r in response.results] == \
+                   [(r.doc_id, r.score) for r in cold.results]
+
+    def test_prefill_records_the_expander_fingerprint_and_round_trips_it(
+        self, prefilled, tmp_path
+    ):
+        from repro.core.expansion import (
+            NeighborhoodCycleExpander,
+            expander_fingerprint,
+        )
+
+        expected = expander_fingerprint(NeighborhoodCycleExpander())
+        assert prefilled.prefill_expander == expected
+        assert "radius=" in expected  # configuration, not just the class
+        directory = tmp_path / "snap"
+        prefilled.save(directory)
+        assert ShardedSnapshot.load(directory).prefill_expander == expected
+
+    def test_router_with_different_expander_skips_warmup(
+        self, prefilled, small_benchmark
+    ):
+        """A custom expander must never serve another strategy's cached
+        prefill results; those queries simply run cold."""
+        from repro.core.expansion import NeighborhoodCycleExpander
+
+        class CustomExpander(NeighborhoodCycleExpander):
+            pass
+
+        router = ShardRouter(prefilled, expander=CustomExpander())
+        response = router.expand_query(small_benchmark.topics[0].keywords)
+        assert response.linked
+        assert not response.expansion_cached
+
+    def test_router_with_reconfigured_expander_skips_warmup(
+        self, prefilled, small_benchmark
+    ):
+        """Same class, different parameters: the fingerprint guard must
+        still refuse the warm-up (a radius-3 router serving radius-2
+        prefill results would be silently wrong)."""
+        from repro.core.expansion import NeighborhoodCycleExpander
+
+        router = ShardRouter(
+            prefilled, expander=NeighborhoodCycleExpander(radius=3)
+        )
+        response = router.expand_query(small_benchmark.topics[0].keywords)
+        assert response.linked
+        assert not response.expansion_cached
+
+    def test_router_with_equal_default_expander_warms(
+        self, prefilled, small_benchmark
+    ):
+        from repro.core.expansion import NeighborhoodCycleExpander
+
+        router = ShardRouter(prefilled, expander=NeighborhoodCycleExpander())
+        response = router.expand_query(small_benchmark.topics[0].keywords)
+        assert response.linked
+        assert response.expansion_cached
+
+    def test_single_shard_service_warms_from_prefill(
+        self, snapshot, small_benchmark
+    ):
+        single = ShardedSnapshot.from_snapshot(snapshot, num_shards=1) \
+            .with_prefill([t.keywords for t in small_benchmark.topics])
+        service = ExpansionService(
+            single.compact_graph,
+            single.make_segment_engine(0),
+            single.make_linker(single.partitions[0].graph),
+            doc_names=single.doc_names,
+        )
+        service.warm_expansions(single.prefills[0])
+        response = service.expand_query(small_benchmark.topics[0].keywords)
+        assert response.linked
+        assert response.expansion_cached

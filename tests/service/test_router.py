@@ -127,6 +127,24 @@ class TestStats:
             s.expansion_cache.misses for s in stats.shard_stats
         )
 
+    def test_per_shard_hit_rates_guard_zero_lookups(self, small_benchmark, router):
+        """Shards that never saw a lookup report 0.0, not a ZeroDivisionError,
+        and the rates are exposed per shard in the stats payload."""
+        keywords = small_benchmark.topics[0].keywords
+        first = router.expand_query(keywords)
+        assert first.linked
+        router.expand_query(keywords)  # warm repeat: owner shard hits
+        stats = router.stats()
+        rates = stats.per_shard_hit_rates
+        assert len(rates) == stats.shards
+        owner = router.owner_shard(first.link.article_ids)
+        assert rates[owner] > 0.0
+        for shard_id, rate in enumerate(rates):
+            if shard_id != owner:
+                assert rate == 0.0
+        payload = stats.as_dict()
+        assert payload["per_shard_hit_rates"] == [round(r, 4) for r in rates]
+
     def test_empty_segments_are_tolerated(self, snapshot, small_benchmark):
         """More shards than needed leaves some segments empty; ranking
         still works and matches the single-shard path."""

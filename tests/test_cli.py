@@ -202,8 +202,32 @@ class TestSnapshotCommand:
                      "--benchmark-dir", bench_dir])
         assert code == 0
         assert "saved ShardedSnapshot" in capsys.readouterr().out
+        assert (out_dir / "graph.bin").exists()
         assert (out_dir / "shard-0000" / "partition.json.gz").exists()
-        assert (out_dir / "shard-0001" / "index.json.gz").exists()
+        assert (out_dir / "shard-0001" / "index.bin").exists()
+
+    def test_prefill_ships_expansions_per_shard(self, bench_dir, tmp_path, capsys):
+        from repro.service import ShardedSnapshot
+
+        out_dir = tmp_path / "snap"
+        code = main(["snapshot", "--out", str(out_dir), "--shards", "2",
+                     "--prefill", "--benchmark-dir", bench_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prefilled=" in out
+        assert (out_dir / "shard-0000" / "prefill.json.gz").exists()
+        loaded = ShardedSnapshot.load(out_dir)
+        assert loaded.num_prefilled > 0
+
+    def test_prefill_forces_sharded_format_for_one_shard(
+        self, bench_dir, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "snap"
+        code = main(["snapshot", "--out", str(out_dir), "--prefill",
+                     "--benchmark-dir", bench_dir])
+        assert code == 0
+        assert "saved ShardedSnapshot" in capsys.readouterr().out
+        assert (out_dir / "shard-0000" / "prefill.json.gz").exists()
 
     def test_rejects_bad_shard_count(self, bench_dir):
         with pytest.raises(SystemExit):
