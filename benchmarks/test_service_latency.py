@@ -21,7 +21,15 @@ the standard 50-topic benchmark, in several regimes:
 * **prefilled** — a cold-started 4-shard router over a snapshot built
   with warm-cache prefill: the very first hit of every benchmark topic
   must come from the expansion cache (asserted) and land at
-  cached-tier latency.
+  cached-tier latency;
+* **http cold / http cached** — the same traffic as real HTTP requests
+  (``POST /expand`` with JSON bodies over a loopback socket) against
+  the asyncio front end (:class:`HttpFrontEnd` over
+  :class:`AsyncShardRouter` over a 4-shard router).  Every HTTP
+  response is asserted bit-identical — doc ids AND scores after the
+  JSON round trip — to the in-process reference before its timing
+  counts, so the wire protocol provably adds latency only, never
+  drift.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
 performance trajectory is tracked across PRs.  The suite asserts the
@@ -35,15 +43,25 @@ exercising the full measurement path and validating the emitted JSON
 schema (including the ``compact_speedup`` key) against rot.
 """
 
+import asyncio
+import http.client
 import json
 import os
 import statistics
+import threading
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.service import ExpansionService, ShardRouter, ShardedSnapshot, Snapshot
+from repro.service import (
+    AsyncShardRouter,
+    ExpansionService,
+    HttpFrontEnd,
+    ShardRouter,
+    ShardedSnapshot,
+    Snapshot,
+)
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -167,6 +185,61 @@ def measurements(service_snapshot, queries) -> dict:
         prefilled.append(response.latency_ms)
     prefilled_seconds = time.perf_counter() - prefilled_started
 
+    # HTTP serving: the asyncio front end answering the same traffic as
+    # real wire requests.  Responses are asserted bit-identical to the
+    # in-process reference (doc ids AND scores survive the JSON round
+    # trip — Python's JSON float writer round-trips exactly).
+    http_router = ShardRouter(
+        ShardedSnapshot.from_snapshot(service_snapshot, SHARD_COUNT)
+    )
+    front = HttpFrontEnd(AsyncShardRouter(http_router))
+    loop = asyncio.new_event_loop()
+    loop_thread = threading.Thread(target=loop.run_forever, daemon=True)
+    loop_thread.start()
+    server = asyncio.run_coroutine_threadsafe(
+        front.start("127.0.0.1", 0), loop
+    ).result(timeout=60)
+    port = server.sockets[0].getsockname()[1]
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+
+    def http_expand(query: str) -> tuple[dict, float]:
+        body = json.dumps({"query": query}).encode("utf-8")
+        started = time.perf_counter()
+        conn.request("POST", "/expand", body,
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        assert response.status == 200, payload
+        return payload, elapsed_ms
+
+    http_cold: list[float] = []
+    http_cold_started = time.perf_counter()
+    for query, reference in zip(queries, cold_responses):
+        payload, elapsed_ms = http_expand(query)
+        assert [(r["doc_id"], r["score"]) for r in payload["results"]] == \
+               [(r.doc_id, r.score) for r in reference.results], query
+        assert payload["expansion"]["article_ids"] == \
+            sorted(reference.expansion.article_ids), query
+        http_cold.append(elapsed_ms)
+    http_cold_seconds = time.perf_counter() - http_cold_started
+
+    http_cached: list[float] = []
+    http_cached_started = time.perf_counter()
+    for _ in range(CACHED_ROUNDS):
+        for query in queries:
+            payload, elapsed_ms = http_expand(query)
+            assert payload["expansion_cached"], query
+            http_cached.append(elapsed_ms)
+    http_cached_seconds = time.perf_counter() - http_cached_started
+
+    conn.close()
+    asyncio.run_coroutine_threadsafe(front.stop(), loop).result(timeout=60)
+    loop.call_soon_threadsafe(loop.stop)
+    loop_thread.join(timeout=60)
+    front.service.close()
+    http_router.close()
+
     stats = dict_service.stats()
     return {
         "smoke": SMOKE,
@@ -200,6 +273,15 @@ def measurements(service_snapshot, queries) -> dict:
             "entries": prefilled_snapshot.num_prefilled,
             "first_hit_cached": True,  # asserted per query above
             **_summarize(prefilled, prefilled_seconds),
+        },
+        "http_cold": {
+            "shards": SHARD_COUNT,
+            "identical_to_in_process": True,  # asserted per query above
+            **_summarize(http_cold, http_cold_seconds),
+        },
+        "http_cached": {
+            "shards": SHARD_COUNT,
+            **_summarize(http_cached, http_cached_seconds),
         },
         "cache_hit_rate": {
             "link": round(stats.link_cache.hit_rate, 4),
@@ -253,6 +335,24 @@ def test_compact_cold_is_at_least_1_5x_faster(measurements):
     assert ratio >= COMPACT_SPEEDUP_FLOOR, measurements["compact_speedup"]
 
 
+def test_http_responses_bit_identical_to_in_process_router(measurements):
+    """POST /expand must serve the exact in-process answer over the wire.
+
+    Doc ids and scores are asserted equal per query while measuring
+    (after a full JSON round trip); this test pins the flag in the
+    emitted schema so the assertion cannot silently disappear.
+    """
+    assert measurements["http_cold"]["identical_to_in_process"] is True
+    assert measurements["http_cold"]["queries"] == measurements["cold"]["queries"]
+
+
+def test_http_cached_p50_strictly_below_http_cold(measurements):
+    """Caches keep paying off behind the network front end: a cached hit
+    plus wire overhead must still beat cold cycle mining."""
+    assert measurements["http_cached"]["p50_ms"] < \
+        measurements["http_cold"]["p50_ms"]
+
+
 def test_prefilled_router_serves_first_hits_at_cached_tier(measurements):
     """A prefilled snapshot's topics never pay the cold path at all.
 
@@ -276,10 +376,12 @@ def test_emit_bench_json(measurements):
     assert written["cold"]["queries"] == written["cached"]["queries"] // CACHED_ROUNDS
     assert written["sharded_cold"]["shards"] == SHARD_COUNT
     for regime in ("cold", "cached", "compact_cold", "compact_cached",
-                   "sharded_cold", "sharded_cached", "prefilled"):
+                   "sharded_cold", "sharded_cached", "prefilled",
+                   "http_cold", "http_cached"):
         assert written[regime]["p50_ms"] > 0
         assert written[regime]["p99_ms"] >= written[regime]["p50_ms"]
         assert written[regime]["throughput_qps"] > 0
     assert written["compact_speedup"]["cold_p50_ratio"] > 0
     assert written["compact_speedup"]["cold_mean_ratio"] > 0
     assert written["prefilled"]["first_hit_cached"] is True
+    assert written["http_cold"]["identical_to_in_process"] is True

@@ -17,7 +17,12 @@ Entry points (also importable as functions):
 * ``repro-serve``          — answer queries online from a saved service
   snapshot (build one with ``--build``), printing linked entities,
   expansion features and ranked documents per query.  Single-shard and
-  sharded snapshots are detected automatically.
+  sharded snapshots are detected automatically, and the resolved
+  layout (v1/v2/v3, shard count) is printed at startup.  With
+  ``--http PORT`` the process instead serves the HTTP/JSON API
+  (``/expand``, ``/search``, ``/batch_expand``, ``/stats``,
+  ``/healthz`` — see ``docs/http_api.md``) from an asyncio front end
+  over the shard router.
 
 All commands are also reachable through ``python -m repro.cli <command>``,
 which matters in environments where console scripts cannot be installed.
@@ -324,12 +329,54 @@ def snapshot_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _serve_http(snapshot, host: str, port: int) -> int:
+    """Run the asyncio HTTP front end over a ShardRouter until interrupted.
+
+    Single-shard and sharded snapshots both go through the router here
+    (a one-shard router serves identically to the plain service), so the
+    HTTP surface is uniform across layouts.
+    """
+    import asyncio
+
+    from repro.service import AsyncShardRouter, HttpFrontEnd, ShardRouter
+
+    router = ShardRouter(snapshot)
+    front = HttpFrontEnd(
+        AsyncShardRouter(router), snapshot_info=snapshot.layout_description()
+    )
+
+    async def run() -> None:
+        server = await front.start(host, port)
+        bound = server.sockets[0].getsockname()[1]
+        print(
+            f"http: serving on http://{host}:{bound} "
+            f"(POST /expand /search /batch_expand, GET /stats /healthz)",
+            flush=True,
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("http: shut down")
+    finally:
+        router.close()
+    return 0
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """Serve online query expansion from a persistent snapshot."""
     import json
+    from dataclasses import replace
 
     from repro.errors import SnapshotError
-    from repro.service import ExpansionService, ShardRouter, ShardedSnapshot, Snapshot
+    from repro.service import (
+        SNAPSHOT_VERSION,
+        ExpansionService,
+        ShardRouter,
+        ShardedSnapshot,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro-serve", description=serve_main.__doc__
@@ -359,11 +406,24 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--stats", action="store_true", help="print service/cache stats as JSON at exit"
     )
+    parser.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve the HTTP/JSON API on this port instead of answering "
+             "--query/stdin (0 picks an ephemeral port and prints it); "
+             "endpoints: POST /expand /search /batch_expand, GET /stats "
+             "/healthz — see docs/http_api.md",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --http (default 127.0.0.1)",
+    )
     args = parser.parse_args(argv)
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
     if args.shards < 1:
         parser.error("--shards must be >= 1")
+    if args.http is not None and not 0 <= args.http <= 65535:
+        parser.error("--http PORT must be in [0, 65535]")
 
     snapshot_dir = Path(args.snapshot)
     try:
@@ -378,7 +438,15 @@ def serve_main(argv: list[str] | None = None) -> int:
         built.save(snapshot_dir)
         print(f"built and saved {built!r} to {snapshot_dir}/")
         snapshot = built if isinstance(built, ShardedSnapshot) \
-            else ShardedSnapshot.from_snapshot(built, num_shards=1)
+            else replace(ShardedSnapshot.from_snapshot(built, num_shards=1),
+                         source_version=SNAPSHOT_VERSION)
+
+    # Operators must be able to tell which on-disk format (v1/v2/v3) and
+    # shard layout this process resolved — print it before serving.
+    print(f"snapshot layout: {snapshot.layout_description()}")
+
+    if args.http is not None:
+        return _serve_http(snapshot, args.host, args.http)
 
     # One worker serves a single shard directly; N shards go through the
     # router.  Both expose the same expand_query/batch_expand/stats API

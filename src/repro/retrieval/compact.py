@@ -27,6 +27,9 @@ Serialisation is a single binary blob (see :mod:`repro.blobio`):
 ``save``/``load`` round-trip through a file that ``load`` maps with
 ``mmap``, turning the numeric sections into zero-copy memoryviews — a
 cold start touches pages on demand instead of parsing every posting.
+
+Where this sits in the serving stack (and the on-disk format carrying
+these blobs) is mapped in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

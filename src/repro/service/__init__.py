@@ -13,10 +13,16 @@ answers ad-hoc queries online:
   with single-query and deduplicating batch APIs;
 * :mod:`repro.service.router` — :class:`ShardRouter`, the shard-transparent
   facade that fans expansion out to shard workers and merges per-segment
-  ranked lists score-preservingly.
+  ranked lists score-preservingly;
+* :mod:`repro.service.async_router` — :class:`AsyncShardRouter`, the
+  asyncio counterpart (executor-backed shard adapters, ``asyncio.gather``
+  scatter-gather, async request coalescing);
+* :mod:`repro.service.http` — :class:`HttpFrontEnd`, the hand-rolled
+  HTTP/1.1 + JSON network surface (``docs/http_api.md``).
 
-CLI entry points: ``python -m repro.cli serve`` and ``python -m repro.cli
-snapshot`` (see :func:`repro.cli.serve_main`, :func:`repro.cli.snapshot_main`).
+CLI entry points: ``python -m repro.cli serve`` (``--http PORT`` for the
+network front end) and ``python -m repro.cli snapshot`` (see
+:func:`repro.cli.serve_main`, :func:`repro.cli.snapshot_main`).
 """
 
 from repro.service.artifacts import (
@@ -28,7 +34,13 @@ from repro.service.artifacts import (
     ShardedSnapshot,
     Snapshot,
 )
+from repro.service.async_router import (
+    SHARD_PROTOCOL_VERSION,
+    AsyncShardRouter,
+    ExecutorShardAdapter,
+)
 from repro.service.cache import CacheStats, LRUCache
+from repro.service.http import HttpFrontEnd
 from repro.service.router import RouterStats, ShardRouter
 from repro.service.server import ExpansionService, ServiceResponse, ServiceStats
 
@@ -47,4 +59,8 @@ __all__ = [
     "ServiceStats",
     "ShardRouter",
     "RouterStats",
+    "AsyncShardRouter",
+    "ExecutorShardAdapter",
+    "HttpFrontEnd",
+    "SHARD_PROTOCOL_VERSION",
 ]

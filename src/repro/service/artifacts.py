@@ -45,6 +45,9 @@ last.  Older directories remain loadable: version-1 snapshots read as a
 single shard and version-2 snapshots parse their JSON segments, and both
 are *frozen on load* into the compact read path, so every loaded
 snapshot serves from the same array-backed structures.
+
+All three on-disk versions, the blob container and the migration rules
+are documented in ``docs/architecture.md`` ("On-disk snapshot formats").
 """
 
 from __future__ import annotations
@@ -444,6 +447,11 @@ class ShardedSnapshot:
     # Frozen CSR adjacency of the whole logical graph; populated by
     # ``frozen()`` and by the version-3 loader.
     compact_graph: CompactGraphView | None = field(default=None, compare=False)
+    # On-disk format this snapshot came from (1/2/3), set by load() and
+    # save(); None = built in memory and never persisted.  Serving layers
+    # surface it (`serve` startup line, /healthz) so operators can tell
+    # which layout a live process actually loaded.
+    source_version: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.partitions) != len(self.segments):
@@ -701,6 +709,7 @@ class ShardedSnapshot:
         (directory / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
         )
+        self.source_version = version
         return directory
 
     @classmethod
@@ -733,7 +742,10 @@ class ShardedSnapshot:
         if version == SNAPSHOT_VERSION:
             # Pre-shard snapshot: serve it unchanged as a single shard
             # (frozen on load so serving runs the compact path).
-            return cls.from_snapshot(Snapshot.load(directory), num_shards=1).frozen()
+            return replace(
+                cls.from_snapshot(Snapshot.load(directory), num_shards=1),
+                source_version=SNAPSHOT_VERSION,
+            ).frozen()
         if version not in (SHARDED_SNAPSHOT_VERSION, COMPACT_SNAPSHOT_VERSION):
             raise SnapshotError(
                 f"snapshot at {directory} has version {version!r}; this build reads "
@@ -853,6 +865,7 @@ class ShardedSnapshot:
             title_index=title_index, doc_names=doc_names, mu=mu,
             prefills=tuple(prefills), compact_graph=compact_graph,
             prefill_expander=next(iter(prefill_expanders), ""),
+            source_version=version,
         )
         counts = manifest.get("counts", {})
         actual_global = {
@@ -874,6 +887,28 @@ class ShardedSnapshot:
     # ------------------------------------------------------------------
     # Materialisation
     # ------------------------------------------------------------------
+
+    def layout_description(self) -> str:
+        """One operator-readable line naming the resolved on-disk layout.
+
+        Printed by ``repro serve`` at startup and echoed by ``/healthz``
+        so a running process can always be matched to the snapshot
+        format it loaded (see ``docs/architecture.md`` for the formats).
+        """
+        layouts = {
+            SNAPSHOT_VERSION: "v1 single-dir (JSON graph + index)",
+            SHARDED_SNAPSHOT_VERSION: "v2 sharded (JSON index segments)",
+            COMPACT_SNAPSHOT_VERSION:
+                "v3 sharded (compact binary blobs, mmap-loaded)",
+        }
+        layout = layouts.get(
+            self.source_version, "in-memory build (not loaded from disk)"
+        )
+        return (
+            f"{layout}; shards={self.num_shards}, "
+            f"documents={self.num_documents}, titles={len(self.title_index)}, "
+            f"prefilled={self.num_prefilled}"
+        )
 
     def view(self) -> PartitionedGraphView:
         """The exact logical graph reassembled over the partitions."""

@@ -1,0 +1,312 @@
+"""Asyncio serving over the shard router.
+
+:class:`AsyncShardRouter` is the non-blocking counterpart of
+:class:`~repro.service.router.ShardRouter`: the same link → expand → rank
+pipeline, but every shard call runs through an *executor-backed shard
+adapter* and the per-shard fan-out is an ``asyncio.gather`` instead of a
+blocking ``pool.map``.  While one request's cycle mining sits on a shard
+thread, the event loop keeps accepting and dispatching other requests —
+this is the front end the HTTP layer (:mod:`repro.service.http`) serves
+from.
+
+Results are bit-identical (doc ids AND scores) to the synchronous
+router: both paths build the same query AST
+(:meth:`ShardRouter.build_query`), exchange the same global statistics
+(:meth:`ShardRouter.global_background`) and merge with the same
+score-preserving k-way merge; the latency bench asserts the equality
+over HTTP on every run.
+
+Two dedup layers stack:
+
+* **Async request coalescing** (this module) — concurrent
+  ``expand_query`` calls for the same ``(normalized query, top_k)``
+  share one in-flight computation *before* any thread is occupied;
+  awaiters get the same response (re-labelled with their own raw query
+  text).
+* **In-flight expansion dedup** (:class:`ExpansionService`) — distinct
+  queries racing on the same *entity set* still collapse to one cycle
+  mining pass inside the owning shard worker.
+
+:class:`ExecutorShardAdapter` exposes exactly the five shard-protocol
+calls (``link_text``, ``expand_seeds``, ``prefill_expansions``,
+``leaf_collection_counts``, ``search_with_background``) as awaitables
+over an in-process worker.  ``docs/shard_protocol.md`` specifies the
+same five calls as a versioned JSON wire protocol — swapping this
+adapter for one that speaks that protocol to a remote process is the
+multi-process-shards roadmap item.
+
+Loop affinity: one ``AsyncShardRouter`` belongs to one event loop
+(coalescing state is mutated loop-side without locks); the executor
+threads only ever run the shard calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from repro.core.expansion import ExpansionResult
+from repro.linking.linker import LinkResult
+from repro.retrieval.engine import SearchResult, merge_ranked_lists
+from repro.service.router import ShardRouter
+from repro.service.server import ServiceResponse
+
+__all__ = ["AsyncShardRouter", "ExecutorShardAdapter", "SHARD_PROTOCOL_VERSION"]
+
+# Version of the five-call shard protocol the adapters implement; bumped
+# together with docs/shard_protocol.md.
+SHARD_PROTOCOL_VERSION = 1
+
+
+class ExecutorShardAdapter:
+    """The five shard-protocol calls as awaitables over one worker.
+
+    This is the seam where a shard stops being an object and becomes an
+    address: the async router only ever talks to adapters, and an
+    adapter that serialises these five calls over a socket (per
+    ``docs/shard_protocol.md``) turns the in-process worker into a
+    remote process without touching the router.
+    """
+
+    def __init__(self, worker, executor: ThreadPoolExecutor) -> None:
+        self._worker = worker
+        self._executor = executor
+
+    async def _call(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def link_text(self, normalized: str) -> tuple[LinkResult, bool]:
+        return await self._call(self._worker.link_text, normalized)
+
+    async def expand_seeds(
+        self, seeds: frozenset[int]
+    ) -> tuple[ExpansionResult, bool]:
+        return await self._call(self._worker.expand_seeds, seeds)
+
+    async def prefill_expansions(self, seed_sets) -> set[frozenset[int]]:
+        return await self._call(self._worker.prefill_expansions, seed_sets)
+
+    async def leaf_collection_counts(self, root) -> dict:
+        return await self._call(self._worker.engine.leaf_collection_counts, root)
+
+    async def search_with_background(
+        self, root, background, top_k: int
+    ) -> list[SearchResult]:
+        return await self._call(
+            self._worker.engine.search_with_background, root, background, top_k
+        )
+
+
+class AsyncShardRouter:
+    """Non-blocking facade over a :class:`ShardRouter`.
+
+    Wraps an existing router (caches, workers and counters are shared
+    with the synchronous surface — a query served here hits the same
+    per-shard expansion caches and shows up in the same
+    :class:`~repro.service.router.RouterStats`).
+    """
+
+    def __init__(
+        self, router: ShardRouter, *, executor: ThreadPoolExecutor | None = None
+    ) -> None:
+        self._router = router
+        self._own_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=max(2, router.num_shards),
+            thread_name_prefix="async-shard",
+        )
+        self._adapters = [
+            ExecutorShardAdapter(worker, self._executor)
+            for worker in router.workers
+        ]
+        # Coalescing table: (normalized, top_k) -> in-flight task.  Only
+        # touched from the owning event loop, so no lock is needed.
+        self._inflight: dict[tuple[str, int], asyncio.Future] = {}
+        self._coalesced = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def num_shards(self) -> int:
+        return self._router.num_shards
+
+    @property
+    def doc_names(self) -> dict[str, str]:
+        return self._router.doc_names
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Requests answered by piggybacking on an identical in-flight one."""
+        return self._coalesced
+
+    def stats(self):
+        return self._router.stats()
+
+    async def expand_query(self, text: str, top_k: int = 10) -> ServiceResponse:
+        """Answer one query; identical concurrent queries share one pass."""
+        self._router._account(requests=1)
+        try:
+            normalized = self._router.normalize(text)
+            key = (normalized, top_k)
+            future = self._inflight.get(key)
+            if future is None:
+                future = asyncio.ensure_future(self._compute(normalized, top_k))
+                self._inflight[key] = future
+                future.add_done_callback(lambda _: self._inflight.pop(key, None))
+            else:
+                self._coalesced += 1
+            # shield: one awaiter being cancelled must not kill the
+            # computation the other coalesced awaiters are waiting on.
+            response = await asyncio.shield(future)
+        except Exception:
+            self._router._account(errors=1)
+            raise
+        self._router._account(
+            queries=1, unlinked=0 if response.linked else 1
+        )
+        if response.query != text:
+            response = replace(response, query=text)
+        return response
+
+    async def batch_expand(
+        self, texts: list[str], top_k: int = 10
+    ) -> list[ServiceResponse]:
+        """Answer a batch: per-shard pre-fill and per-query ranking both
+        fan out with ``asyncio.gather``; semantics (dedup, the
+        computed-by-this-batch ⇒ not-cached rule, offered-load
+        accounting) match :meth:`ShardRouter.batch_expand`."""
+        if not texts:
+            return []
+        router = self._router
+        router._account(requests=len(texts))
+        try:
+            norm_by_text = {
+                text: router.normalize(text) for text in dict.fromkeys(texts)
+            }
+            normalized = [norm_by_text[text] for text in texts]
+            unique_norms = list(dict.fromkeys(normalized))
+            first_text = {}
+            for text in texts:
+                first_text.setdefault(norm_by_text[text], text)
+
+            loop = asyncio.get_running_loop()
+            # Link the distinct queries concurrently (the router link
+            # cache is lock-guarded, so parallel passes are safe).
+            link_results = await asyncio.gather(*(
+                loop.run_in_executor(self._executor, router.link_text, norm)
+                for norm in unique_norms
+            ))
+            links: dict[str, tuple[LinkResult, bool]] = dict(
+                zip(unique_norms, link_results)
+            )
+
+            by_shard: dict[int, set[frozenset[int]]] = {}
+            for norm in unique_norms:
+                seeds = links[norm][0].article_ids
+                by_shard.setdefault(router.owner_shard(seeds), set()).add(seeds)
+            prefills = await asyncio.gather(*(
+                self._adapters[shard_id].prefill_expansions(seed_sets)
+                for shard_id, seed_sets in by_shard.items()
+            ))
+            computed_here: set[frozenset[int]] = \
+                set().union(*prefills) if prefills else set()
+
+            responses = await asyncio.gather(*(
+                self._compute(norm, top_k) for norm in unique_norms
+            ))
+            by_norm: dict[str, ServiceResponse] = {}
+            for norm, response in zip(unique_norms, responses):
+                link, link_cached = links[norm]
+                expansion_cached = response.expansion_cached
+                # The batch itself paid for pre-filled expansions — and
+                # for the link pass — so report those as cold, exactly
+                # like the synchronous batch path does.
+                if link.article_ids in computed_here:
+                    expansion_cached = False
+                by_norm[norm] = replace(
+                    response,
+                    query=first_text[norm],
+                    link_cached=link_cached,
+                    expansion_cached=expansion_cached,
+                )
+        except Exception:
+            router._account(errors=len(texts))
+            raise
+        router._account(
+            batches=1,
+            queries=len(normalized),
+            unlinked=sum(
+                1 for norm in normalized if not by_norm[norm].link.article_ids
+            ),
+        )
+        return [by_norm[norm] for norm in normalized]
+
+    def close(self) -> None:
+        """Shut the adapter executor down (the wrapped router survives)."""
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    async def _compute(self, normalized: str, top_k: int) -> ServiceResponse:
+        """One full pass: link → owner-shard expand → scatter-gather rank.
+
+        ``query`` is set to the normalised text; awaiters re-label the
+        response with their own raw text.  Counters are bumped by the
+        awaiters (one per coalesced request), not here.
+        """
+        started = time.perf_counter()
+        router = self._router
+        link, link_cached = await asyncio.get_running_loop().run_in_executor(
+            self._executor, router.link_text, normalized
+        )
+        owner = router.owner_shard(link.article_ids)
+        expansion, expansion_cached = await self._adapters[owner].expand_seeds(
+            link.article_ids
+        )
+        results = await self._rank(normalized, expansion, top_k)
+        return ServiceResponse(
+            query=normalized,
+            normalized_query=normalized,
+            link=link,
+            expansion=expansion,
+            results=results,
+            link_cached=link_cached,
+            expansion_cached=expansion_cached,
+            latency_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    async def _rank(
+        self, normalized: str, expansion: ExpansionResult, top_k: int
+    ) -> tuple[SearchResult, ...]:
+        """The two-phase scatter-gather, with ``asyncio.gather`` fan-out."""
+        root = self._router.build_query(normalized, expansion)
+        if root is None:
+            return ()
+        per_segment = await asyncio.gather(*(
+            adapter.leaf_collection_counts(root) for adapter in self._adapters
+        ))
+        background = self._router.global_background(root, per_segment)
+        ranked_lists = await asyncio.gather(*(
+            adapter.search_with_background(root, background, top_k)
+            for adapter in self._adapters
+        ))
+        return tuple(merge_ranked_lists(list(ranked_lists), top_k))
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncShardRouter(shards={self.num_shards}, "
+            f"coalesced={self._coalesced})"
+        )

@@ -1,0 +1,416 @@
+"""Hand-rolled asyncio HTTP/1.1 front end over the async router.
+
+No web framework, no new dependencies: :class:`HttpFrontEnd` speaks a
+deliberately small slice of HTTP/1.1 (request line, headers,
+``Content-Length`` bodies, keep-alive) over ``asyncio`` streams and
+serves JSON on five endpoints::
+
+    POST /expand        one query, full ServiceResponse payload
+    POST /search        one query, ranked results only
+    POST /batch_expand  many queries in one request
+    GET  /stats         RouterStats dict + front-end counters
+    GET  /healthz       liveness: status, shards, requests_total, errors
+
+Every endpoint, every request/response schema, the error envelope and
+the status codes are specified in ``docs/http_api.md`` — change the two
+together.  Errors are always JSON::
+
+    {"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+
+with 400 (malformed JSON / invalid fields), 404 (unknown path), 405
+(known path, wrong method), 413 (body over ``max_body_bytes``) and 500
+(handler raised; also bumps the router error counter via the failed
+request).
+
+Concurrency model: the event loop parses requests and dispatches to an
+:class:`~repro.service.async_router.AsyncShardRouter`; shard work runs
+on its executor threads while the loop keeps serving other connections.
+Identical concurrent queries coalesce into one computation (see the
+async router), so a thundering herd on one cold query pays one cycle
+mining pass.
+
+Start one with ``repro serve --http PORT`` (port 0 picks an ephemeral
+port and prints it), or programmatically::
+
+    front = HttpFrontEnd(AsyncShardRouter(router))
+    server = await front.start("127.0.0.1", 8080)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.async_router import AsyncShardRouter
+
+__all__ = ["HttpFrontEnd", "DEFAULT_MAX_BODY_BYTES"]
+
+DEFAULT_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is already a huge batch
+DEFAULT_READ_TIMEOUT = 120.0  # seconds to finish sending one request
+_MAX_TOP_K = 1000
+_MAX_BATCH_QUERIES = 1024
+_MAX_HEADERS = 128
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _RequestError(Exception):
+    """A client error mapped straight onto the JSON error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def _error_body(code: str, message: str) -> dict:
+    return {"error": {"code": code, "message": message}}
+
+
+class HttpFrontEnd:
+    """Serve an :class:`AsyncShardRouter` over HTTP/1.1 + JSON.
+
+    Parameters
+    ----------
+    service:
+        The async router to serve (its stats/doc-name surfaces feed
+        ``/stats``, ``/healthz`` and result rendering).
+    snapshot_info:
+        Optional human-readable snapshot layout line, echoed in
+        ``/healthz`` so operators can tell which format a live server
+        loaded.
+    max_body_bytes:
+        Requests with a larger declared body are rejected with 413
+        before the body is read.
+    read_timeout:
+        Seconds a client gets to finish sending one request (headers and
+        body) once its request line arrived; a stalled sender is
+        disconnected instead of pinning the connection forever.  Idle
+        keep-alive connections (waiting *between* requests) are not
+        subject to it.
+    """
+
+    def __init__(
+        self,
+        service: AsyncShardRouter,
+        *,
+        snapshot_info: str = "",
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
+    ) -> None:
+        self._service = service
+        self._snapshot_info = snapshot_info
+        self._max_body_bytes = max_body_bytes
+        self._read_timeout = read_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = False
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._http_requests = 0
+        self._http_errors = 0
+        self._by_endpoint: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8080):
+        """Bind and start serving; returns the ``asyncio`` server.
+
+        ``port=0`` binds an ephemeral port; read it back from
+        ``server.sockets[0].getsockname()[1]``.
+        """
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port
+        )
+        return self._server
+
+    async def stop(self) -> None:
+        """Stop accepting connections and drain the open ones.
+
+        Idle keep-alive connections are closed (their handlers see EOF
+        and exit); connections mid-request finish and send their
+        response first (the handler sees ``_closing`` afterwards and
+        ends the connection instead of waiting for another request).
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            if writer not in self._busy:
+                writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    @property
+    def service(self) -> AsyncShardRouter:
+        return self._service
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._connections.add(writer)
+        async def timed(read_coro):
+            """One read step of an in-flight request; a sender that
+            stalls past the timeout is disconnected, not waited on."""
+            return await asyncio.wait_for(read_coro, self._read_timeout)
+
+        try:
+            while True:
+                # Waiting for the *next* request on a keep-alive
+                # connection is legitimate idleness: no timeout here.
+                try:
+                    request_line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    break  # request line over the stream limit: not ours
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                # A request is now in flight: the connection is busy
+                # (stop() lets it finish) and reads are on the clock.
+                self._busy.add(writer)
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+                    await self._send(
+                        writer, 400,
+                        _error_body("bad_request", "malformed request line"),
+                        keep_alive=False,
+                    )
+                    break
+                method, path = parts[0].upper(), parts[1]
+
+                headers: dict[str, str] = {}
+                while True:
+                    line = await timed(reader.readline())
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if len(headers) >= _MAX_HEADERS:
+                        raise _RequestError(
+                            400, "bad_request",
+                            f"more than {_MAX_HEADERS} request headers",
+                        )
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                keep_alive = headers.get("connection", "").lower() != "close"
+
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                    if length < 0:
+                        raise ValueError(length)
+                except ValueError:
+                    await self._send(
+                        writer, 400,
+                        _error_body("bad_request", "invalid Content-Length"),
+                        keep_alive=False,
+                    )
+                    break
+                if length > self._max_body_bytes:
+                    # Reject without processing — but drain a bounded
+                    # amount first so a client mid-send can still read
+                    # the 413 instead of hitting a connection reset.
+                    try:
+                        await timed(reader.readexactly(min(length, 4 << 20)))
+                    except asyncio.IncompleteReadError:
+                        pass
+                    await self._send(
+                        writer, 413,
+                        _error_body(
+                            "payload_too_large",
+                            f"request body of {length} bytes exceeds the "
+                            f"{self._max_body_bytes}-byte limit",
+                        ),
+                        keep_alive=False,
+                    )
+                    break
+                body = await timed(reader.readexactly(length)) if length else b""
+
+                status, payload = await self._dispatch(method, path, body)
+                await self._send(writer, status, payload, keep_alive=keep_alive)
+                self._busy.discard(writer)
+                if not keep_alive or self._closing:
+                    break
+        except _RequestError as exc:
+            try:
+                await self._send(
+                    writer, exc.status, _error_body(exc.code, exc.message),
+                    keep_alive=False,
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        except (
+            asyncio.IncompleteReadError, ConnectionResetError,
+            BrokenPipeError, TimeoutError, asyncio.TimeoutError,
+        ):
+            pass  # client went away or stalled mid-request; drop it
+        finally:
+            self._busy.discard(writer)
+            self._connections.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict,
+        *, keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        routes = {
+            "/expand": ("POST", self._handle_expand),
+            "/search": ("POST", self._handle_search),
+            "/batch_expand": ("POST", self._handle_batch_expand),
+            "/stats": ("GET", self._handle_stats),
+            "/healthz": ("GET", self._handle_healthz),
+        }
+        self._http_requests += 1
+        route = routes.get(path)
+        if route is None:
+            self._http_errors += 1
+            return 404, _error_body("not_found", f"unknown endpoint {path!r}")
+        expected_method, handler = route
+        self._by_endpoint[path] = self._by_endpoint.get(path, 0) + 1
+        if method != expected_method:
+            self._http_errors += 1
+            return 405, _error_body(
+                "method_not_allowed", f"{path} expects {expected_method}"
+            )
+        try:
+            if expected_method == "POST":
+                payload = self._parse_json(body)
+                return 200, await handler(payload)
+            return 200, await handler()
+        except _RequestError as exc:
+            self._http_errors += 1
+            return exc.status, _error_body(exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — the envelope must hold
+            self._http_errors += 1
+            return 500, _error_body(
+                "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _parse_json(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _RequestError(
+                400, "bad_request", f"request body is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise _RequestError(
+                400, "bad_request", "request body must be a JSON object"
+            )
+        return payload
+
+    @staticmethod
+    def _query_field(payload: dict) -> str:
+        query = payload.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise _RequestError(
+                400, "invalid_request", "'query' must be a non-empty string"
+            )
+        return query
+
+    @staticmethod
+    def _top_k_field(payload: dict) -> int:
+        top_k = payload.get("top_k", 10)
+        if not isinstance(top_k, int) or isinstance(top_k, bool) \
+                or not 1 <= top_k <= _MAX_TOP_K:
+            raise _RequestError(
+                400, "invalid_request",
+                f"'top_k' must be an integer in [1, {_MAX_TOP_K}]",
+            )
+        return top_k
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    async def _handle_expand(self, payload: dict) -> dict:
+        query = self._query_field(payload)
+        top_k = self._top_k_field(payload)
+        response = await self._service.expand_query(query, top_k=top_k)
+        return response.as_dict(self._service.doc_names)
+
+    async def _handle_search(self, payload: dict) -> dict:
+        """Ranked results only — same pipeline, slimmer payload."""
+        query = self._query_field(payload)
+        top_k = self._top_k_field(payload)
+        response = await self._service.expand_query(query, top_k=top_k)
+        return {
+            "query": response.query,
+            "normalized_query": response.normalized_query,
+            "linked": response.linked,
+            "results": response.results_as_dicts(self._service.doc_names),
+        }
+
+    async def _handle_batch_expand(self, payload: dict) -> dict:
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries \
+                or not all(isinstance(q, str) and q.strip() for q in queries):
+            raise _RequestError(
+                400, "invalid_request",
+                "'queries' must be a non-empty list of non-empty strings",
+            )
+        if len(queries) > _MAX_BATCH_QUERIES:
+            raise _RequestError(
+                400, "invalid_request",
+                f"a batch may hold at most {_MAX_BATCH_QUERIES} queries",
+            )
+        top_k = self._top_k_field(payload)
+        responses = await self._service.batch_expand(queries, top_k=top_k)
+        names = self._service.doc_names
+        return {"responses": [r.as_dict(names) for r in responses]}
+
+    async def _handle_stats(self) -> dict:
+        stats = self._service.stats().as_dict()
+        stats["http"] = {
+            "requests_total": self._http_requests,
+            "errors": self._http_errors,
+            "coalesced_requests": self._service.coalesced_requests,
+            "by_endpoint": dict(sorted(self._by_endpoint.items())),
+        }
+        return stats
+
+    async def _handle_healthz(self) -> dict:
+        stats = self._service.stats()
+        payload = {
+            "status": "ok",
+            "shards": stats.shards,
+            "requests_total": stats.requests_total,
+            "errors": stats.errors,
+        }
+        if self._snapshot_info:
+            payload["snapshot"] = self._snapshot_info
+        return payload

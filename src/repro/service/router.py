@@ -26,6 +26,13 @@ a :class:`~repro.service.artifacts.ShardedSnapshot`:
 
 Thread pool: shard fan-out (batch expansion pre-fill, both ranking phases)
 runs on one pool sized to the shard count.
+
+The asyncio front end (:mod:`repro.service.async_router` /
+:mod:`repro.service.http`) serves the same results over HTTP by driving
+the building blocks exposed here (``link_text`` / ``owner_shard`` /
+``build_query`` / ``global_background``) through per-shard adapters.
+See ``docs/architecture.md`` for the layer map and
+``docs/shard_protocol.md`` for the five shard calls as a wire protocol.
 """
 
 from __future__ import annotations
@@ -54,12 +61,23 @@ __all__ = ["ShardRouter", "RouterStats"]
 
 @dataclass(frozen=True, slots=True)
 class RouterStats:
-    """Point-in-time counters of the router and each shard worker."""
+    """Point-in-time counters of the router and each shard worker.
+
+    ``requests_total`` counts every request *offered* to the router
+    (single queries and each member of a batch), incremented before any
+    work happens, so it is monotonic even across failures; ``queries``
+    counts requests served to completion and ``errors`` those that
+    raised.  ``requests_total == queries + errors + in-flight`` at any
+    instant.  ``/stats`` and ``/healthz`` report these directly instead
+    of making callers sum per-shard numbers.
+    """
 
     shards: int
+    requests_total: int
     queries: int
     batches: int
     unlinked_queries: int
+    errors: int
     link_cache: CacheStats
     shard_stats: tuple[ServiceStats, ...]
 
@@ -90,6 +108,8 @@ class RouterStats:
     def as_dict(self) -> dict:
         return {
             "shards": self.shards,
+            "requests_total": self.requests_total,
+            "errors": self.errors,
             "queries": self.queries,
             "batches": self.batches,
             "unlinked_queries": self.unlinked_queries,
@@ -173,9 +193,11 @@ class ShardRouter:
             max_workers=len(self._workers), thread_name_prefix="shard-router"
         )
         self._lock = threading.Lock()
+        self._requests = 0
         self._queries = 0
         self._batches = 0
         self._unlinked = 0
+        self._errors = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -227,15 +249,17 @@ class ShardRouter:
         """Answer one query: link at the router, expand on the owning
         shard, rank across all segments."""
         started = time.perf_counter()
-        normalized = self.normalize(text)
-        link, link_cached = self._link(normalized)
-        worker = self._workers[self.owner_shard(link.article_ids)]
-        expansion, expansion_cached = worker.expand_seeds(link.article_ids)
-        results = self._rank(normalized, expansion, top_k)
-        with self._lock:
-            self._queries += 1
-            if not link.article_ids:
-                self._unlinked += 1
+        self._account(requests=1)
+        try:
+            normalized = self.normalize(text)
+            link, link_cached = self._link(normalized)
+            worker = self._workers[self.owner_shard(link.article_ids)]
+            expansion, expansion_cached = worker.expand_seeds(link.article_ids)
+            results = self._rank(normalized, expansion, top_k)
+        except Exception:
+            self._account(errors=1)
+            raise
+        self._account(queries=1, unlinked=0 if link.article_ids else 1)
         return ServiceResponse(
             query=text,
             normalized_query=normalized,
@@ -256,61 +280,70 @@ class ShardRouter:
         """
         if not texts:
             return []
-        norm_by_text = {text: self.normalize(text) for text in dict.fromkeys(texts)}
-        normalized = [norm_by_text[text] for text in texts]
-        unique_norms = list(dict.fromkeys(normalized))
+        self._account(requests=len(texts))
+        try:
+            norm_by_text = {text: self.normalize(text) for text in dict.fromkeys(texts)}
+            normalized = [norm_by_text[text] for text in texts]
+            unique_norms = list(dict.fromkeys(normalized))
 
-        links: dict[str, tuple[LinkResult, bool]] = {
-            norm: self._link(norm) for norm in unique_norms
-        }
+            links: dict[str, tuple[LinkResult, bool]] = {
+                norm: self._link(norm) for norm in unique_norms
+            }
 
-        by_shard: dict[int, set[frozenset[int]]] = {}
-        for norm in unique_norms:
-            seeds = links[norm][0].article_ids
-            by_shard.setdefault(self.owner_shard(seeds), set()).add(seeds)
-        prefills = list(self._pool.map(
-            lambda item: self._workers[item[0]].prefill_expansions(item[1]),
-            by_shard.items(),
-        ))
-        computed_here: set[frozenset[int]] = set().union(*prefills) if prefills else set()
+            by_shard: dict[int, set[frozenset[int]]] = {}
+            for norm in unique_norms:
+                seeds = links[norm][0].article_ids
+                by_shard.setdefault(self.owner_shard(seeds), set()).add(seeds)
+            prefills = list(self._pool.map(
+                lambda item: self._workers[item[0]].prefill_expansions(item[1]),
+                by_shard.items(),
+            ))
+            computed_here: set[frozenset[int]] = \
+                set().union(*prefills) if prefills else set()
 
-        by_norm: dict[str, ServiceResponse] = {}
-        for text, norm in zip(texts, normalized):
-            if norm in by_norm:
-                continue
-            started = time.perf_counter()
-            link, link_cached = links[norm]
-            worker = self._workers[self.owner_shard(link.article_ids)]
-            expansion, expansion_cached = worker.expand_seeds(link.article_ids)
-            # The batch itself paid for pre-filled expansions: report cold.
-            if link.article_ids in computed_here:
-                expansion_cached = False
-            results = self._rank(norm, expansion, top_k)
-            by_norm[norm] = ServiceResponse(
-                query=text,
-                normalized_query=norm,
-                link=link,
-                expansion=expansion,
-                results=results,
-                link_cached=link_cached,
-                expansion_cached=expansion_cached,
-                latency_ms=(time.perf_counter() - started) * 1000.0,
-            )
-        with self._lock:
-            self._batches += 1
-            self._queries += len(normalized)
-            self._unlinked += sum(
+            by_norm: dict[str, ServiceResponse] = {}
+            for text, norm in zip(texts, normalized):
+                if norm in by_norm:
+                    continue
+                started = time.perf_counter()
+                link, link_cached = links[norm]
+                worker = self._workers[self.owner_shard(link.article_ids)]
+                expansion, expansion_cached = worker.expand_seeds(link.article_ids)
+                # The batch itself paid for pre-filled expansions: report cold.
+                if link.article_ids in computed_here:
+                    expansion_cached = False
+                results = self._rank(norm, expansion, top_k)
+                by_norm[norm] = ServiceResponse(
+                    query=text,
+                    normalized_query=norm,
+                    link=link,
+                    expansion=expansion,
+                    results=results,
+                    link_cached=link_cached,
+                    expansion_cached=expansion_cached,
+                    latency_ms=(time.perf_counter() - started) * 1000.0,
+                )
+        except Exception:
+            self._account(errors=len(texts))
+            raise
+        self._account(
+            batches=1,
+            queries=len(normalized),
+            unlinked=sum(
                 1 for norm in normalized if not by_norm[norm].link.article_ids
-            )
+            ),
+        )
         return [by_norm[norm] for norm in normalized]
 
     def stats(self) -> RouterStats:
         with self._lock:
             return RouterStats(
                 shards=self.num_shards,
+                requests_total=self._requests,
                 queries=self._queries,
                 batches=self._batches,
                 unlinked_queries=self._unlinked,
+                errors=self._errors,
                 link_cache=self._link_cache.stats,
                 shard_stats=tuple(worker.stats() for worker in self._workers),
             )
@@ -326,8 +359,63 @@ class ShardRouter:
         self._pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
+    # Building blocks (shared with the asyncio front end)
+    # ------------------------------------------------------------------
+
+    def link_text(self, normalized: str) -> tuple[LinkResult, bool]:
+        """Entity-link one normalised query through the router link cache."""
+        return self._link(normalized)
+
+    def build_query(
+        self, normalized: str, expansion: ExpansionResult
+    ) -> QueryNode | None:
+        """The query AST one expanded query ranks under (None = no terms).
+
+        Expanded queries rank the seed titles plus the expansion titles
+        as exact phrases; unlinked queries fall back to the raw keyword
+        bag.  Shared by the blocking and the asyncio ranking paths so
+        both score the exact same AST.
+        """
+        if expansion.seed_articles:
+            phrases = expansion.all_titles(self._view)
+            return build_phrase_query(phrases, self._tokenizer)
+        terms = normalized.split()
+        if not terms:
+            return None
+        return CombineNode(tuple(TermNode(term) for term in terms))
+
+    def global_background(self, root: QueryNode, per_segment_counts) -> dict:
+        """Global background model from every segment's local counts.
+
+        ``per_segment_counts`` holds one ``leaf -> count`` mapping per
+        shard (phase 1 of the scatter-gather); the sums plus the global
+        token total reproduce the monolithic collection statistics
+        exactly, which is what keeps sharded scores bit-identical.
+        """
+        totals = {leaf: 0 for leaf in collect_leaves(root)}
+        for counts in per_segment_counts:
+            for leaf, count in counts.items():
+                totals[leaf] += count
+        total_tokens = sum(
+            worker.engine.index.total_tokens for worker in self._workers
+        )
+        return background_from_counts(totals, total_tokens)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _account(
+        self, *, requests: int = 0, queries: int = 0, batches: int = 0,
+        unlinked: int = 0, errors: int = 0,
+    ) -> None:
+        """Bump serving counters under the lock (async front end included)."""
+        with self._lock:
+            self._requests += requests
+            self._queries += queries
+            self._batches += batches
+            self._unlinked += unlinked
+            self._errors += errors
 
     def _link(self, normalized: str) -> tuple[LinkResult, bool]:
         cached = self._link_cache.get(normalized)
@@ -340,14 +428,9 @@ class ShardRouter:
     def _rank(
         self, normalized: str, expansion: ExpansionResult, top_k: int
     ) -> tuple[SearchResult, ...]:
-        if expansion.seed_articles:
-            phrases = expansion.all_titles(self._view)
-            root: QueryNode = build_phrase_query(phrases, self._tokenizer)
-        else:
-            terms = normalized.split()
-            if not terms:
-                return ()
-            root = CombineNode(tuple(TermNode(term) for term in terms))
+        root = self.build_query(normalized, expansion)
+        if root is None:
+            return ()
         return tuple(self._scatter_search(root, top_k))
 
     def _scatter_search(self, root: QueryNode, top_k: int) -> list[SearchResult]:
@@ -357,12 +440,7 @@ class ShardRouter:
         per_segment = list(self._pool.map(
             lambda engine: engine.leaf_collection_counts(root), engines
         ))
-        totals = {leaf: 0 for leaf in collect_leaves(root)}
-        for counts in per_segment:
-            for leaf, count in counts.items():
-                totals[leaf] += count
-        total_tokens = sum(engine.index.total_tokens for engine in engines)
-        background = background_from_counts(totals, total_tokens)
+        background = self.global_background(root, per_segment)
         # Phase 2: every segment ranks its own documents under the shared
         # background; the merge preserves scores and global tie-breaks.
         ranked_lists = list(self._pool.map(

@@ -66,6 +66,60 @@ class ServiceResponse:
         """Whether any entity was linked (False => keyword fallback ranking)."""
         return bool(self.link.article_ids)
 
+    def results_as_dicts(self, doc_names: dict[str, str] | None = None) -> list[dict]:
+        """The ranked-result rows of the wire form (shared by
+        ``/expand`` and ``/search`` so the two can never drift apart)."""
+        names = doc_names or {}
+        return [
+            {
+                "rank": result.rank,
+                "doc_id": result.doc_id,
+                "score": result.score,
+                "name": names.get(result.doc_id, ""),
+            }
+            for result in self.results
+        ]
+
+    def as_dict(self, doc_names: dict[str, str] | None = None) -> dict:
+        """The JSON wire form served by ``POST /expand``.
+
+        Documented field by field in ``docs/http_api.md`` — change the
+        two together.  Scores are emitted as plain floats: Python's JSON
+        writer round-trips them exactly, so a client parsing the payload
+        recovers bit-identical scores (the HTTP regime of the latency
+        bench asserts this).
+        """
+        names = doc_names or {}
+        return {
+            "query": self.query,
+            "normalized_query": self.normalized_query,
+            "linked": self.linked,
+            "link": {
+                "article_ids": sorted(self.link.article_ids),
+                "matches": [
+                    {
+                        "article_id": match.article_id,
+                        "title_tokens": list(match.title_tokens),
+                        "start": match.start,
+                        "end": match.end,
+                        "via_synonym": match.via_synonym,
+                    }
+                    for match in self.link.matches
+                ],
+            },
+            "expansion": {
+                "seed_articles": sorted(self.expansion.seed_articles),
+                "article_ids": sorted(self.expansion.article_ids),
+                "titles": list(self.expansion.titles),
+                "num_features": self.expansion.num_features,
+                "num_cycles": len(self.expansion.cycles),
+            },
+            "results": self.results_as_dicts(names),
+            "link_cached": self.link_cached,
+            "expansion_cached": self.expansion_cached,
+            "latency_ms": round(self.latency_ms, 3),
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class ServiceStats:

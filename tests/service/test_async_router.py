@@ -1,0 +1,166 @@
+"""AsyncShardRouter: bit-identical to the sync router, plus coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.service import AsyncShardRouter, ShardRouter, ShardedSnapshot
+
+pytestmark = pytest.mark.filterwarnings("error::RuntimeWarning")
+
+
+@pytest.fixture(scope="module")
+def sharded_snapshot(snapshot) -> ShardedSnapshot:
+    return ShardedSnapshot.from_snapshot(snapshot, num_shards=4)
+
+
+@pytest.fixture()
+def sync_router(sharded_snapshot) -> ShardRouter:
+    return ShardRouter(sharded_snapshot)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestEquivalence:
+    def test_expand_query_identical_to_sync_router(
+        self, small_benchmark, sharded_snapshot, sync_router
+    ):
+        """Same doc ids AND scores as the blocking scatter-gather."""
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+
+        async def all_queries():
+            return [
+                await async_router.expand_query(topic.keywords, top_k=10)
+                for topic in small_benchmark.topics
+            ]
+
+        responses = run(all_queries())
+        async_router.close()
+        for topic, mine in zip(small_benchmark.topics, responses):
+            reference = sync_router.expand_query(topic.keywords, top_k=10)
+            assert mine.query == topic.keywords
+            assert mine.link.article_ids == reference.link.article_ids
+            assert mine.expansion.article_ids == reference.expansion.article_ids
+            assert [(r.doc_id, r.score) for r in mine.results] == \
+                   [(r.doc_id, r.score) for r in reference.results]
+
+    def test_batch_expand_identical_to_sync_batch(
+        self, small_benchmark, sharded_snapshot, sync_router
+    ):
+        queries = [topic.keywords for topic in small_benchmark.topics]
+        queries.append(queries[0])  # raw duplicate, like real batches
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+        batch = run(async_router.batch_expand(queries, top_k=10))
+        async_router.close()
+        reference = sync_router.batch_expand(queries, top_k=10)
+        assert len(batch) == len(reference) == len(queries)
+        for query, mine, ref in zip(queries, batch, reference):
+            assert mine.query == ref.query
+            assert mine.expansion_cached == ref.expansion_cached
+            assert [(r.doc_id, r.score) for r in mine.results] == \
+                   [(r.doc_id, r.score) for r in ref.results], query
+
+    def test_batch_marks_own_prefill_as_cold_then_repeats_as_cached(
+        self, small_benchmark, sharded_snapshot
+    ):
+        queries = [topic.keywords for topic in small_benchmark.topics]
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+        first = run(async_router.batch_expand(queries))
+        assert not any(r.expansion_cached for r in first if r.linked)
+        again = run(async_router.batch_expand(queries))
+        assert all(r.expansion_cached for r in again if r.linked)
+        async_router.close()
+
+    def test_empty_batch_and_empty_query(self, sharded_snapshot):
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+        assert run(async_router.batch_expand([])) == []
+        response = run(async_router.expand_query("!!! ???"))
+        assert response.normalized_query == ""
+        assert response.results == ()
+        async_router.close()
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_share_one_computation(
+        self, small_benchmark, sharded_snapshot
+    ):
+        """N concurrent copies of one cold query pay one expansion pass
+        and every awaiter gets the same answer."""
+        keywords = small_benchmark.topics[0].keywords
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+
+        async def fan_out():
+            return await asyncio.gather(*(
+                async_router.expand_query(keywords) for _ in range(5)
+            ))
+
+        responses = run(fan_out())
+        assert async_router.coalesced_requests == 4
+        first = responses[0]
+        for other in responses[1:]:
+            assert [(r.doc_id, r.score) for r in other.results] == \
+                   [(r.doc_id, r.score) for r in first.results]
+        # One computation => the worker saw exactly one cold expansion.
+        stats = async_router.stats()
+        assert stats.queries == 5  # offered load is still 5
+        assert stats.expansion_cache.misses == 1
+        async_router.close()
+
+    def test_coalesced_requests_keep_their_own_raw_query_text(
+        self, small_benchmark, sharded_snapshot
+    ):
+        """Case variants normalise identically, coalesce, and still echo
+        their own raw text back."""
+        keywords = small_benchmark.topics[0].keywords
+        variants = [keywords, keywords.upper(), f"  {keywords}  "]
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+
+        async def fan_out():
+            return await asyncio.gather(*(
+                async_router.expand_query(text) for text in variants
+            ))
+
+        responses = run(fan_out())
+        assert [r.query for r in responses] == variants
+        assert len({r.normalized_query for r in responses}) == 1
+        assert async_router.coalesced_requests == 2
+        async_router.close()
+
+    def test_different_top_k_do_not_coalesce(
+        self, small_benchmark, sharded_snapshot
+    ):
+        keywords = small_benchmark.topics[0].keywords
+        async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
+
+        async def fan_out():
+            return await asyncio.gather(
+                async_router.expand_query(keywords, top_k=3),
+                async_router.expand_query(keywords, top_k=5),
+            )
+
+        three, five = run(fan_out())
+        assert async_router.coalesced_requests == 0
+        assert len(three.results) <= 3 < len(five.results) <= 5
+        async_router.close()
+
+
+class TestAccounting:
+    def test_requests_total_and_errors_count_failures(
+        self, small_benchmark, sharded_snapshot
+    ):
+        router = ShardRouter(sharded_snapshot)
+        async_router = AsyncShardRouter(router)
+
+        def boom(normalized):
+            raise RuntimeError("linker down")
+
+        router.link_text = boom
+        with pytest.raises(RuntimeError):
+            run(async_router.expand_query(small_benchmark.topics[0].keywords))
+        stats = async_router.stats()
+        assert stats.requests_total == 1
+        assert stats.errors == 1
+        assert stats.queries == 0
+        async_router.close()

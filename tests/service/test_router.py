@@ -127,6 +127,38 @@ class TestStats:
             s.expansion_cache.misses for s in stats.shard_stats
         )
 
+    def test_requests_total_is_monotonic_and_counts_batch_members(
+        self, small_benchmark, router
+    ):
+        """/stats and /healthz read these directly — no per-shard summing."""
+        router.expand_query(small_benchmark.topics[0].keywords)
+        router.batch_expand([
+            small_benchmark.topics[1].keywords,
+            small_benchmark.topics[1].keywords,
+        ])
+        stats = router.stats()
+        assert stats.requests_total == 3
+        assert stats.errors == 0
+        payload = stats.as_dict()
+        assert payload["requests_total"] == 3
+        assert payload["errors"] == 0
+
+    def test_errors_counted_and_requests_stay_monotonic(
+        self, small_benchmark, router, monkeypatch
+    ):
+        def boom(normalized):
+            raise RuntimeError("linker down")
+
+        monkeypatch.setattr(router, "_link", boom)
+        with pytest.raises(RuntimeError):
+            router.expand_query(small_benchmark.topics[0].keywords)
+        with pytest.raises(RuntimeError):
+            router.batch_expand([small_benchmark.topics[1].keywords])
+        stats = router.stats()
+        assert stats.requests_total == 2  # offered load, failures included
+        assert stats.errors == 2
+        assert stats.queries == 0
+
     def test_per_shard_hit_rates_guard_zero_lookups(self, small_benchmark, router):
         """Shards that never saw a lookup report 0.0, not a ZeroDivisionError,
         and the rates are exposed per shard in the stats payload."""

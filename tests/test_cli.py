@@ -135,6 +135,52 @@ class TestServe:
         assert "loaded" in out
         assert out.count("#1 ") >= 2
 
+    def test_serve_prints_resolved_snapshot_layout(
+        self, bench_dir, tmp_path, capsys
+    ):
+        """Operators must see which on-disk format/shard layout loaded."""
+        snap = tmp_path / "snap"
+        benchmark = Benchmark.load(bench_dir)
+        keywords = benchmark.topics[0].keywords
+        code = serve_main([
+            "--snapshot", str(snap), "--build", "--shards", "2",
+            "--benchmark-dir", bench_dir, "--query", keywords,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshot layout:" in out
+        assert "shards=2" in out
+
+        # Reloading from disk resolves the v3 layout explicitly.
+        code = serve_main([
+            "--snapshot", str(snap), "--benchmark-dir", str(tmp_path / "nope"),
+            "--query", keywords,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshot layout: v3 sharded (compact binary blobs, mmap-loaded)" \
+            in out
+
+    def test_serve_v1_snapshot_layout_names_v1(self, bench_dir, tmp_path, capsys):
+        snap = tmp_path / "snap1"
+        benchmark = Benchmark.load(bench_dir)
+        keywords = benchmark.topics[0].keywords
+        assert serve_main([
+            "--snapshot", str(snap), "--build", "--benchmark-dir", bench_dir,
+            "--query", keywords,
+        ]) == 0
+        capsys.readouterr()
+        assert serve_main([
+            "--snapshot", str(snap), "--benchmark-dir", str(tmp_path / "nope"),
+            "--query", keywords,
+        ]) == 0
+        assert "snapshot layout: v1 single-dir (JSON graph + index)" \
+            in capsys.readouterr().out
+
+    def test_bad_http_port_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            serve_main(["--snapshot", str(tmp_path / "s"), "--http", "70000"])
+
     def test_missing_snapshot_without_build_fails(self, tmp_path, capsys):
         code = serve_main(["--snapshot", str(tmp_path / "absent"), "--query", "x"])
         assert code == 2

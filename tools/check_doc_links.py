@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the docs tree (no dependencies).
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and verifies:
+
+* relative file targets exist (``docs/http_api.md``, ``src/...``);
+* ``#fragment`` targets name a real heading in the target file
+  (GitHub-style anchors: lowercased, punctuation stripped, spaces to
+  dashes);
+* bare ``#fragment`` links resolve within their own file.
+
+External ``http(s)://`` and ``mailto:`` targets are skipped — CI must
+not depend on the network. Exits 1 listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+# [text](target) — target up to the first closing paren (no nesting in
+# our docs); images (![alt](..)) match too, which is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop inline code ticks
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.lower().strip()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_anchor(match) for match in _HEADING.findall(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
+        if file_part and not resolved.exists():
+            problems.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+            continue
+        if fragment:
+            if resolved.is_file() and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    problems.append(
+                        f"{path.relative_to(ROOT)}: missing anchor -> {target}"
+                    )
+            elif not resolved.is_file():
+                problems.append(
+                    f"{path.relative_to(ROOT)}: fragment on non-file -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for path in missing:
+            print(f"missing documentation file: {path.relative_to(ROOT)}")
+        return 1
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken documentation link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    total_links = sum(
+        len(_LINK.findall(p.read_text(encoding="utf-8"))) for p in files
+    )
+    print(f"docs link check ok: {len(files)} files, {total_links} links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI smoke test of the HTTP serving path (no dependencies).
+
+End to end, as a real deployment would run it:
+
+1. build a small sharded snapshot and save it to a temp directory;
+2. launch ``python -m repro.cli serve --snapshot DIR --http 0`` as a
+   subprocess and parse the bound port from its startup output;
+3. ``GET /healthz`` and ``POST /expand`` over a real socket;
+4. answer the same query with an in-process :class:`ShardRouter` over
+   the same snapshot directory and diff the JSON against it — doc ids,
+   scores (bit-exact after the JSON round trip), expansion sets and
+   titles must all match;
+5. shut the server down and fail loudly if anything differed.
+
+Run from the repo root with ``PYTHONPATH=src`` (CI does).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SEED = 61
+
+
+def build_snapshot(directory: Path):
+    from repro.collection import Benchmark, SyntheticCollectionConfig
+    from repro.service import ShardedSnapshot
+    from repro.wiki import SyntheticWikiConfig
+
+    benchmark = Benchmark.synthetic(
+        SyntheticWikiConfig(seed=SEED, num_domains=5, background_articles=80,
+                            background_categories=10),
+        SyntheticCollectionConfig(seed=SEED + 1, background_docs=40),
+    )
+    snapshot = ShardedSnapshot.build(benchmark, num_shards=2)
+    snapshot.save(directory)
+    return benchmark
+
+
+def wait_for_port(proc: subprocess.Popen, timeout: float = 180.0) -> int:
+    pattern = re.compile(r"http://[\d.]+:(\d+)")
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before binding (rc={proc.poll()})"
+            )
+        sys.stdout.write(f"  server: {line}")
+        match = pattern.search(line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("timed out waiting for the server to print its port")
+
+
+def get_json(url: str, payload: dict | None = None) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=None if payload is None else json.dumps(payload).encode("utf-8"),
+        headers={} if payload is None else {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.load(response)
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    failures: list[str] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_dir = Path(tmp) / "snap"
+        benchmark = build_snapshot(snap_dir)
+        query = benchmark.topics[0].keywords
+        print(f"snapshot built at {snap_dir}; query: {query!r}")
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--snapshot", str(snap_dir), "--http", "0"],
+            cwd=ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = wait_for_port(proc)
+            base = f"http://127.0.0.1:{port}"
+
+            health = get_json(f"{base}/healthz")
+            print(f"healthz: {health}")
+            if health.get("status") != "ok":
+                failures.append(f"healthz status not ok: {health}")
+            if health.get("shards") != 2:
+                failures.append(f"healthz shards != 2: {health}")
+            if "v3 sharded" not in health.get("snapshot", ""):
+                failures.append(f"healthz does not echo the v3 layout: {health}")
+
+            served = get_json(f"{base}/expand", {"query": query})
+
+            # The synchronous reference over the very same on-disk snapshot.
+            from repro.service import ShardRouter, ShardedSnapshot
+            router = ShardRouter(ShardedSnapshot.load(snap_dir))
+            reference = router.expand_query(query)
+
+            http_results = [(r["doc_id"], r["score"]) for r in served["results"]]
+            ref_results = [(r.doc_id, r.score) for r in reference.results]
+            if http_results != ref_results:
+                failures.append(
+                    "HTTP /expand results differ from the in-process router:\n"
+                    f"  http: {http_results}\n  sync: {ref_results}"
+                )
+            if served["expansion"]["article_ids"] != \
+                    sorted(reference.expansion.article_ids):
+                failures.append("HTTP expansion article set differs")
+            if served["expansion"]["titles"] != list(reference.expansion.titles):
+                failures.append("HTTP expansion titles differ")
+            if served["linked"] != reference.linked:
+                failures.append("HTTP linked flag differs")
+            print(f"expand: {len(served['results'])} results, "
+                  f"linked={served['linked']} — matches in-process router")
+
+            after = get_json(f"{base}/healthz")
+            if after.get("requests_total", 0) < 1:
+                failures.append(f"requests_total did not advance: {after}")
+            router.close()
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    if failures:
+        print("HTTP smoke FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("HTTP smoke ok: /healthz and /expand match the synchronous path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
