@@ -32,10 +32,15 @@ the standard 50-topic benchmark, in several regimes:
   drift.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
-performance trajectory is tracked across PRs.  The suite asserts the
-two reasons this layer exists: cached p50 strictly below cold p50, and
-(on full runs) the compact read path at least 1.5x faster cold than the
-dict path measured in the same process.
+performance trajectory is tracked across PRs.  Each regime additionally
+reports ``stage_p50_ms`` — the median per-stage busy time (link /
+expand / cycle_mine / rank / merge) from the request traces the
+serving stack now records on every query — so a latency regression in
+the trend can be attributed to a stage without rerunning anything.
+The suite asserts the two reasons this layer exists: cached p50
+strictly below cold p50, and (on full runs) the compact read path at
+least 1.5x faster cold than the dict path measured in the same
+process.
 
 Smoke mode: set ``REPRO_BENCH_SMOKE=1`` (CI does) to run a truncated
 query set with one warm round — fast enough for every push, while still
@@ -87,6 +92,23 @@ def _summarize(latencies_ms: list[float], total_seconds: float) -> dict:
     }
 
 
+def _stage_p50(stage_maps: list[dict]) -> dict:
+    """Median busy-ms per pipeline stage over a regime's responses.
+
+    Each element is one response's ``stage_totals_ms()`` (or the wire
+    ``stages`` object for HTTP regimes); a stage absent from a response
+    simply contributes no sample — cached traffic has no ``cycle_mine``.
+    """
+    by_stage: dict[str, list[float]] = {}
+    for stages in stage_maps:
+        for stage, ms in stages.items():
+            by_stage.setdefault(stage, []).append(ms)
+    return {
+        stage: round(statistics.median(values), 3)
+        for stage, values in sorted(by_stage.items())
+    }
+
+
 def _assert_same_answer(mine, reference, query: str) -> None:
     assert mine.link.article_ids == reference.link.article_ids, query
     assert mine.expansion.article_ids == reference.expansion.article_ids, query
@@ -117,6 +139,8 @@ def measurements(service_snapshot, queries) -> dict:
     cold_responses = []
     cold: list[float] = []
     compact_cold: list[float] = []
+    cold_stages: list[dict] = []
+    compact_cold_stages: list[dict] = []
     for query in queries:
         reference = dict_service.expand_query(query)
         mine = compact_service.expand_query(query)
@@ -125,19 +149,25 @@ def measurements(service_snapshot, queries) -> dict:
         cold_responses.append(reference)
         cold.append(reference.latency_ms)
         compact_cold.append(mine.latency_ms)
+        cold_stages.append(reference.stage_totals_ms())
+        compact_cold_stages.append(mine.stage_totals_ms())
     cold_seconds = sum(cold) / 1000.0
     compact_cold_seconds = sum(compact_cold) / 1000.0
 
     cached: list[float] = []
     compact_cached: list[float] = []
+    cached_stages: list[dict] = []
+    compact_cached_stages: list[dict] = []
     for _ in range(CACHED_ROUNDS):
         for query in queries:
             response = dict_service.expand_query(query)
             assert response.expansion_cached, query
             cached.append(response.latency_ms)
+            cached_stages.append(response.stage_totals_ms())
             response = compact_service.expand_query(query)
             assert response.expansion_cached, query
             compact_cached.append(response.latency_ms)
+            compact_cached_stages.append(response.stage_totals_ms())
     cached_seconds = sum(cached) / 1000.0
     compact_cached_seconds = sum(compact_cached) / 1000.0
 
@@ -152,20 +182,24 @@ def measurements(service_snapshot, queries) -> dict:
     # single-shard path before any of its timings count.
     router = ShardRouter(ShardedSnapshot.from_snapshot(service_snapshot, SHARD_COUNT))
     sharded_cold: list[float] = []
+    sharded_cold_stages: list[dict] = []
     sharded_cold_started = time.perf_counter()
     for query, reference in zip(queries, cold_responses):
         response = router.expand_query(query)
         _assert_same_answer(response, reference, query)
         sharded_cold.append(response.latency_ms)
+        sharded_cold_stages.append(response.stage_totals_ms())
     sharded_cold_seconds = time.perf_counter() - sharded_cold_started
 
     sharded_cached: list[float] = []
+    sharded_cached_stages: list[dict] = []
     sharded_cached_started = time.perf_counter()
     for _ in range(CACHED_ROUNDS):
         for query in queries:
             response = router.expand_query(query)
             assert response.expansion_cached, query
             sharded_cached.append(response.latency_ms)
+            sharded_cached_stages.append(response.stage_totals_ms())
     sharded_cached_seconds = time.perf_counter() - sharded_cached_started
 
     # Warm-cache prefill: a router cold-started from a prefilled
@@ -177,12 +211,14 @@ def measurements(service_snapshot, queries) -> dict:
     assert prefilled_snapshot.num_prefilled > 0
     prefilled_router = ShardRouter(prefilled_snapshot)
     prefilled: list[float] = []
+    prefilled_stages: list[dict] = []
     prefilled_started = time.perf_counter()
     for query, reference in zip(queries, cold_responses):
         response = prefilled_router.expand_query(query)
         assert response.expansion_cached, f"prefill missed first hit: {query}"
         _assert_same_answer(response, reference, query)
         prefilled.append(response.latency_ms)
+        prefilled_stages.append(response.stage_totals_ms())
     prefilled_seconds = time.perf_counter() - prefilled_started
 
     # HTTP serving: the asyncio front end answering the same traffic as
@@ -214,6 +250,7 @@ def measurements(service_snapshot, queries) -> dict:
         return payload, elapsed_ms
 
     http_cold: list[float] = []
+    http_cold_stages: list[dict] = []
     http_cold_started = time.perf_counter()
     for query, reference in zip(queries, cold_responses):
         payload, elapsed_ms = http_expand(query)
@@ -222,15 +259,18 @@ def measurements(service_snapshot, queries) -> dict:
         assert payload["expansion"]["article_ids"] == \
             sorted(reference.expansion.article_ids), query
         http_cold.append(elapsed_ms)
+        http_cold_stages.append(payload["stages"])
     http_cold_seconds = time.perf_counter() - http_cold_started
 
     http_cached: list[float] = []
+    http_cached_stages: list[dict] = []
     http_cached_started = time.perf_counter()
     for _ in range(CACHED_ROUNDS):
         for query in queries:
             payload, elapsed_ms = http_expand(query)
             assert payload["expansion_cached"], query
             http_cached.append(elapsed_ms)
+            http_cached_stages.append(payload["stages"])
     http_cached_seconds = time.perf_counter() - http_cached_started
 
     conn.close()
@@ -243,10 +283,22 @@ def measurements(service_snapshot, queries) -> dict:
     stats = dict_service.stats()
     return {
         "smoke": SMOKE,
-        "cold": _summarize(cold, cold_seconds),
-        "cached": _summarize(cached, cached_seconds),
-        "compact_cold": _summarize(compact_cold, compact_cold_seconds),
-        "compact_cached": _summarize(compact_cached, compact_cached_seconds),
+        "cold": {
+            **_summarize(cold, cold_seconds),
+            "stage_p50_ms": _stage_p50(cold_stages),
+        },
+        "cached": {
+            **_summarize(cached, cached_seconds),
+            "stage_p50_ms": _stage_p50(cached_stages),
+        },
+        "compact_cold": {
+            **_summarize(compact_cold, compact_cold_seconds),
+            "stage_p50_ms": _stage_p50(compact_cold_stages),
+        },
+        "compact_cached": {
+            **_summarize(compact_cached, compact_cached_seconds),
+            "stage_p50_ms": _stage_p50(compact_cached_stages),
+        },
         "compact_speedup": {
             "cold_p50_ratio": round(
                 statistics.median(cold) / statistics.median(compact_cold), 2
@@ -263,25 +315,30 @@ def measurements(service_snapshot, queries) -> dict:
         "sharded_cold": {
             "shards": SHARD_COUNT,
             **_summarize(sharded_cold, sharded_cold_seconds),
+            "stage_p50_ms": _stage_p50(sharded_cold_stages),
         },
         "sharded_cached": {
             "shards": SHARD_COUNT,
             **_summarize(sharded_cached, sharded_cached_seconds),
+            "stage_p50_ms": _stage_p50(sharded_cached_stages),
         },
         "prefilled": {
             "shards": SHARD_COUNT,
             "entries": prefilled_snapshot.num_prefilled,
             "first_hit_cached": True,  # asserted per query above
             **_summarize(prefilled, prefilled_seconds),
+            "stage_p50_ms": _stage_p50(prefilled_stages),
         },
         "http_cold": {
             "shards": SHARD_COUNT,
             "identical_to_in_process": True,  # asserted per query above
             **_summarize(http_cold, http_cold_seconds),
+            "stage_p50_ms": _stage_p50(http_cold_stages),
         },
         "http_cached": {
             "shards": SHARD_COUNT,
             **_summarize(http_cached, http_cached_seconds),
+            "stage_p50_ms": _stage_p50(http_cached_stages),
         },
         "cache_hit_rate": {
             "link": round(stats.link_cache.hit_rate, 4),
@@ -381,6 +438,14 @@ def test_emit_bench_json(measurements):
         assert written[regime]["p50_ms"] > 0
         assert written[regime]["p99_ms"] >= written[regime]["p50_ms"]
         assert written[regime]["throughput_qps"] > 0
+        stage_p50 = written[regime]["stage_p50_ms"]
+        assert stage_p50, regime  # every regime traces at least one stage
+        assert all(ms >= 0 for ms in stage_p50.values()), regime
+    # Cold regimes mine cycles; cached regimes never do but still rank.
+    assert "cycle_mine" in written["sharded_cold"]["stage_p50_ms"]
+    assert "cycle_mine" not in written["sharded_cached"]["stage_p50_ms"]
+    assert "rank" in written["sharded_cached"]["stage_p50_ms"]
+    assert "rank" in written["http_cached"]["stage_p50_ms"]
     assert written["compact_speedup"]["cold_p50_ratio"] > 0
     assert written["compact_speedup"]["cold_mean_ratio"] > 0
     assert written["prefilled"]["first_hit_cached"] is True

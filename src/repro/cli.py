@@ -21,8 +21,13 @@ Entry points (also importable as functions):
   layout (v1/v2/v3, shard count) is printed at startup.  With
   ``--http PORT`` the process instead serves the HTTP/JSON API
   (``/expand``, ``/search``, ``/batch_expand``, ``/stats``,
-  ``/healthz`` — see ``docs/http_api.md``) from an asyncio front end
-  over the shard router.
+  ``/healthz``, ``/metrics`` — see ``docs/http_api.md`` and
+  ``docs/observability.md``) from an asyncio front end over the shard
+  router, logging slow requests as JSON lines on stderr (``--slow-ms``);
+* ``repro-top``            — live terminal dashboard over a running
+  ``--http`` process: request rates, cache hit bars, per-shard health
+  and stage latency quantiles, refreshed every ``--interval`` seconds
+  (``--once`` prints a single frame and exits).
 
 All commands are also reachable through ``python -m repro.cli <command>``,
 which matters in environments where console scripts cannot be installed.
@@ -71,6 +76,7 @@ __all__ = [
     "report_main",
     "snapshot_main",
     "serve_main",
+    "top_main",
     "main",
 ]
 
@@ -329,20 +335,27 @@ def snapshot_main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _serve_http(snapshot, host: str, port: int) -> int:
+def _serve_http(snapshot, host: str, port: int, slow_ms: float = 100.0) -> int:
     """Run the asyncio HTTP front end over a ShardRouter until interrupted.
 
     Single-shard and sharded snapshots both go through the router here
     (a one-shard router serves identically to the plain service), so the
-    HTTP surface is uniform across layouts.
+    HTTP surface is uniform across layouts.  Slow requests (>=
+    ``slow_ms``) are logged as JSON lines on stderr and sampled into the
+    reservoir ``/stats`` exposes.
     """
     import asyncio
 
+    from repro.obs import RequestLog
     from repro.service import AsyncShardRouter, HttpFrontEnd, ShardRouter
 
     router = ShardRouter(snapshot)
+    generation = snapshot.source_version
     front = HttpFrontEnd(
-        AsyncShardRouter(router), snapshot_info=snapshot.layout_description()
+        AsyncShardRouter(router),
+        snapshot_info=snapshot.layout_description(),
+        snapshot_generation="" if generation is None else f"v{generation}",
+        request_log=RequestLog(slow_ms=slow_ms, sink=sys.stderr.write),
     )
 
     async def run() -> None:
@@ -350,7 +363,8 @@ def _serve_http(snapshot, host: str, port: int) -> int:
         bound = server.sockets[0].getsockname()[1]
         print(
             f"http: serving on http://{host}:{bound} "
-            f"(POST /expand /search /batch_expand, GET /stats /healthz)",
+            f"(POST /expand /search /batch_expand, "
+            f"GET /stats /healthz /metrics)",
             flush=True,
         )
         async with server:
@@ -411,11 +425,17 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="serve the HTTP/JSON API on this port instead of answering "
              "--query/stdin (0 picks an ephemeral port and prints it); "
              "endpoints: POST /expand /search /batch_expand, GET /stats "
-             "/healthz — see docs/http_api.md",
+             "/healthz /metrics — see docs/http_api.md",
     )
     parser.add_argument(
         "--host", default="127.0.0.1",
         help="bind address for --http (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, default=100.0,
+        help="with --http: requests at or above this latency are logged "
+             "as JSON lines on stderr and sampled into /stats "
+             "slow_queries (default 100)",
     )
     args = parser.parse_args(argv)
     if args.top_k < 1:
@@ -446,7 +466,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     print(f"snapshot layout: {snapshot.layout_description()}")
 
     if args.http is not None:
-        return _serve_http(snapshot, args.host, args.http)
+        return _serve_http(snapshot, args.host, args.http, slow_ms=args.slow_ms)
 
     # One worker serves a single shard directly; N shards go through the
     # router.  Both expose the same expand_query/batch_expand/stats API
@@ -501,6 +521,35 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def top_main(argv: list[str] | None = None) -> int:
+    """Live terminal dashboard over a running ``repro serve --http``."""
+    from repro.obs.dashboard import run_top
+
+    parser = argparse.ArgumentParser(
+        prog="repro-top", description=top_main.__doc__
+    )
+    parser.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8080",
+        help="base URL of the serving process (default http://127.0.0.1:8080)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing) — "
+             "scriptable, and what CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    try:
+        return run_top(args.url, interval_s=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
+
+
 _COMMANDS = {
     "build-benchmark": build_benchmark_main,
     "ground-truth": ground_truth_main,
@@ -509,6 +558,7 @@ _COMMANDS = {
     "report": report_main,
     "snapshot": snapshot_main,
     "serve": serve_main,
+    "top": top_main,
 }
 
 

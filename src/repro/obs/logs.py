@@ -1,0 +1,152 @@
+"""Structured JSON request logs with deterministic slow-query sampling.
+
+:class:`RequestLog` sees every served request.  Fast requests only bump
+counters; a request at or above ``slow_ms`` is *sampled*: serialised as
+one JSON line to the sink (stderr under ``repro serve``) and retained
+in a bounded in-memory reservoir that ``/stats`` and ``repro top``
+read back.
+
+The sampling rule is deterministic — no randomness anywhere:
+
+* **threshold** — a request is slow iff ``latency_ms >= slow_ms``;
+* **reservoir** — of the slow requests, the ``capacity`` slowest are
+  retained, ties broken toward the earlier request (by sequence
+  number).  Feeding the same request stream twice yields the same
+  reservoir, which is what makes the sampler testable and log-based
+  repro honest.
+
+The reservoir is a min-heap keyed by ``(latency_ms, -seq)``: the root
+is the entry that the next slower request will displace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+
+__all__ = ["RequestLog"]
+
+
+class RequestLog:
+    """Thread-safe request accounting + slow-query reservoir.
+
+    Parameters
+    ----------
+    slow_ms:
+        Threshold at and above which a request counts (and logs) as
+        slow.
+    capacity:
+        Maximum reservoir entries retained (the slowest win).
+    sink:
+        Optional ``callable(str)`` receiving one compact JSON line per
+        slow request, at record time (e.g. ``sys.stderr.write``).
+        Reservoir eviction never retracts an emitted line — the sink is
+        a log, the reservoir is a summary.
+    """
+
+    def __init__(
+        self,
+        *,
+        slow_ms: float = 100.0,
+        capacity: int = 32,
+        sink=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        if slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
+        self.slow_ms = float(slow_ms)
+        self.capacity = capacity
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._slow = 0
+        # heap of (latency_ms, -seq, entry): root = first to displace
+        self._reservoir: list[tuple[float, int, dict]] = []
+
+    def record(
+        self,
+        *,
+        endpoint: str,
+        latency_ms: float,
+        status: int | None = None,
+        query: str | None = None,
+        trace=None,
+        trace_id: str | None = None,
+        stages: dict | None = None,
+    ) -> bool:
+        """Account one request; returns whether it was sampled as slow.
+
+        ``trace`` (a :class:`repro.obs.trace.Trace`) contributes the
+        trace id and per-stage totals to the logged entry, so a slow
+        line already says *which stage* was slow.  Callers holding only
+        a serialised response (the HTTP front end) pass ``trace_id`` /
+        ``stages`` directly instead.
+        """
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        if latency_ms < self.slow_ms:
+            return False
+        entry: dict = {
+            "event": "slow_query",
+            "seq": seq,
+            "endpoint": endpoint,
+            "latency_ms": round(latency_ms, 3),
+        }
+        if status is not None:
+            entry["status"] = status
+        if query is not None:
+            entry["query"] = query
+        if trace is not None:
+            trace_id = trace.trace_id
+            stages = trace.stage_totals_ms()
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        if stages:
+            entry["stage_ms"] = dict(stages)
+        with self._lock:
+            self._slow += 1
+            item = (latency_ms, -seq, entry)
+            if len(self._reservoir) < self.capacity:
+                heapq.heappush(self._reservoir, item)
+            elif item > self._reservoir[0]:
+                heapq.heapreplace(self._reservoir, item)
+        if self._sink is not None:
+            self._sink(json.dumps(entry, sort_keys=True) + "\n")
+        return True
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def slow(self) -> int:
+        with self._lock:
+            return self._slow
+
+    def entries(self) -> list[dict]:
+        """Reservoir contents, slowest first (earlier request wins ties)."""
+        with self._lock:
+            ordered = sorted(self._reservoir, key=lambda item: (-item[0], -item[1]))
+            return [dict(entry) for _, _, entry in ordered]
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary for ``/stats`` and the dashboard."""
+        with self._lock:
+            requests, slow = self._seq, self._slow
+        return {
+            "threshold_ms": self.slow_ms,
+            "requests": requests,
+            "slow": slow,
+            "reservoir_capacity": self.capacity,
+            "entries": self.entries(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestLog(slow_ms={self.slow_ms}, requests={self.requests}, "
+            f"slow={self.slow})"
+        )

@@ -1,0 +1,123 @@
+"""The serving stack's metric families, aggregated from traces.
+
+Instrumentation is split in two cheap halves: request code records
+*spans* into its request-scoped :class:`~repro.obs.trace.Trace` (no
+shared state touched on the hot path beyond one list append), and the
+router folds each finished trace into the process-wide families here —
+one :meth:`ServingMetrics.observe_request` call per request.
+
+Families (all prefixed ``repro_``):
+
+* ``repro_requests_total{path}`` / ``repro_errors_total{path}`` —
+  monotonic, per entry point (``expand_query`` / ``batch_expand``);
+* ``repro_request_seconds{path}`` — end-to-end latency histogram;
+* ``repro_stage_seconds{stage}`` — per-stage busy-time histogram
+  (``link``, ``expand``, ``cycle_mine``, ``rank``, ``merge``);
+* ``repro_shard_stage_seconds{shard,stage}`` — the same, split by the
+  shard that did the work (fan-out stages record one span per shard);
+* ``repro_cache_lookups_total{cache,result}`` — link/expansion cache
+  outcomes (``hit`` / ``miss``), derived from span labels;
+* ``repro_inflight_requests`` / ``repro_shard_inflight{shard}`` /
+  ``repro_uptime_seconds`` — gauges refreshed from
+  :class:`~repro.service.router.RouterStats` at scrape time by
+  :meth:`update_from_stats`, not maintained continuously.
+
+Metric names and label sets are part of the operator contract —
+documented in ``docs/observability.md``; change the two together.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+
+__all__ = ["ServingMetrics"]
+
+# Span labels that map onto the cache-lookup counter: stage -> cache name.
+_CACHE_STAGES = {"link": "link", "expand": "expansion"}
+
+
+class ServingMetrics:
+    """One router's metric families over one (typically private) registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.requests = self.registry.counter(
+            "repro_requests_total",
+            "Requests offered to the router, by entry point.",
+            ("path",),
+        )
+        self.errors = self.registry.counter(
+            "repro_errors_total",
+            "Requests that raised, by entry point.",
+            ("path",),
+        )
+        self.request_latency = self.registry.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency in seconds.",
+            ("path",),
+        )
+        self.stage_latency = self.registry.histogram(
+            "repro_stage_seconds",
+            "Per-stage busy time in seconds (fan-out stages sum shards).",
+            ("stage",),
+        )
+        self.shard_stage_latency = self.registry.histogram(
+            "repro_shard_stage_seconds",
+            "Per-shard, per-stage busy time in seconds.",
+            ("shard", "stage"),
+        )
+        self.cache_lookups = self.registry.counter(
+            "repro_cache_lookups_total",
+            "Cache lookups by cache tier and outcome.",
+            ("cache", "result"),
+        )
+        self.inflight = self.registry.gauge(
+            "repro_inflight_requests",
+            "Requests currently inside the router.",
+        )
+        self.shard_inflight = self.registry.gauge(
+            "repro_shard_inflight",
+            "Expansions currently executing or queued on each shard worker.",
+            ("shard",),
+        )
+        self.uptime = self.registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the router was constructed.",
+        )
+
+    def observe_request(
+        self, path: str, trace: Trace | None, latency_s: float,
+        *, error: bool = False,
+    ) -> None:
+        """Fold one finished request (and its trace, if any) in."""
+        self.requests.inc(path=path)
+        if error:
+            self.errors.inc(path=path)
+        self.request_latency.observe(latency_s, path=path)
+        if trace is None:
+            return
+        for span in trace.spans:
+            seconds = span.duration_ms / 1000.0
+            self.stage_latency.observe(seconds, stage=span.stage)
+            if span.shard is not None:
+                self.shard_stage_latency.observe(
+                    seconds, shard=span.shard, stage=span.stage
+                )
+            cache = _CACHE_STAGES.get(span.stage)
+            cached = span.labels.get("cached")
+            if cache is not None and cached is not None:
+                self.cache_lookups.inc(
+                    cache=cache, result="hit" if cached else "miss"
+                )
+
+    def update_from_stats(self, stats) -> None:
+        """Refresh the scrape-time gauges from a :class:`RouterStats`."""
+        self.uptime.set(round(stats.uptime_s, 3))
+        inflight = stats.requests_total - stats.queries - stats.errors
+        self.inflight.set(max(0, inflight))
+        for shard_id, value in enumerate(stats.per_shard_inflight):
+            self.shard_inflight.set(value, shard=shard_id)
+
+    def render(self) -> str:
+        return self.registry.render()

@@ -49,6 +49,7 @@ from dataclasses import replace
 
 from repro.core.expansion import ExpansionResult
 from repro.linking.linker import LinkResult
+from repro.obs import trace as tracing
 from repro.retrieval.engine import SearchResult, merge_ranked_lists
 from repro.service.router import ShardRouter
 from repro.service.server import ServiceResponse
@@ -70,13 +71,19 @@ class ExecutorShardAdapter:
     remote process without touching the router.
     """
 
-    def __init__(self, worker, executor: ThreadPoolExecutor) -> None:
+    def __init__(
+        self, worker, executor: ThreadPoolExecutor, shard_id: int | None = None
+    ) -> None:
         self._worker = worker
         self._executor = executor
+        self._shard_id = shard_id
 
     async def _call(self, fn, *args):
+        # Executor threads run callables with an empty context; carry the
+        # caller's context across so spans recorded on the shard thread
+        # (expand, cycle_mine, rank) land in the active request's trace.
         return await asyncio.get_running_loop().run_in_executor(
-            self._executor, fn, *args
+            self._executor, tracing.carry_context(fn), *args
         )
 
     async def link_text(self, normalized: str) -> tuple[LinkResult, bool]:
@@ -91,14 +98,24 @@ class ExecutorShardAdapter:
         return await self._call(self._worker.prefill_expansions, seed_sets)
 
     async def leaf_collection_counts(self, root) -> dict:
-        return await self._call(self._worker.engine.leaf_collection_counts, root)
+        engine = self._worker.engine
+
+        def run(root):
+            with tracing.span("rank", shard=self._shard_id, phase="counts"):
+                return engine.leaf_collection_counts(root)
+
+        return await self._call(run, root)
 
     async def search_with_background(
         self, root, background, top_k: int
     ) -> list[SearchResult]:
-        return await self._call(
-            self._worker.engine.search_with_background, root, background, top_k
-        )
+        engine = self._worker.engine
+
+        def run(root, background, top_k):
+            with tracing.span("rank", shard=self._shard_id, phase="score"):
+                return engine.search_with_background(root, background, top_k)
+
+        return await self._call(run, root, background, top_k)
 
 
 class AsyncShardRouter:
@@ -120,8 +137,8 @@ class AsyncShardRouter:
             thread_name_prefix="async-shard",
         )
         self._adapters = [
-            ExecutorShardAdapter(worker, self._executor)
-            for worker in router.workers
+            ExecutorShardAdapter(worker, self._executor, shard_id)
+            for shard_id, worker in enumerate(router.workers)
         ]
         # Coalescing table: (normalized, top_k) -> in-flight task.  Only
         # touched from the owning event loop, so no lock is needed.
@@ -148,6 +165,12 @@ class AsyncShardRouter:
     def coalesced_requests(self) -> int:
         """Requests answered by piggybacking on an identical in-flight one."""
         return self._coalesced
+
+    @property
+    def metrics(self):
+        """The wrapped router's :class:`~repro.obs.serving.ServingMetrics`
+        (one registry per serving stack, sync and async paths included)."""
+        return self._router.metrics
 
     def stats(self):
         return self._router.stats()
@@ -188,60 +211,82 @@ class AsyncShardRouter:
         if not texts:
             return []
         router = self._router
+        batch_started = time.perf_counter()
         router._account(requests=len(texts))
+        # Batch-level trace: covers linking and the shard pre-fill; the
+        # per-query passes trace (and are observed) individually through
+        # _compute, so member responses drop the batch trace.
+        trace = tracing.Trace()
+        trace.annotate(batch=len(texts))
+        error = False
         try:
-            norm_by_text = {
-                text: router.normalize(text) for text in dict.fromkeys(texts)
-            }
-            normalized = [norm_by_text[text] for text in texts]
-            unique_norms = list(dict.fromkeys(normalized))
-            first_text = {}
-            for text in texts:
-                first_text.setdefault(norm_by_text[text], text)
+            with tracing.start_trace(trace):
+                norm_by_text = {
+                    text: router.normalize(text) for text in dict.fromkeys(texts)
+                }
+                normalized = [norm_by_text[text] for text in texts]
+                unique_norms = list(dict.fromkeys(normalized))
+                first_text = {}
+                for text in texts:
+                    first_text.setdefault(norm_by_text[text], text)
 
-            loop = asyncio.get_running_loop()
-            # Link the distinct queries concurrently (the router link
-            # cache is lock-guarded, so parallel passes are safe).
-            link_results = await asyncio.gather(*(
-                loop.run_in_executor(self._executor, router.link_text, norm)
-                for norm in unique_norms
-            ))
-            links: dict[str, tuple[LinkResult, bool]] = dict(
-                zip(unique_norms, link_results)
-            )
-
-            by_shard: dict[int, set[frozenset[int]]] = {}
-            for norm in unique_norms:
-                seeds = links[norm][0].article_ids
-                by_shard.setdefault(router.owner_shard(seeds), set()).add(seeds)
-            prefills = await asyncio.gather(*(
-                self._adapters[shard_id].prefill_expansions(seed_sets)
-                for shard_id, seed_sets in by_shard.items()
-            ))
-            computed_here: set[frozenset[int]] = \
-                set().union(*prefills) if prefills else set()
-
-            responses = await asyncio.gather(*(
-                self._compute(norm, top_k) for norm in unique_norms
-            ))
-            by_norm: dict[str, ServiceResponse] = {}
-            for norm, response in zip(unique_norms, responses):
-                link, link_cached = links[norm]
-                expansion_cached = response.expansion_cached
-                # The batch itself paid for pre-filled expansions — and
-                # for the link pass — so report those as cold, exactly
-                # like the synchronous batch path does.
-                if link.article_ids in computed_here:
-                    expansion_cached = False
-                by_norm[norm] = replace(
-                    response,
-                    query=first_text[norm],
-                    link_cached=link_cached,
-                    expansion_cached=expansion_cached,
+                loop = asyncio.get_running_loop()
+                # Link the distinct queries concurrently (the router link
+                # cache is lock-guarded, so parallel passes are safe).
+                with tracing.span("link", queries=len(unique_norms)):
+                    link_results = await asyncio.gather(*(
+                        loop.run_in_executor(
+                            self._executor, router.link_text, norm
+                        )
+                        for norm in unique_norms
+                    ))
+                links: dict[str, tuple[LinkResult, bool]] = dict(
+                    zip(unique_norms, link_results)
                 )
+
+                by_shard: dict[int, set[frozenset[int]]] = {}
+                for norm in unique_norms:
+                    seeds = links[norm][0].article_ids
+                    by_shard.setdefault(
+                        router.owner_shard(seeds), set()
+                    ).add(seeds)
+                prefills = await asyncio.gather(*(
+                    self._adapters[shard_id].prefill_expansions(seed_sets)
+                    for shard_id, seed_sets in by_shard.items()
+                ))
+                computed_here: set[frozenset[int]] = \
+                    set().union(*prefills) if prefills else set()
+
+                responses = await asyncio.gather(*(
+                    self._compute(norm, top_k) for norm in unique_norms
+                ))
+                by_norm: dict[str, ServiceResponse] = {}
+                for norm, response in zip(unique_norms, responses):
+                    link, link_cached = links[norm]
+                    expansion_cached = response.expansion_cached
+                    # The batch itself paid for pre-filled expansions — and
+                    # for the link pass — so report those as cold, exactly
+                    # like the synchronous batch path does.
+                    if link.article_ids in computed_here:
+                        expansion_cached = False
+                    by_norm[norm] = replace(
+                        response,
+                        query=first_text[norm],
+                        link_cached=link_cached,
+                        expansion_cached=expansion_cached,
+                        trace=None,
+                    )
         except Exception:
+            error = True
             router._account(errors=len(texts))
             raise
+        finally:
+            router.metrics.observe_request(
+                "batch_expand",
+                trace,
+                time.perf_counter() - batch_started,
+                error=error,
+            )
         router._account(
             batches=1,
             queries=len(normalized),
@@ -269,14 +314,33 @@ class AsyncShardRouter:
         """
         started = time.perf_counter()
         router = self._router
-        link, link_cached = await asyncio.get_running_loop().run_in_executor(
-            self._executor, router.link_text, normalized
-        )
-        owner = router.owner_shard(link.article_ids)
-        expansion, expansion_cached = await self._adapters[owner].expand_seeds(
-            link.article_ids
-        )
-        results = await self._rank(normalized, expansion, top_k)
+        # One trace per computation (coalesced awaiters share it), folded
+        # into the shared registry once, here — awaiters never re-count.
+        trace = tracing.Trace()
+        error = False
+        try:
+            with tracing.start_trace(trace):
+                with tracing.span("link") as span:
+                    link, link_cached = await asyncio.get_running_loop(
+                    ).run_in_executor(
+                        self._executor, router.link_text, normalized
+                    )
+                    span["cached"] = link_cached
+                owner = router.owner_shard(link.article_ids)
+                expansion, expansion_cached = await self._adapters[
+                    owner
+                ].expand_seeds(link.article_ids)
+                results = await self._rank(normalized, expansion, top_k)
+        except Exception:
+            error = True
+            raise
+        finally:
+            router.metrics.observe_request(
+                "expand_query",
+                trace,
+                time.perf_counter() - started,
+                error=error,
+            )
         return ServiceResponse(
             query=normalized,
             normalized_query=normalized,
@@ -286,6 +350,7 @@ class AsyncShardRouter:
             link_cached=link_cached,
             expansion_cached=expansion_cached,
             latency_ms=(time.perf_counter() - started) * 1000.0,
+            trace=trace,
         )
 
     async def _rank(
@@ -298,12 +363,14 @@ class AsyncShardRouter:
         per_segment = await asyncio.gather(*(
             adapter.leaf_collection_counts(root) for adapter in self._adapters
         ))
-        background = self._router.global_background(root, per_segment)
+        with tracing.span("merge", phase="background"):
+            background = self._router.global_background(root, per_segment)
         ranked_lists = await asyncio.gather(*(
             adapter.search_with_background(root, background, top_k)
             for adapter in self._adapters
         ))
-        return tuple(merge_ranked_lists(list(ranked_lists), top_k))
+        with tracing.span("merge", phase="topk"):
+            return tuple(merge_ranked_lists(list(ranked_lists), top_k))
 
     def __repr__(self) -> str:
         return (

@@ -45,6 +45,18 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    @classmethod
+    def aggregate(cls, stats: "list[CacheStats] | tuple[CacheStats, ...]") -> "CacheStats":
+        """Sum several caches into one logical view (the router reports
+        its N per-shard expansion caches this way)."""
+        return cls(
+            hits=sum(s.hits for s in stats),
+            misses=sum(s.misses for s in stats),
+            evictions=sum(s.evictions for s in stats),
+            size=sum(s.size for s in stats),
+            max_size=sum(s.max_size for s in stats),
+        )
+
     def as_dict(self) -> dict:
         """JSON-ready counters, including the bound and current occupancy
         (``serve --stats`` consumers size caches from these).

@@ -3,17 +3,20 @@
 No web framework, no new dependencies: :class:`HttpFrontEnd` speaks a
 deliberately small slice of HTTP/1.1 (request line, headers,
 ``Content-Length`` bodies, keep-alive) over ``asyncio`` streams and
-serves JSON on five endpoints::
+serves six endpoints::
 
     POST /expand        one query, full ServiceResponse payload
     POST /search        one query, ranked results only
     POST /batch_expand  many queries in one request
-    GET  /stats         RouterStats dict + front-end counters
-    GET  /healthz       liveness: status, shards, requests_total, errors
+    GET  /stats         RouterStats dict + front-end counters + slow log
+    GET  /healthz       liveness: status, shards, per-shard health,
+                        hit-rate breakdown, error breakdown by status
+    GET  /metrics       Prometheus text exposition (text/plain, not JSON)
 
 Every endpoint, every request/response schema, the error envelope and
-the status codes are specified in ``docs/http_api.md`` — change the two
-together.  Errors are always JSON::
+the status codes are specified in ``docs/http_api.md`` (the metric
+families in ``docs/observability.md``) — change the two together.
+Errors are always JSON::
 
     {"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 
@@ -40,10 +43,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
+from repro.obs.logs import RequestLog
 from repro.service.async_router import AsyncShardRouter
 
 __all__ = ["HttpFrontEnd", "DEFAULT_MAX_BODY_BYTES"]
+
+# Prometheus text exposition content type (the version is part of it).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 DEFAULT_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is already a huge batch
 DEFAULT_READ_TIMEOUT = 120.0  # seconds to finish sending one request
@@ -83,6 +91,17 @@ class HttpFrontEnd:
         Optional human-readable snapshot layout line, echoed in
         ``/healthz`` so operators can tell which format a live server
         loaded.
+    snapshot_generation:
+        Optional snapshot version/generation identifier (the build
+        version string of the loaded snapshot), echoed in ``/healthz``
+        so a fleet rollout can assert every replica serves the same
+        snapshot.
+    request_log:
+        The :class:`~repro.obs.logs.RequestLog` receiving one record per
+        HTTP request (slow ones are sampled into its reservoir and
+        surfaced under ``/stats``).  A silent default is created when
+        omitted; ``repro serve`` passes one that writes slow-query JSON
+        lines to stderr.
     max_body_bytes:
         Requests with a larger declared body are rejected with 413
         before the body is read.
@@ -99,11 +118,15 @@ class HttpFrontEnd:
         service: AsyncShardRouter,
         *,
         snapshot_info: str = "",
+        snapshot_generation: str = "",
+        request_log: RequestLog | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
     ) -> None:
         self._service = service
         self._snapshot_info = snapshot_info
+        self._snapshot_generation = snapshot_generation
+        self._request_log = request_log or RequestLog()
         self._max_body_bytes = max_body_bytes
         self._read_timeout = read_timeout
         self._server: asyncio.AbstractServer | None = None
@@ -114,6 +137,20 @@ class HttpFrontEnd:
         self._http_requests = 0
         self._http_errors = 0
         self._by_endpoint: dict[str, int] = {}
+        self._errors_by_status: dict[int, int] = {}
+        # HTTP-plane families live in the router's registry, so one
+        # /metrics scrape renders the whole serving stack.
+        registry = service.metrics.registry
+        self._http_requests_metric = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests received, by endpoint.",
+            ("endpoint",),
+        )
+        self._http_errors_metric = registry.counter(
+            "repro_http_errors_total",
+            "HTTP error responses, by status code.",
+            ("status",),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -152,6 +189,10 @@ class HttpFrontEnd:
     @property
     def service(self) -> AsyncShardRouter:
         return self._service
+
+    @property
+    def request_log(self) -> RequestLog:
+        return self._request_log
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -267,13 +308,20 @@ class HttpFrontEnd:
                 pass
 
     async def _send(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict,
+        self, writer: asyncio.StreamWriter, status: int, payload,
         *, keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # Handlers return dicts (JSON endpoints) or a ready string (the
+        # Prometheus exposition, which must not be JSON-quoted).
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = METRICS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -293,16 +341,34 @@ class HttpFrontEnd:
             "/batch_expand": ("POST", self._handle_batch_expand),
             "/stats": ("GET", self._handle_stats),
             "/healthz": ("GET", self._handle_healthz),
+            "/metrics": ("GET", self._handle_metrics),
         }
+        started = time.perf_counter()
         self._http_requests += 1
         route = routes.get(path)
-        if route is None:
+        # Unknown paths share one metric label so arbitrary request
+        # paths cannot grow the label set without bound.
+        self._http_requests_metric.inc(
+            endpoint=path if route is not None else "unknown"
+        )
+        status, payload = await self._route(route, method, path, body)
+        if status >= 400:
             self._http_errors += 1
+            self._errors_by_status[status] = \
+                self._errors_by_status.get(status, 0) + 1
+            self._http_errors_metric.inc(status=str(status))
+        self._log_request(
+            path, status, payload, (time.perf_counter() - started) * 1000.0
+        )
+        return status, payload
+
+    async def _route(self, route, method: str, path: str, body: bytes):
+        """Resolve one request to ``(status, payload)`` — errors included."""
+        if route is None:
             return 404, _error_body("not_found", f"unknown endpoint {path!r}")
         expected_method, handler = route
         self._by_endpoint[path] = self._by_endpoint.get(path, 0) + 1
         if method != expected_method:
-            self._http_errors += 1
             return 405, _error_body(
                 "method_not_allowed", f"{path} expects {expected_method}"
             )
@@ -312,13 +378,32 @@ class HttpFrontEnd:
                 return 200, await handler(payload)
             return 200, await handler()
         except _RequestError as exc:
-            self._http_errors += 1
             return exc.status, _error_body(exc.code, exc.message)
         except Exception as exc:  # noqa: BLE001 — the envelope must hold
-            self._http_errors += 1
             return 500, _error_body(
                 "internal_error", f"{type(exc).__name__}: {exc}"
             )
+
+    def _log_request(
+        self, path: str, status: int, payload, latency_ms: float
+    ) -> None:
+        """Feed the request log; slow requests pull trace context out of
+        the response payload (already serialised, so no trace objects)."""
+        query = trace_id = None
+        stages = None
+        if isinstance(payload, dict):
+            value = payload.get("query")
+            query = value if isinstance(value, str) else None
+            trace_id = payload.get("trace_id")
+            stages = payload.get("stages")
+        self._request_log.record(
+            endpoint=path,
+            latency_ms=latency_ms,
+            status=status,
+            query=query,
+            trace_id=trace_id,
+            stages=stages if isinstance(stages, dict) else None,
+        )
 
     def _parse_json(self, body: bytes) -> dict:
         try:
@@ -398,19 +483,67 @@ class HttpFrontEnd:
         stats["http"] = {
             "requests_total": self._http_requests,
             "errors": self._http_errors,
+            "errors_by_status": {
+                str(code): count
+                for code, count in sorted(self._errors_by_status.items())
+            },
             "coalesced_requests": self._service.coalesced_requests,
             "by_endpoint": dict(sorted(self._by_endpoint.items())),
         }
+        stats["slow_queries"] = self._request_log.snapshot()
         return stats
 
     async def _handle_healthz(self) -> dict:
+        """Liveness plus enough layout to triage a sick replica.
+
+        ``http_requests_total`` counts requests this front end parsed;
+        ``router_requests_total`` counts queries offered to the shared
+        router (batch members each count, and the in-process surface
+        feeds the same counter) — the old ambiguous ``requests_total``
+        key is gone.
+        """
         stats = self._service.stats()
         payload = {
             "status": "ok",
             "shards": stats.shards,
-            "requests_total": stats.requests_total,
-            "errors": stats.errors,
+            "uptime_s": round(stats.uptime_s, 3),
+            "http_requests_total": self._http_requests,
+            "http_errors": self._http_errors,
+            "router_requests_total": stats.requests_total,
+            "router_errors": stats.errors,
+            "errors_by_status": {
+                str(code): count
+                for code, count in sorted(self._errors_by_status.items())
+            },
+            "hit_rates": {
+                "link": round(stats.link_cache.hit_rate, 4),
+                "expansion": round(stats.expansion_cache.hit_rate, 4),
+            },
+            "per_shard": [
+                {
+                    "shard": shard_id,
+                    "queries": shard.queries,
+                    "inflight": shard.inflight,
+                    "expansion_hit_rate": round(
+                        shard.expansion_cache.hit_rate, 4
+                    ),
+                }
+                for shard_id, shard in enumerate(stats.shard_stats)
+            ],
         }
         if self._snapshot_info:
             payload["snapshot"] = self._snapshot_info
+        if self._snapshot_generation:
+            payload["snapshot_generation"] = self._snapshot_generation
         return payload
+
+    async def _handle_metrics(self) -> str:
+        """The whole stack's families as Prometheus text exposition.
+
+        Counters and histograms are live (folded per request); the
+        uptime/inflight gauges are refreshed from router stats here, at
+        scrape time.
+        """
+        metrics = self._service.metrics
+        metrics.update_from_stats(self._service.stats())
+        return metrics.render()

@@ -45,6 +45,8 @@ from pathlib import Path
 
 from repro.core.expansion import Expander, ExpansionResult, NeighborhoodCycleExpander
 from repro.linking.linker import LinkResult
+from repro.obs import trace as tracing
+from repro.obs.serving import ServingMetrics
 from repro.retrieval.engine import (
     SearchResult,
     background_from_counts,
@@ -70,6 +72,11 @@ class RouterStats:
     raised.  ``requests_total == queries + errors + in-flight`` at any
     instant.  ``/stats`` and ``/healthz`` report these directly instead
     of making callers sum per-shard numbers.
+
+    ``uptime_s`` is seconds since the router was constructed;
+    ``per_shard_inflight`` gauges the expansions currently executing on
+    each worker (0 for an idle or never-hit shard — zero-lookup-safe,
+    like ``per_shard_hit_rates``).
     """
 
     shards: int
@@ -78,19 +85,15 @@ class RouterStats:
     batches: int
     unlinked_queries: int
     errors: int
+    uptime_s: float
     link_cache: CacheStats
     shard_stats: tuple[ServiceStats, ...]
 
     @property
     def expansion_cache(self) -> CacheStats:
         """All shard expansion caches summed into one aggregate view."""
-        per_shard = [stats.expansion_cache for stats in self.shard_stats]
-        return CacheStats(
-            hits=sum(c.hits for c in per_shard),
-            misses=sum(c.misses for c in per_shard),
-            evictions=sum(c.evictions for c in per_shard),
-            size=sum(c.size for c in per_shard),
-            max_size=sum(c.max_size for c in per_shard),
+        return CacheStats.aggregate(
+            [stats.expansion_cache for stats in self.shard_stats]
         )
 
     @property
@@ -105,6 +108,11 @@ class RouterStats:
             stats.expansion_cache.hit_rate for stats in self.shard_stats
         )
 
+    @property
+    def per_shard_inflight(self) -> tuple[int, ...]:
+        """Expansions currently inside each shard worker, in shard order."""
+        return tuple(stats.inflight for stats in self.shard_stats)
+
     def as_dict(self) -> dict:
         return {
             "shards": self.shards,
@@ -113,11 +121,13 @@ class RouterStats:
             "queries": self.queries,
             "batches": self.batches,
             "unlinked_queries": self.unlinked_queries,
+            "uptime_s": round(self.uptime_s, 3),
             "link_cache": self.link_cache.as_dict(),
             "expansion_cache": self.expansion_cache.as_dict(),
             "per_shard_hit_rates": [
                 round(rate, 4) for rate in self.per_shard_hit_rates
             ],
+            "per_shard_inflight": list(self.per_shard_inflight),
             "per_shard": [stats.as_dict() for stats in self.shard_stats],
         }
 
@@ -181,6 +191,7 @@ class ShardRouter:
                     expansion_cache_size, len(prefill[shard_id])
                 ),
                 allow_empty_index=True,
+                shard_id=shard_id,
             )
             for shard_id in range(snapshot.num_shards)
         ]
@@ -198,6 +209,10 @@ class ShardRouter:
         self._batches = 0
         self._unlinked = 0
         self._errors = 0
+        self._started = time.monotonic()
+        # Process-wide aggregates folded from per-request traces; the
+        # async front end shares this instance and /metrics renders it.
+        self.metrics = ServingMetrics()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -250,15 +265,28 @@ class ShardRouter:
         shard, rank across all segments."""
         started = time.perf_counter()
         self._account(requests=1)
+        trace = tracing.current_trace() or tracing.Trace()
+        error = False
         try:
-            normalized = self.normalize(text)
-            link, link_cached = self._link(normalized)
-            worker = self._workers[self.owner_shard(link.article_ids)]
-            expansion, expansion_cached = worker.expand_seeds(link.article_ids)
-            results = self._rank(normalized, expansion, top_k)
+            with tracing.start_trace(trace):
+                normalized = self.normalize(text)
+                with tracing.span("link") as span:
+                    link, link_cached = self._link(normalized)
+                    span["cached"] = link_cached
+                worker = self._workers[self.owner_shard(link.article_ids)]
+                expansion, expansion_cached = worker.expand_seeds(link.article_ids)
+                results = self._rank(normalized, expansion, top_k)
         except Exception:
+            error = True
             self._account(errors=1)
             raise
+        finally:
+            self.metrics.observe_request(
+                "expand_query",
+                trace,
+                time.perf_counter() - started,
+                error=error,
+            )
         self._account(queries=1, unlinked=0 if link.article_ids else 1)
         return ServiceResponse(
             query=text,
@@ -269,6 +297,7 @@ class ShardRouter:
             link_cached=link_cached,
             expansion_cached=expansion_cached,
             latency_ms=(time.perf_counter() - started) * 1000.0,
+            trace=trace,
         )
 
     def batch_expand(self, texts: list[str], top_k: int = 10) -> list[ServiceResponse]:
@@ -280,52 +309,72 @@ class ShardRouter:
         """
         if not texts:
             return []
+        batch_started = time.perf_counter()
         self._account(requests=len(texts))
+        trace = tracing.current_trace() or tracing.Trace()
+        trace.annotate(batch=len(texts))
+        error = False
         try:
-            norm_by_text = {text: self.normalize(text) for text in dict.fromkeys(texts)}
-            normalized = [norm_by_text[text] for text in texts]
-            unique_norms = list(dict.fromkeys(normalized))
+            with tracing.start_trace(trace):
+                norm_by_text = {
+                    text: self.normalize(text) for text in dict.fromkeys(texts)
+                }
+                normalized = [norm_by_text[text] for text in texts]
+                unique_norms = list(dict.fromkeys(normalized))
 
-            links: dict[str, tuple[LinkResult, bool]] = {
-                norm: self._link(norm) for norm in unique_norms
-            }
+                with tracing.span("link", queries=len(unique_norms)):
+                    links: dict[str, tuple[LinkResult, bool]] = {
+                        norm: self._link(norm) for norm in unique_norms
+                    }
 
-            by_shard: dict[int, set[frozenset[int]]] = {}
-            for norm in unique_norms:
-                seeds = links[norm][0].article_ids
-                by_shard.setdefault(self.owner_shard(seeds), set()).add(seeds)
-            prefills = list(self._pool.map(
-                lambda item: self._workers[item[0]].prefill_expansions(item[1]),
-                by_shard.items(),
-            ))
-            computed_here: set[frozenset[int]] = \
-                set().union(*prefills) if prefills else set()
+                by_shard: dict[int, set[frozenset[int]]] = {}
+                for norm in unique_norms:
+                    seeds = links[norm][0].article_ids
+                    by_shard.setdefault(self.owner_shard(seeds), set()).add(seeds)
+                prefills = list(self._pool.map(
+                    tracing.carry_context(
+                        lambda item: self._workers[item[0]].prefill_expansions(item[1])
+                    ),
+                    by_shard.items(),
+                ))
+                computed_here: set[frozenset[int]] = \
+                    set().union(*prefills) if prefills else set()
 
-            by_norm: dict[str, ServiceResponse] = {}
-            for text, norm in zip(texts, normalized):
-                if norm in by_norm:
-                    continue
-                started = time.perf_counter()
-                link, link_cached = links[norm]
-                worker = self._workers[self.owner_shard(link.article_ids)]
-                expansion, expansion_cached = worker.expand_seeds(link.article_ids)
-                # The batch itself paid for pre-filled expansions: report cold.
-                if link.article_ids in computed_here:
-                    expansion_cached = False
-                results = self._rank(norm, expansion, top_k)
-                by_norm[norm] = ServiceResponse(
-                    query=text,
-                    normalized_query=norm,
-                    link=link,
-                    expansion=expansion,
-                    results=results,
-                    link_cached=link_cached,
-                    expansion_cached=expansion_cached,
-                    latency_ms=(time.perf_counter() - started) * 1000.0,
-                )
+                by_norm: dict[str, ServiceResponse] = {}
+                for text, norm in zip(texts, normalized):
+                    if norm in by_norm:
+                        continue
+                    started = time.perf_counter()
+                    link, link_cached = links[norm]
+                    worker = self._workers[self.owner_shard(link.article_ids)]
+                    expansion, expansion_cached = worker.expand_seeds(
+                        link.article_ids
+                    )
+                    # The batch itself paid for pre-filled expansions: report cold.
+                    if link.article_ids in computed_here:
+                        expansion_cached = False
+                    results = self._rank(norm, expansion, top_k)
+                    by_norm[norm] = ServiceResponse(
+                        query=text,
+                        normalized_query=norm,
+                        link=link,
+                        expansion=expansion,
+                        results=results,
+                        link_cached=link_cached,
+                        expansion_cached=expansion_cached,
+                        latency_ms=(time.perf_counter() - started) * 1000.0,
+                    )
         except Exception:
+            error = True
             self._account(errors=len(texts))
             raise
+        finally:
+            self.metrics.observe_request(
+                "batch_expand",
+                trace,
+                time.perf_counter() - batch_started,
+                error=error,
+            )
         self._account(
             batches=1,
             queries=len(normalized),
@@ -344,6 +393,7 @@ class ShardRouter:
                 batches=self._batches,
                 unlinked_queries=self._unlinked,
                 errors=self._errors,
+                uptime_s=time.monotonic() - self._started,
                 link_cache=self._link_cache.stats,
                 shard_stats=tuple(worker.stats() for worker in self._workers),
             )
@@ -434,20 +484,38 @@ class ShardRouter:
         return tuple(self._scatter_search(root, top_k))
 
     def _scatter_search(self, root: QueryNode, top_k: int) -> list[SearchResult]:
-        """Two-phase distributed ranking with exact global statistics."""
+        """Two-phase distributed ranking with exact global statistics.
+
+        Each fan-out call records a shard-labelled ``rank`` span
+        (``phase`` distinguishes the counts and score phases); the two
+        reduce steps record ``merge`` spans.  Trace context is carried
+        onto the pool threads explicitly.
+        """
+
+        def _counts(item):
+            shard_id, engine = item
+            with tracing.span("rank", shard=shard_id, phase="counts"):
+                return engine.leaf_collection_counts(root)
+
+        def _score(item):
+            shard_id, engine = item
+            with tracing.span("rank", shard=shard_id, phase="score"):
+                return engine.search_with_background(root, background, top_k)
+
         engines = [worker.engine for worker in self._workers]
         # Phase 1: local collection counts per scoring leaf, in parallel.
         per_segment = list(self._pool.map(
-            lambda engine: engine.leaf_collection_counts(root), engines
+            tracing.carry_context(_counts), enumerate(engines)
         ))
-        background = self.global_background(root, per_segment)
+        with tracing.span("merge", phase="background"):
+            background = self.global_background(root, per_segment)
         # Phase 2: every segment ranks its own documents under the shared
         # background; the merge preserves scores and global tie-breaks.
         ranked_lists = list(self._pool.map(
-            lambda engine: engine.search_with_background(root, background, top_k),
-            engines,
+            tracing.carry_context(_score), enumerate(engines)
         ))
-        return merge_ranked_lists(ranked_lists, top_k)
+        with tracing.span("merge", phase="topk"):
+            return merge_ranked_lists(ranked_lists, top_k)
 
     def __repr__(self) -> str:
         stats = self.stats()

@@ -37,6 +37,7 @@ from repro.core.expansion import (
 )
 from repro.errors import ServiceError
 from repro.linking.linker import EntityLinker, LinkResult
+from repro.obs import trace as tracing
 from repro.retrieval.compact import CompactIndex
 from repro.retrieval.engine import SearchEngine, SearchResult
 from repro.retrieval.qlang import CombineNode, TermNode
@@ -50,7 +51,13 @@ __all__ = ["ExpansionService", "ServiceResponse", "ServiceStats"]
 
 @dataclass(frozen=True, slots=True)
 class ServiceResponse:
-    """Everything the service knows about one answered query."""
+    """Everything the service knows about one answered query.
+
+    ``trace`` is the request-scoped :class:`repro.obs.trace.Trace` that
+    recorded this query's per-stage spans (None for batch members,
+    whose spans aggregate into one batch-level trace instead).
+    Coalesced responses share the computing request's trace.
+    """
 
     query: str
     normalized_query: str
@@ -60,6 +67,11 @@ class ServiceResponse:
     link_cached: bool
     expansion_cached: bool
     latency_ms: float
+    trace: tracing.Trace | None = None
+
+    def stage_totals_ms(self) -> dict[str, float]:
+        """Busy milliseconds per pipeline stage ({} without a trace)."""
+        return self.trace.stage_totals_ms() if self.trace is not None else {}
 
     @property
     def linked(self) -> bool:
@@ -118,12 +130,24 @@ class ServiceResponse:
             "link_cached": self.link_cached,
             "expansion_cached": self.expansion_cached,
             "latency_ms": round(self.latency_ms, 3),
+            # Always present (stable schema); {} when no per-request
+            # trace exists (batch members aggregate into a batch trace).
+            "stages": self.stage_totals_ms(),
+            **(
+                {"trace_id": self.trace.trace_id}
+                if self.trace is not None else {}
+            ),
         }
 
 
 @dataclass(frozen=True, slots=True)
 class ServiceStats:
-    """Point-in-time service counters."""
+    """Point-in-time service counters.
+
+    ``inflight`` is a gauge, not a counter: the number of expansions
+    executing (or waited on) inside this service at snapshot time.  It
+    is 0 on an idle service — zero-lookup-safe like the hit rates.
+    """
 
     queries: int
     batches: int
@@ -131,6 +155,7 @@ class ServiceStats:
     inflight_waits: int
     link_cache: CacheStats
     expansion_cache: CacheStats
+    inflight: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -138,6 +163,7 @@ class ServiceStats:
             "batches": self.batches,
             "unlinked_queries": self.unlinked_queries,
             "inflight_waits": self.inflight_waits,
+            "inflight": self.inflight,
             "link_cache": self.link_cache.as_dict(),
             "expansion_cache": self.expansion_cache.as_dict(),
         }
@@ -164,6 +190,9 @@ class ExpansionService:
         reject that (serving nothing is a misconfiguration), but a shard
         worker behind :class:`repro.service.router.ShardRouter` may own an
         empty index segment and still perform linking/expansion work.
+    shard_id:
+        The shard this worker serves under a router, used only to label
+        trace spans (``None`` for a standalone service).
     """
 
     def __init__(
@@ -177,6 +206,7 @@ class ExpansionService:
         link_cache_size: int = 4096,
         expansion_cache_size: int = 1024,
         allow_empty_index: bool = False,
+        shard_id: int | None = None,
     ) -> None:
         if engine.num_documents == 0 and not allow_empty_index:
             raise ServiceError("cannot serve from an engine with no indexed documents")
@@ -189,10 +219,12 @@ class ExpansionService:
         self._expansion_cache = LRUCache(expansion_cache_size)
         self._lock = threading.Lock()
         self._inflight: dict[frozenset[int], threading.Event] = {}
+        self._shard_id = shard_id
         self._queries = 0
         self._batches = 0
         self._unlinked = 0
         self._inflight_waits = 0
+        self._active = 0  # expansions currently inside _expand_seeds
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -260,12 +292,29 @@ class ExpansionService:
         return " ".join(self._engine.tokenizer.tokenize_phrase(text))
 
     def expand_query(self, text: str, top_k: int = 10) -> ServiceResponse:
-        """Answer one query: link, expand, rank."""
+        """Answer one query: link, expand, rank.
+
+        Always traced: a standalone service starts a request-scoped
+        trace of its own; under a router the router's trace is already
+        active and the spans recorded here land in it.
+        """
+        active = tracing.current_trace()
+        if active is not None:
+            return self._serve_one(text, top_k, active)
+        with tracing.start_trace() as trace:
+            return self._serve_one(text, top_k, trace)
+
+    def _serve_one(
+        self, text: str, top_k: int, trace: tracing.Trace
+    ) -> ServiceResponse:
         started = time.perf_counter()
         normalized = self.normalize(text)
-        link, link_cached = self._link(normalized)
+        with tracing.span("link", shard=self._shard_id) as span:
+            link, link_cached = self._link(normalized)
+            span["cached"] = link_cached
         expansion, expansion_cached = self._expand_seeds(link.article_ids)
-        results = self._rank(normalized, expansion, top_k)
+        with tracing.span("rank", shard=self._shard_id):
+            results = self._rank(normalized, expansion, top_k)
         with self._lock:
             self._queries += 1
             if not link.article_ids:
@@ -279,6 +328,7 @@ class ExpansionService:
             link_cached=link_cached,
             expansion_cached=expansion_cached,
             latency_ms=(time.perf_counter() - started) * 1000.0,
+            trace=trace,
         )
 
     def batch_expand(self, texts: list[str], top_k: int = 10) -> list[ServiceResponse]:
@@ -295,15 +345,26 @@ class ExpansionService:
         """
         if not texts:
             return []
+        if tracing.current_trace() is None:
+            # One trace aggregates the whole batch (members share the
+            # amortised pre-fill, so per-member stage attribution would
+            # be arbitrary); responses carry trace=None.
+            with tracing.start_trace() as trace:
+                trace.annotate(batch=len(texts))
+                return self._serve_batch(texts, top_k)
+        return self._serve_batch(texts, top_k)
+
+    def _serve_batch(self, texts: list[str], top_k: int) -> list[ServiceResponse]:
         # Dedupe raw strings first: repeated identical queries are common
         # in real batches and should not even pay repeated normalisation.
         norm_by_text = {text: self.normalize(text) for text in dict.fromkeys(texts)}
         normalized = [norm_by_text[text] for text in texts]
         unique_norms = list(dict.fromkeys(normalized))
 
-        links: dict[str, tuple[LinkResult, bool]] = {
-            norm: self._link(norm) for norm in unique_norms
-        }
+        with tracing.span("link", shard=self._shard_id, queries=len(unique_norms)):
+            links: dict[str, tuple[LinkResult, bool]] = {
+                norm: self._link(norm) for norm in unique_norms
+            }
 
         # Pre-fill the expansion cache for all distinct, uncached, non-empty
         # entity sets in one amortised pass.
@@ -321,7 +382,8 @@ class ExpansionService:
                 # "cached" from the caller's perspective: the batch paid for it.
                 if link.article_ids in computed_here:
                     expansion_cached = False
-                results = self._rank(norm, expansion, top_k)
+                with tracing.span("rank", shard=self._shard_id):
+                    results = self._rank(norm, expansion, top_k)
                 by_norm[norm] = ServiceResponse(
                     query=text,
                     normalized_query=norm,
@@ -351,6 +413,7 @@ class ExpansionService:
                 inflight_waits=self._inflight_waits,
                 link_cache=self._link_cache.stats,
                 expansion_cache=self._expansion_cache.stats,
+                inflight=self._active,
             )
 
     def clear_caches(self) -> None:
@@ -410,7 +473,11 @@ class ExpansionService:
         pending = self._claim_pending({frozenset(seeds) for seeds in seed_sets})
         if pending:
             try:
-                for seeds, result in zip(pending, batch_expand(self._graph, pending)):
+                with tracing.span(
+                    "cycle_mine", shard=self._shard_id, batch=len(pending)
+                ):
+                    expansions = list(batch_expand(self._graph, pending))
+                for seeds, result in zip(pending, expansions):
                     self._expansion_cache.put(seeds, result)
                     computed_here.add(seeds)
             finally:
@@ -432,14 +499,30 @@ class ExpansionService:
     def _expand_seeds(self, seeds: frozenset[int]) -> tuple[ExpansionResult, bool]:
         """Expansion for one entity set, deduplicating in-flight work.
 
-        The winner of the race computes and publishes to the cache; losers
-        wait on its event and re-read.  If the winner fails, its event is
-        still set and a waiter takes over the computation.
+        Records the ``expand`` span (cache tier in its ``cached`` label)
+        and counts toward the ``inflight`` gauge while executing.
         """
         if not seeds:
             return ExpansionResult(
                 seed_articles=frozenset(), article_ids=frozenset(), titles=()
             ), False
+        with self._lock:
+            self._active += 1
+        try:
+            with tracing.span("expand", shard=self._shard_id) as span:
+                result, cached = self._expand_seeds_locked(seeds)
+                span["cached"] = cached
+                return result, cached
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def _expand_seeds_locked(
+        self, seeds: frozenset[int]
+    ) -> tuple[ExpansionResult, bool]:
+        """The winner of the in-flight race computes and publishes to the
+        cache; losers wait on its event and re-read.  If the winner
+        fails, its event is still set and a waiter takes over."""
         while True:
             cached = self._expansion_cache.get(seeds)
             if cached is not None:
@@ -456,7 +539,8 @@ class ExpansionService:
                 self._inflight_waits += 1
             event.wait()
         try:
-            result = self._expander.expand(self._graph, seeds)
+            with tracing.span("cycle_mine", shard=self._shard_id):
+                result = self._expander.expand(self._graph, seeds)
             self._expansion_cache.put(seeds, result)
             return result, False
         finally:

@@ -1,0 +1,118 @@
+"""Slow-query sampling: threshold, deterministic reservoir, sink lines."""
+
+import json
+
+import pytest
+
+from repro.obs.logs import RequestLog
+from repro.obs.trace import Trace
+
+
+def feed(log: RequestLog, latencies) -> None:
+    for latency in latencies:
+        log.record(endpoint="/expand", latency_ms=latency)
+
+
+class TestThreshold:
+    def test_fast_requests_only_count(self):
+        log = RequestLog(slow_ms=100.0)
+        assert log.record(endpoint="/expand", latency_ms=99.999) is False
+        assert log.requests == 1
+        assert log.slow == 0
+        assert log.entries() == []
+
+    def test_threshold_is_inclusive(self):
+        log = RequestLog(slow_ms=100.0)
+        assert log.record(endpoint="/expand", latency_ms=100.0) is True
+        assert log.slow == 1
+
+    def test_zero_threshold_samples_everything(self):
+        log = RequestLog(slow_ms=0.0)
+        assert log.record(endpoint="/expand", latency_ms=0.0) is True
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RequestLog(capacity=0)
+        with pytest.raises(ValueError):
+            RequestLog(slow_ms=-1.0)
+
+
+class TestReservoirDeterminism:
+    STREAM = [150.0, 110.0, 300.0, 110.0, 210.0, 120.0, 500.0, 105.0]
+
+    def test_same_stream_yields_the_same_reservoir(self):
+        first, second = RequestLog(slow_ms=100, capacity=3), \
+            RequestLog(slow_ms=100, capacity=3)
+        feed(first, self.STREAM)
+        feed(second, self.STREAM)
+        assert first.entries() == second.entries()
+
+    def test_slowest_k_are_retained_in_order(self):
+        log = RequestLog(slow_ms=100, capacity=3)
+        feed(log, self.STREAM)
+        assert [e["latency_ms"] for e in log.entries()] == [500.0, 300.0, 210.0]
+        assert log.slow == len(self.STREAM)
+
+    def test_ties_break_toward_the_earlier_request(self):
+        log = RequestLog(slow_ms=100, capacity=2)
+        feed(log, [110.0, 110.0, 110.0])
+        kept = log.entries()
+        # seq 3 was displaced: equal latency, later arrival loses.
+        assert [e["seq"] for e in kept] == [1, 2]
+
+    def test_sequence_numbers_count_all_requests_not_just_slow(self):
+        log = RequestLog(slow_ms=100, capacity=4)
+        feed(log, [10.0, 200.0, 10.0, 300.0])
+        assert [e["seq"] for e in log.entries()] == [4, 2]
+        assert log.requests == 4
+
+    def test_snapshot_shape(self):
+        log = RequestLog(slow_ms=100, capacity=2)
+        feed(log, [50.0, 150.0])
+        snapshot = log.snapshot()
+        assert snapshot["threshold_ms"] == 100.0
+        assert snapshot["requests"] == 2
+        assert snapshot["slow"] == 1
+        assert snapshot["reservoir_capacity"] == 2
+        assert len(snapshot["entries"]) == 1
+
+
+class TestEntryContents:
+    def test_trace_contributes_id_and_stage_totals(self):
+        trace = Trace(trace_id="t-slow")
+        trace.add("link", 1.0)
+        trace.add("rank", 2.0, shard=0)
+        trace.add("rank", 3.0, shard=1)
+        log = RequestLog(slow_ms=0.0)
+        log.record(endpoint="/expand", latency_ms=6.0, status=200,
+                   query="graph mining", trace=trace)
+        (entry,) = log.entries()
+        assert entry["trace_id"] == "t-slow"
+        assert entry["stage_ms"] == {"link": 1.0, "rank": 5.0}
+        assert entry["status"] == 200
+        assert entry["query"] == "graph mining"
+
+    def test_serialised_trace_id_and_stages_accepted_directly(self):
+        log = RequestLog(slow_ms=0.0)
+        log.record(endpoint="/expand", latency_ms=5.0,
+                   trace_id="t-wire", stages={"link": 0.5})
+        (entry,) = log.entries()
+        assert entry["trace_id"] == "t-wire"
+        assert entry["stage_ms"] == {"link": 0.5}
+
+    def test_sink_gets_one_json_line_per_slow_request(self):
+        lines: list[str] = []
+        log = RequestLog(slow_ms=100.0, sink=lines.append)
+        feed(log, [50.0, 150.0, 60.0, 250.0])
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["latency_ms"] for p in parsed] == [150.0, 250.0]
+        assert all(p["event"] == "slow_query" for p in parsed)
+        assert all(line.endswith("\n") for line in lines)
+
+    def test_sink_lines_survive_reservoir_eviction(self):
+        lines: list[str] = []
+        log = RequestLog(slow_ms=100.0, capacity=1, sink=lines.append)
+        feed(log, [150.0, 300.0])
+        assert len(lines) == 2  # the log is append-only ...
+        assert [e["latency_ms"] for e in log.entries()] == [300.0]  # summary

@@ -1,0 +1,193 @@
+"""Metrics primitives: bucket math, exposition render, parse-back."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    parse_prometheus_text,
+)
+
+
+class TestHistogramBucketMath:
+    def test_observation_lands_in_first_bucket_with_bound_at_or_above(self):
+        hist = Histogram("h", "help", buckets=(0.1, 0.5, 1.0))
+        hist.observe(0.05)   # below the first bound
+        hist.observe(0.1)    # exactly on a bound: le semantics include it
+        hist.observe(0.3)
+        hist.observe(1.0)
+        cumulative, total, count = hist.snapshot()
+        # buckets are cumulative: le=0.1, le=0.5, le=1.0, +Inf
+        assert cumulative == [2, 3, 4, 4]
+        assert count == 4
+        assert total == pytest.approx(0.05 + 0.1 + 0.3 + 1.0)
+
+    def test_overflow_lands_only_in_inf_bucket(self):
+        hist = Histogram("h", "help", buckets=(0.1, 0.5))
+        hist.observe(7.0)
+        cumulative, _, count = hist.snapshot()
+        assert cumulative == [0, 0, 1]
+        assert count == 1
+
+    def test_empty_series_snapshot_is_zeroes(self):
+        hist = Histogram("h", "help", buckets=(0.1,))
+        assert hist.snapshot() == ([0, 0], 0.0, 0)
+
+    def test_labelled_series_are_independent(self):
+        hist = Histogram("h", "help", ("stage",), buckets=(1.0,))
+        hist.observe(0.5, stage="link")
+        hist.observe(2.0, stage="rank")
+        assert hist.snapshot(stage="link") == ([1, 1], 0.5, 1)
+        assert hist.snapshot(stage="rank") == ([0, 1], 2.0, 1)
+
+    def test_buckets_must_be_strictly_increasing_and_finite(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(0.5, math.inf))
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=())
+
+    def test_default_buckets_are_valid(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        Histogram("h", "help")  # must construct without error
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter("c_total", "help", ("path",))
+        counter.inc(path="a")
+        counter.inc(2, path="a")
+        assert counter.value(path="a") == 3
+        assert counter.value(path="never") == 0
+        with pytest.raises(ValueError):
+            counter.inc(-1, path="a")
+
+    def test_label_set_must_match_declaration_exactly(self):
+        counter = Counter("c_total", "help", ("path",))
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.inc(path="a", extra="b")
+
+    def test_gauge_sets_and_moves_both_ways(self):
+        gauge = Gauge("g", "help")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value() == 4
+
+
+class TestRegistry:
+    def test_reregistration_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("path",))
+        second = registry.counter("c_total", "help", ("path",))
+        assert first is second
+
+    def test_conflicting_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("path",))
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "help", ("path",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "help", ("other",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("9bad", "help")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "help", ("bad-label",))
+
+
+class TestRenderParseRoundTrip:
+    def test_full_document_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rt_requests_total", "Requests.", ("path",))
+        gauge = registry.gauge("rt_uptime_seconds", "Uptime.")
+        hist = registry.histogram(
+            "rt_latency_seconds", "Latency.", ("path",), buckets=(0.1, 1.0)
+        )
+        counter.inc(3, path="/expand")
+        counter.inc(path="/stats")
+        gauge.set(12.5)
+        hist.observe(0.05, path="/expand")
+        hist.observe(0.5, path="/expand")
+
+        parsed = parse_prometheus_text(registry.render())
+        samples = parsed["samples"]
+        key = lambda name, **labels: (name, frozenset(labels.items()))  # noqa: E731
+        assert samples[key("rt_requests_total", path="/expand")] == 3
+        assert samples[key("rt_requests_total", path="/stats")] == 1
+        assert samples[key("rt_uptime_seconds")] == 12.5
+        assert samples[key("rt_latency_seconds_bucket", path="/expand", le="0.1")] == 1
+        assert samples[key("rt_latency_seconds_bucket", path="/expand", le="1")] == 2
+        assert samples[key("rt_latency_seconds_bucket", path="/expand", le="+Inf")] == 2
+        assert samples[key("rt_latency_seconds_count", path="/expand")] == 2
+        assert samples[key("rt_latency_seconds_sum", path="/expand")] == \
+            pytest.approx(0.55)
+        assert parsed["types"]["rt_requests_total"] == "counter"
+        assert parsed["types"]["rt_uptime_seconds"] == "gauge"
+        assert parsed["types"]["rt_latency_seconds"] == "histogram"
+        assert parsed["helps"]["rt_requests_total"] == "Requests."
+
+    def test_label_values_with_quotes_and_newlines_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", "help", ("q",))
+        tricky = 'say "hi"\nback\\slash'
+        counter.inc(q=tricky)
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["samples"][("esc_total", frozenset({("q", tricky)}))] == 1
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not exposition\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text('name{unclosed="x} 1\n')
+        with pytest.raises(ValueError):
+            parse_prometheus_text("name 1 2 3\n")
+
+
+class TestHistogramQuantile:
+    def test_interpolates_inside_the_target_bucket(self):
+        # 10 observations <= 1.0, 10 more in (1.0, 2.0]: p50 = 1.0, p75 = 1.5
+        buckets = [(1.0, 10.0), (2.0, 20.0), (math.inf, 20.0)]
+        assert histogram_quantile(buckets, 0.5) == pytest.approx(1.0)
+        assert histogram_quantile(buckets, 0.75) == pytest.approx(1.5)
+        assert histogram_quantile(buckets, 1.0) == pytest.approx(2.0)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        buckets = [(1.0, 0.0), (math.inf, 5.0)]
+        assert histogram_quantile(buckets, 0.99) == pytest.approx(1.0)
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile([], 0.5) == 0.0
+        assert histogram_quantile([(1.0, 0.0), (math.inf, 0.0)], 0.5) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([(1.0, 1.0)], 1.5)
+
+    def test_round_trip_from_rendered_histogram(self):
+        """Quantiles survive render -> parse -> quantile (the top path)."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("q_seconds", "help", buckets=(0.1, 0.2, 0.4))
+        for value in (0.05, 0.15, 0.15, 0.3):
+            hist.observe(value)
+        parsed = parse_prometheus_text(registry.render())
+        pairs = []
+        for (name, labels), value in parsed["samples"].items():
+            if name == "q_seconds_bucket":
+                bound = dict(labels)["le"]
+                upper = math.inf if bound == "+Inf" else float(bound)
+                pairs.append((upper, value))
+        assert histogram_quantile(pairs, 0.5) == pytest.approx(0.15, abs=0.05)

@@ -1,0 +1,116 @@
+"""ServingMetrics: folding traces into families, scrape-time gauges."""
+
+from types import SimpleNamespace
+
+from repro.obs.metrics import parse_prometheus_text
+from repro.obs.serving import ServingMetrics
+from repro.obs.trace import Trace
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    trace.add("link", 1.0, cached=True)
+    trace.add("expand", 4.0, shard=1, cached=False)
+    trace.add("cycle_mine", 3.5, shard=1)
+    trace.add("rank", 2.0, shard=0, phase="score")
+    trace.add("rank", 2.5, shard=1, phase="score")
+    trace.add("merge", 0.5, phase="topk")
+    return trace
+
+
+class TestObserveRequest:
+    def test_counters_and_histograms_advance(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("expand_query", make_trace(), 0.015)
+        assert metrics.requests.value(path="expand_query") == 1
+        assert metrics.errors.value(path="expand_query") == 0
+        _, total, count = metrics.request_latency.snapshot(path="expand_query")
+        assert (total, count) == (0.015, 1)
+        # Fan-out stage: two rank spans fold into one stage histogram ...
+        assert metrics.stage_latency.snapshot(stage="rank")[2] == 2
+        # ... and split per shard.
+        assert metrics.shard_stage_latency.snapshot(shard=0, stage="rank")[2] == 1
+        assert metrics.shard_stage_latency.snapshot(shard=1, stage="rank")[2] == 1
+        # Shardless spans only hit the stage family.
+        assert metrics.stage_latency.snapshot(stage="link")[2] == 1
+
+    def test_cache_outcomes_derive_from_span_labels(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("expand_query", make_trace(), 0.01)
+        assert metrics.cache_lookups.value(cache="link", result="hit") == 1
+        assert metrics.cache_lookups.value(cache="expansion", result="miss") == 1
+        assert metrics.cache_lookups.value(cache="expansion", result="hit") == 0
+
+    def test_spans_without_cached_label_do_not_count_as_lookups(self):
+        metrics = ServingMetrics()
+        trace = Trace()
+        trace.add("link", 1.0)  # e.g. the batched link pass
+        metrics.observe_request("batch_expand", trace, 0.01)
+        assert metrics.cache_lookups.value(cache="link", result="hit") == 0
+        assert metrics.cache_lookups.value(cache="link", result="miss") == 0
+
+    def test_error_requests_count_twice(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("expand_query", None, 0.002, error=True)
+        assert metrics.requests.value(path="expand_query") == 1
+        assert metrics.errors.value(path="expand_query") == 1
+
+    def test_traceless_request_still_observes_latency(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("batch_expand", None, 0.02)
+        assert metrics.request_latency.snapshot(path="batch_expand")[2] == 1
+
+
+class TestScrapeTimeGauges:
+    def test_update_from_stats_refreshes_gauges(self):
+        metrics = ServingMetrics()
+        stats = SimpleNamespace(
+            uptime_s=12.3456,
+            requests_total=10,
+            queries=7,
+            errors=1,
+            per_shard_inflight=[2, 0],
+        )
+        metrics.update_from_stats(stats)
+        assert metrics.uptime.value() == 12.346
+        assert metrics.inflight.value() == 2  # 10 offered - 7 done - 1 failed
+        assert metrics.shard_inflight.value(shard=0) == 2
+        assert metrics.shard_inflight.value(shard=1) == 0
+
+    def test_inflight_clamps_at_zero(self):
+        metrics = ServingMetrics()
+        stats = SimpleNamespace(
+            uptime_s=1.0, requests_total=5, queries=5, errors=1,
+            per_shard_inflight=[],
+        )
+        metrics.update_from_stats(stats)
+        assert metrics.inflight.value() == 0
+
+
+class TestExposition:
+    def test_render_parses_back_with_all_families(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("expand_query", make_trace(), 0.015)
+        metrics.update_from_stats(SimpleNamespace(
+            uptime_s=3.0, requests_total=1, queries=1, errors=0,
+            per_shard_inflight=[0, 0],
+        ))
+        parsed = parse_prometheus_text(metrics.render())
+        for family in (
+            "repro_requests_total",
+            "repro_errors_total",
+            "repro_request_seconds",
+            "repro_stage_seconds",
+            "repro_shard_stage_seconds",
+            "repro_cache_lookups_total",
+            "repro_inflight_requests",
+            "repro_shard_inflight",
+            "repro_uptime_seconds",
+        ):
+            assert family in parsed["types"], family
+
+    def test_two_routers_can_share_one_registry(self):
+        first = ServingMetrics()
+        second = ServingMetrics(first.registry)  # idempotent re-registration
+        second.requests.inc(path="expand_query")
+        assert first.requests.value(path="expand_query") == 1

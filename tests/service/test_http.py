@@ -79,8 +79,20 @@ class TestEndpoints:
         assert payload["status"] == "ok"
         assert payload["shards"] == 2
         assert payload["snapshot"] == "test layout line"
-        assert payload["requests_total"] >= 0
-        assert payload["errors"] >= 0
+        # The ambiguous "requests_total" key was split by plane.
+        assert "requests_total" not in payload
+        assert payload["http_requests_total"] >= 1
+        assert payload["router_requests_total"] >= 0
+        assert payload["http_errors"] >= 0
+        assert payload["router_errors"] >= 0
+        assert isinstance(payload["errors_by_status"], dict)
+        assert payload["uptime_s"] >= 0
+        assert set(payload["hit_rates"]) == {"link", "expansion"}
+        assert len(payload["per_shard"]) == 2
+        for shard_id, shard in enumerate(payload["per_shard"]):
+            assert shard["shard"] == shard_id
+            assert shard["inflight"] >= 0
+            assert 0.0 <= shard["expansion_hit_rate"] <= 1.0
 
     def test_expand_round_trips_bit_identical(
         self, small_benchmark, server, sync_reference

@@ -11,7 +11,12 @@ End to end, as a real deployment would run it:
    the same snapshot directory and diff the JSON against it — doc ids,
    scores (bit-exact after the JSON round trip), expansion sets and
    titles must all match;
-5. shut the server down and fail loudly if anything differed.
+5. ``GET /metrics`` and round-trip the Prometheus exposition through
+   :func:`repro.obs.parse_prometheus_text`; the stage histograms and
+   the HTTP request counter must be non-zero after the ``/expand``;
+6. render one ``repro top --once`` dashboard frame against the live
+   server (the scriptable mode operators pipe to files);
+7. shut the server down and fail loudly if anything differed.
 
 Run from the repo root with ``PYTHONPATH=src`` (CI does).
 """
@@ -19,6 +24,7 @@ Run from the repo root with ``PYTHONPATH=src`` (CI does).
 from __future__ import annotations
 
 import json
+import os
 import re
 import signal
 import subprocess
@@ -71,6 +77,66 @@ def get_json(url: str, payload: dict | None = None) -> dict:
     )
     with urllib.request.urlopen(request, timeout=60) as response:
         return json.load(response)
+
+
+def get_text(url: str) -> tuple[str, str]:
+    """Plain GET; returns (body, content-type)."""
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return (
+            response.read().decode("utf-8"),
+            response.headers.get("Content-Type", ""),
+        )
+
+
+def check_metrics(base: str, failures: list[str]) -> None:
+    """GET /metrics must serve parseable exposition with live counters."""
+    from repro.obs import parse_prometheus_text
+
+    text, content_type = get_text(f"{base}/metrics")
+    if not content_type.startswith("text/plain"):
+        failures.append(f"/metrics content type is {content_type!r}, not text")
+    try:
+        parsed = parse_prometheus_text(text)
+    except ValueError as error:
+        failures.append(f"/metrics is not valid exposition text: {error}")
+        return
+
+    def sample(name: str, **labels) -> float:
+        for (candidate, labelset), value in parsed["samples"].items():
+            if candidate == name and dict(labelset) == labels:
+                return value
+        return 0.0
+
+    if sample("repro_requests_total", path="expand_query") < 1:
+        failures.append("repro_requests_total{path=expand_query} is zero")
+    if sample("repro_http_requests_total", endpoint="/expand") < 1:
+        failures.append("repro_http_requests_total{endpoint=/expand} is zero")
+    for stage in ("link", "expand", "rank", "merge"):
+        if sample("repro_stage_seconds_count", stage=stage) < 1:
+            failures.append(f"stage counter {stage!r} is zero after /expand")
+    if sample("repro_uptime_seconds") <= 0:
+        failures.append("repro_uptime_seconds gauge was not refreshed")
+    print(f"metrics: {len(parsed['samples'])} samples, "
+          f"stage counters live — exposition parses back")
+
+
+def check_top_once(base: str, failures: list[str]) -> None:
+    """`repro top --once` must render one frame against the live server."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "top", base, "--once"],
+        cwd=ROOT, capture_output=True, text=True, timeout=120,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    if result.returncode != 0:
+        failures.append(
+            f"repro top --once exited {result.returncode}: {result.stderr}"
+        )
+        return
+    frame = result.stdout
+    for needle in ("repro top", "router", "stage"):
+        if needle not in frame:
+            failures.append(f"top frame is missing {needle!r}:\n{frame}")
+    print("top: one-shot dashboard frame rendered")
 
 
 def main() -> int:
@@ -127,8 +193,21 @@ def main() -> int:
                   f"linked={served['linked']} — matches in-process router")
 
             after = get_json(f"{base}/healthz")
-            if after.get("requests_total", 0) < 1:
-                failures.append(f"requests_total did not advance: {after}")
+            if after.get("http_requests_total", 0) < 1:
+                failures.append(f"http_requests_total did not advance: {after}")
+            if after.get("router_requests_total", 0) < 1:
+                failures.append(
+                    f"router_requests_total did not advance: {after}"
+                )
+            if "requests_total" in after:
+                failures.append(
+                    f"healthz still carries the ambiguous requests_total key: "
+                    f"{after}"
+                )
+            if not after.get("per_shard"):
+                failures.append(f"healthz per_shard breakdown missing: {after}")
+            check_metrics(base, failures)
+            check_top_once(base, failures)
             router.close()
         finally:
             proc.send_signal(signal.SIGINT)
@@ -142,7 +221,8 @@ def main() -> int:
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("HTTP smoke ok: /healthz and /expand match the synchronous path")
+    print("HTTP smoke ok: /healthz, /expand, /metrics and repro top agree "
+          "with the synchronous path")
     return 0
 
 
