@@ -17,7 +17,8 @@ from repro.core.analysis import (
     frequency_contribution_correlation,
     linear_trend,
 )
-from repro.core.cycles import Cycle, CycleFinder, find_cycles
+from repro.core.cycle_kernels import KernelBall
+from repro.core.cycles import Cycle, CycleFinder, find_cycles, resolve_engine
 from repro.core.expansion import (
     CycleExpander,
     DirectLinkExpander,
@@ -62,7 +63,9 @@ __all__ = [
     "build_query_graph",
     "Cycle",
     "CycleFinder",
+    "KernelBall",
     "find_cycles",
+    "resolve_engine",
     "CycleFeatures",
     "compute_features",
     "count_edges",

@@ -1,0 +1,727 @@
+"""Length-specialised cycle-mining kernels over bitset adjacency.
+
+The general DFS of :mod:`repro.core.cycles` dominates cold serving
+latency: profiling shows ~90 % of a cold ``cycle_mine`` span inside the
+recursive path walk.  The input, however, is always a *query ball* — a
+few hundred nodes — so each node's neighbour row fits in a handful of
+machine words.  This module freezes the ball once per query into dense
+bitset rows and replaces the DFS with one closed-form kernel per cycle
+length of the paper's range L ∈ {2..5}, a semijoin-style reduction in
+the spirit of Leinders & Van den Bussche's semijoin algebra: every
+inner DFS level becomes one bitwise AND between precomputed rows.
+
+**Relabeling.**  Ball nodes are interned to ``0..n-1`` ordered by
+``(degree, node_id)`` ascending.  Degree ordering makes the canonical
+root of most cycles a low-degree node, so the ``> root`` pruning masks
+strip the dense rows hardest — the same orientation trick degeneracy-
+ordered triangle counting uses.  Per label the ball stores Python-int
+bitsets: the undirected redirect-free row ``adj``, the directed article
+link row ``link_out``, the antiparallel-link row ``mutual``, the
+article→category row ``belongs`` and the undirected category
+containment row ``inside``, plus one ``articles`` mask for the whole
+ball.
+
+**Kernels.**  With ``above(x) = -1 << (x + 1)`` (all labels ``> x``):
+
+* L=2 — antiparallel-pair scan: for each article ``u``, every set bit
+  of ``mutual[u] & above(u)`` is one 2-cycle.
+* L=3 — for root ``r`` and ``a ∈ adj[r] & above(r)``, every bit of
+  ``adj[r] & adj[a] & above(a)`` closes a triangle ``(r, a, b)``.
+* L=4 — for ``a < c`` both in ``adj[r] & above(r)``, every bit of
+  ``adj[a] & adj[c] & above(r)`` minus ``{a, c}`` is a valid ``b`` of
+  ``(r, a, b, c)``.
+* L=5 — for ``a < d`` both in ``adj[r] & above(r)`` and
+  ``b ∈ adj[a] & above(r), b ≠ d``, every bit of
+  ``adj[b] & adj[d] & above(r)`` minus ``{a}`` is a valid ``c`` of
+  ``(r, a, b, c, d)``.
+
+**Canonical-order proof sketch.**  The DFS emits each simple cycle
+exactly once as the tuple rooted at its minimum node id, every other
+node exceeding the root, oriented so ``path[1] < path[-1]``.  Each
+kernel enumerates, per root label ``r``, exactly the tuples whose
+labels all exceed ``r``, whose consecutive pairs (and the closing pair)
+are adjacent, whose nodes are pairwise distinct, and whose second label
+is below the last — the same three constraints in *label* space, so
+each rotation/reflection class is produced exactly once.  Because the
+degree order permutes labels away from id order, each emitted label
+tuple is mapped back to node ids and re-rooted at the minimum *id* in
+the direction with the smaller second id (:func:`_canonical_nodes`),
+which is precisely the DFS representative.  The caller sorts by
+``(length, nodes)`` exactly as :meth:`CycleFinder.find` does, so the
+final list is bit-identical.
+
+Counting (:meth:`KernelBall.count_by_length`) never materialises
+tuples: the innermost level of each kernel collapses to
+``popcount`` — ``int.bit_count`` — of the candidate row (masked by the
+anchor row unless an earlier path node is already an anchor).
+
+The ball builds from any WikiGraph-shaped object; graphs exposing
+``kernel_csr()`` (the compact CSR read path —
+:class:`repro.wiki.compact.CompactGraphView` and its keep-set
+subgraphs) are ingested straight from their int32 target/kind arrays
+without decoding frozensets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import AnalysisError
+
+__all__ = ["KernelBall", "KERNEL_MAX_LENGTH"]
+
+# Kernels are specialised for the paper's lengths; beyond 5 the general
+# DFS takes over (see repro.core.cycles.resolve_engine).
+KERNEL_MAX_LENGTH = 5
+
+# Edge-kind bits of the compact CSR (mirrors repro.wiki.compact, which
+# core must not import at module level; a unit test asserts the sync).
+_LINK_OUT = 1
+_LINK_IN = 2
+_BELONGS = 4
+_INSIDE = 16 | 32  # INSIDE_PARENT | INSIDE_CHILD
+_FLAG_ARTICLE = 1
+
+
+def _iter_bits(bits: int) -> Iterator[int]:
+    """Yield set-bit positions of ``bits``, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def _canonical_nodes(nodes: tuple[int, ...]) -> tuple[int, ...]:
+    """Re-root a cyclic node sequence at its minimum id, oriented so the
+    second node is smaller than the last — the DFS representative."""
+    length = len(nodes)
+    pivot = min(range(length), key=nodes.__getitem__)
+    if nodes[(pivot + 1) % length] < nodes[pivot - 1]:
+        return tuple(nodes[(pivot + k) % length] for k in range(length))
+    return tuple(nodes[(pivot - k) % length] for k in range(length))
+
+
+class KernelBall:
+    """One query ball frozen into degree-ordered bitset rows."""
+
+    __slots__ = (
+        "n", "ids", "_label_of", "adj", "link_out", "mutual",
+        "belongs", "inside", "articles",
+    )
+
+    def __init__(
+        self,
+        ids: list[int],
+        adj: list[int],
+        link_out: list[int],
+        mutual: list[int],
+        belongs: list[int],
+        inside: list[int],
+        articles: int,
+    ) -> None:
+        self.n = len(ids)
+        self.ids = ids  # ids[label] -> original node id
+        self._label_of = {node_id: label for label, node_id in enumerate(ids)}
+        self.adj = adj
+        self.link_out = link_out
+        self.mutual = mutual
+        self.belongs = belongs
+        self.inside = inside
+        self.articles = articles
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph) -> "KernelBall":
+        """Freeze ``graph`` (any WikiGraph-shaped object) into a ball.
+
+        Graphs exposing ``kernel_csr()`` feed their int32 CSR rows in
+        directly; everything else goes through the typed adjacency API.
+        """
+        raw = getattr(graph, "kernel_csr", None)
+        if raw is not None:
+            return cls._from_csr(*raw())
+        return cls._from_api(graph)
+
+    @classmethod
+    def _from_csr(
+        cls, node_ids, index_of, offsets, targets, kinds, flags, keep
+    ) -> "KernelBall":
+        """Build from raw compact-CSR arrays, no frozenset decode.
+
+        ``keep`` restricts to a ball (``None`` = the whole view);
+        ``targets`` holds *base indices* into ``node_ids``.
+        """
+        if keep is None:
+            ball_ids = list(node_ids)
+            base_rows = range(len(ball_ids))
+            in_ball = None
+        else:
+            ball_ids = sorted(keep)
+            base_rows = [index_of[node_id] for node_id in ball_ids]
+            in_ball = set(base_rows)
+
+        # Pass 1: ball-restricted degree per node, for the label order.
+        degrees = []
+        for base in base_rows:
+            count = 0
+            for slot in range(offsets[base], offsets[base + 1]):
+                target = targets[slot]
+                if target != base and (in_ball is None or target in in_ball):
+                    count += 1
+            degrees.append(count)
+
+        order = sorted(
+            range(len(ball_ids)), key=lambda p: (degrees[p], ball_ids[p])
+        )
+        ids = [ball_ids[p] for p in order]
+        base_rows = list(base_rows)
+        label_of_base = {
+            base_rows[p]: label for label, p in enumerate(order)
+        }
+
+        n = len(ids)
+        adj = [0] * n
+        link_out = [0] * n
+        mutual = [0] * n
+        belongs = [0] * n
+        inside = [0] * n
+        articles = 0
+        both_links = _LINK_OUT | _LINK_IN
+
+        # Pass 2: bitset rows in final label order.
+        for label, p in enumerate(order):
+            base = base_rows[p]
+            if flags[base] & _FLAG_ARTICLE:
+                articles |= 1 << label
+            adj_bits = out_bits = mutual_bits = belongs_bits = inside_bits = 0
+            for slot in range(offsets[base], offsets[base + 1]):
+                target = targets[slot]
+                if target == base:
+                    continue
+                neighbor = label_of_base.get(target)
+                if neighbor is None:
+                    continue
+                bit = 1 << neighbor
+                adj_bits |= bit
+                kind = kinds[slot]
+                if kind & _LINK_OUT:
+                    out_bits |= bit
+                    if kind & _LINK_IN:
+                        mutual_bits |= bit
+                if kind & _BELONGS:
+                    belongs_bits |= bit
+                if kind & _INSIDE:
+                    inside_bits |= bit
+            adj[label] = adj_bits
+            link_out[label] = out_bits
+            mutual[label] = mutual_bits
+            belongs[label] = belongs_bits
+            inside[label] = inside_bits
+
+        return cls(ids, adj, link_out, mutual, belongs, inside, articles)
+
+    @classmethod
+    def _from_api(cls, graph) -> "KernelBall":
+        """Build through the typed adjacency API (dict-backed graphs)."""
+        sorted_ids = sorted(graph.node_ids())
+        neighbor_sets = [
+            graph.undirected_neighbors(node_id) for node_id in sorted_ids
+        ]
+        order = sorted(
+            range(len(sorted_ids)),
+            key=lambda p: (len(neighbor_sets[p]), sorted_ids[p]),
+        )
+        ids = [sorted_ids[p] for p in order]
+        label_of = {node_id: label for label, node_id in enumerate(ids)}
+
+        n = len(ids)
+        adj = [0] * n
+        link_out = [0] * n
+        link_in = [0] * n
+        belongs = [0] * n
+        inside = [0] * n
+        articles = 0
+
+        for label, p in enumerate(order):
+            node_id = ids[label]
+            bits = 0
+            for neighbor_id in neighbor_sets[p]:
+                neighbor = label_of.get(neighbor_id)
+                if neighbor is not None and neighbor != label:
+                    bits |= 1 << neighbor
+            adj[label] = bits
+            if graph.is_article(node_id):
+                articles |= 1 << label
+                out_bits = 0
+                for target_id in graph.links_from(node_id):
+                    target = label_of.get(target_id)
+                    if target is not None and target != label:
+                        bit = 1 << target
+                        out_bits |= bit
+                        link_in[target] |= 1 << label
+                link_out[label] = out_bits
+                belongs_bits = 0
+                for category_id in graph.categories_of(node_id):
+                    category = label_of.get(category_id)
+                    if category is not None:
+                        belongs_bits |= 1 << category
+                belongs[label] = belongs_bits
+            else:
+                inside_bits = 0
+                for other_id in graph.parents_of(node_id):
+                    other = label_of.get(other_id)
+                    if other is not None:
+                        inside_bits |= 1 << other
+                for other_id in graph.children_of(node_id):
+                    other = label_of.get(other_id)
+                    if other is not None:
+                        inside_bits |= 1 << other
+                inside[label] = inside_bits
+
+        mutual = [out & link_in[label] for label, out in enumerate(link_out)]
+        return cls(ids, adj, link_out, mutual, belongs, inside, articles)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def anchors_mask(self, anchors: Iterable[int] | None) -> int | None:
+        """Anchor set as a label bitset (ids outside the ball drop out);
+        ``None`` means no filtering, 0 means nothing can qualify."""
+        if anchors is None:
+            return None
+        label_of = self._label_of
+        mask = 0
+        for node_id in anchors:
+            label = label_of.get(node_id)
+            if label is not None:
+                mask |= 1 << label
+        return mask
+
+    @staticmethod
+    def _overflow(max_cycles: int) -> AnalysisError:
+        return AnalysisError(
+            f"more than {max_cycles} cycles; "
+            "pass a smaller graph or raise max_cycles"
+        )
+
+    # ------------------------------------------------------------------
+    # Per-length kernels (label-tuple generators)
+    # ------------------------------------------------------------------
+
+    def _pairs(self) -> Iterator[tuple[int, int]]:
+        mutual = self.mutual
+        for u in _iter_bits(self.articles):
+            for v in _iter_bits(mutual[u] & (-1 << (u + 1))):
+                yield (u, v)
+
+    def _triangles(self) -> Iterator[tuple[int, int, int]]:
+        adj = self.adj
+        for r in range(self.n):
+            row = adj[r]
+            for a in _iter_bits(row & (-1 << (r + 1))):
+                for b in _iter_bits(row & adj[a] & (-1 << (a + 1))):
+                    yield (r, a, b)
+
+    def _quads(self) -> Iterator[tuple[int, int, int, int]]:
+        adj = self.adj
+        for r in range(self.n):
+            above_root = -1 << (r + 1)
+            row = adj[r] & above_root
+            for a in _iter_bits(row):
+                row_a = adj[a] & above_root
+                for c in _iter_bits(row & (-1 << (a + 1))):
+                    candidates = row_a & adj[c] & ~(1 << c)
+                    for b in _iter_bits(candidates):
+                        yield (r, a, b, c)
+
+    def _pentas(self) -> Iterator[tuple[int, int, int, int, int]]:
+        adj = self.adj
+        for r in range(self.n):
+            above_root = -1 << (r + 1)
+            row = adj[r] & above_root
+            for a in _iter_bits(row):
+                not_a = ~(1 << a)
+                row_a = adj[a] & above_root
+                for d in _iter_bits(row & (-1 << (a + 1))):
+                    row_d = adj[d] & above_root & not_a
+                    for b in _iter_bits(row_a & ~(1 << d)):
+                        for c in _iter_bits(adj[b] & row_d):
+                            yield (r, a, b, c, d)
+
+    def _kernels(
+        self, min_length: int, max_length: int
+    ) -> Iterator[Iterator[tuple[int, ...]]]:
+        if min_length <= 2 <= max_length:
+            yield self._pairs()
+        if min_length <= 3 <= max_length:
+            yield self._triangles()
+        if min_length <= 4 <= max_length:
+            yield self._quads()
+        if min_length <= 5 <= max_length:
+            yield self._pentas()
+
+    # ------------------------------------------------------------------
+    # Mining entry points
+    # ------------------------------------------------------------------
+
+    def find(
+        self,
+        min_length: int,
+        max_length: int,
+        anchors: Iterable[int] | None,
+        max_cycles: int,
+    ) -> list[tuple[int, ...]]:
+        """Canonical node-id tuples of every (anchored) cycle, unsorted."""
+        anchor_bits = self.anchors_mask(anchors)
+        ids = self.ids
+        out: list[tuple[int, ...]] = []
+        emitted = 0
+        for kernel in self._kernels(min_length, max_length):
+            for labels in kernel:
+                if anchor_bits is not None:
+                    mask = 0
+                    for label in labels:
+                        mask |= 1 << label
+                    if not mask & anchor_bits:
+                        continue
+                emitted += 1
+                if emitted > max_cycles:
+                    raise self._overflow(max_cycles)
+                if len(labels) == 2:
+                    u, v = ids[labels[0]], ids[labels[1]]
+                    out.append((u, v) if u < v else (v, u))
+                else:
+                    out.append(
+                        _canonical_nodes(tuple(ids[label] for label in labels))
+                    )
+        return out
+
+    def count_by_length(
+        self,
+        min_length: int,
+        max_length: int,
+        anchors: Iterable[int] | None,
+        max_cycles: int,
+    ) -> dict[int, int]:
+        """The cycle census without materialising a single tuple.
+
+        The innermost kernel level is replaced by a popcount of the
+        candidate row; when no node of the partial path is an anchor,
+        the row is masked by the anchor bitset first (exactly the
+        "cycle contains >= 1 anchor" rule, because only the last node
+        is still free)."""
+        anchor_bits = self.anchors_mask(anchors)
+        census = {
+            length: 0 for length in range(min_length, max_length + 1)
+        }
+        total = 0
+        adj = self.adj
+        no_filter = anchor_bits is None
+
+        if min_length <= 2 <= max_length:
+            mutual = self.mutual
+            count = 0
+            for u in _iter_bits(self.articles):
+                row = mutual[u] & (-1 << (u + 1))
+                if not no_filter and not (anchor_bits >> u) & 1:
+                    row &= anchor_bits
+                count += row.bit_count()
+            census[2] = count
+            total += count
+
+        if min_length <= 3 <= max_length:
+            count = 0
+            for r in range(self.n):
+                row = adj[r]
+                r_anchored = no_filter or (anchor_bits >> r) & 1
+                for a in _iter_bits(row & (-1 << (r + 1))):
+                    closing = row & adj[a] & (-1 << (a + 1))
+                    if not (r_anchored or (anchor_bits >> a) & 1):
+                        closing &= anchor_bits
+                    count += closing.bit_count()
+            census[3] = count
+            total += count
+
+        if min_length <= 4 <= max_length:
+            count = 0
+            for r in range(self.n):
+                above_root = -1 << (r + 1)
+                row = adj[r] & above_root
+                r_anchored = no_filter or (anchor_bits >> r) & 1
+                for a in _iter_bits(row):
+                    row_a = adj[a] & above_root
+                    a_anchored = r_anchored or (anchor_bits >> a) & 1
+                    for c in _iter_bits(row & (-1 << (a + 1))):
+                        candidates = row_a & adj[c] & ~(1 << c)
+                        if not (a_anchored or (anchor_bits >> c) & 1):
+                            candidates &= anchor_bits
+                        count += candidates.bit_count()
+            census[4] = count
+            total += count
+
+        if min_length <= 5 <= max_length:
+            count = 0
+            for r in range(self.n):
+                above_root = -1 << (r + 1)
+                row = adj[r] & above_root
+                r_anchored = no_filter or (anchor_bits >> r) & 1
+                for a in _iter_bits(row):
+                    not_a = ~(1 << a)
+                    row_a = adj[a] & above_root
+                    a_anchored = r_anchored or (anchor_bits >> a) & 1
+                    for d in _iter_bits(row & (-1 << (a + 1))):
+                        row_d = adj[d] & above_root & not_a
+                        d_anchored = a_anchored or (anchor_bits >> d) & 1
+                        for b in _iter_bits(row_a & ~(1 << d)):
+                            closing = adj[b] & row_d
+                            if not (d_anchored or (anchor_bits >> b) & 1):
+                                closing &= anchor_bits
+                            count += closing.bit_count()
+            census[5] = count
+            total += count
+
+        if total > max_cycles:
+            raise self._overflow(max_cycles)
+        return census
+
+    def find_features(
+        self,
+        min_length: int,
+        max_length: int,
+        anchors: Iterable[int] | None,
+        max_cycles: int,
+        accept=None,
+    ) -> list[tuple[tuple[int, ...], int, int]]:
+        """``(canonical_nodes, num_articles, num_edges)`` per cycle.
+
+        Edge counting follows the paper's ``M``-conventions exactly as
+        :func:`repro.core.features.count_edges` does — directed article
+        links individually, BELONGS once per pair, INSIDE once per
+        unordered category pair — each reduced to popcounts over one
+        merged edge row per node (article rows = LINK_OUT | BELONGS;
+        category rows = the symmetric INSIDE row, whose popcount sum
+        double-counts each pair and is halved at the end).
+
+        ``accept`` is an optional ``(length, num_articles, num_edges) ->
+        bool`` predicate; rejected cycles are dropped *before* the id
+        mapping and canonicalisation — the expander's filters typically
+        reject most of the ball's cycles, so this is where the cold path
+        stops paying for tuples nobody keeps.  The ``max_cycles``
+        tripwire counts every anchored cycle regardless of ``accept``,
+        so both engines fire it at the identical total.
+
+        This is the hottest loop of a cold expansion; the per-length
+        kernels are inlined (no generators) with the anchor row folded
+        into the innermost candidate mask whenever no prefix node is
+        anchored.
+        """
+        anchor_bits = self.anchors_mask(anchors)
+        no_anchor = anchor_bits is None
+        ids = self.ids
+        adj = self.adj
+        articles = self.articles
+        # Merged per-node edge rows (see docstring).
+        link_out = self.link_out
+        belongs = self.belongs
+        inside = self.inside
+        erow = [
+            (link_out[u] | belongs[u]) if (articles >> u) & 1 else inside[u]
+            for u in range(self.n)
+        ]
+        out: list[tuple[tuple[int, ...], int, int]] = []
+        emitted = 0
+
+        if min_length <= 2 <= max_length:
+            mutual = self.mutual
+            m_u = articles
+            while m_u:
+                low_u = m_u & -m_u
+                u = low_u.bit_length() - 1
+                m_u ^= low_u
+                candidates = mutual[u] & (-1 << (u + 1))
+                if not (no_anchor or (anchor_bits >> u) & 1):
+                    candidates &= anchor_bits
+                while candidates:
+                    low_v = candidates & -candidates
+                    v = low_v.bit_length() - 1
+                    candidates ^= low_v
+                    emitted += 1
+                    if emitted > max_cycles:
+                        raise self._overflow(max_cycles)
+                    mask = low_u | low_v
+                    edges = (erow[u] & mask).bit_count() + (
+                        erow[v] & mask
+                    ).bit_count()
+                    if accept is None or accept(2, 2, edges):
+                        iu, iv = ids[u], ids[v]
+                        out.append(
+                            ((iu, iv) if iu < iv else (iv, iu), 2, edges)
+                        )
+
+        if min_length <= 3 <= max_length:
+            for r in range(self.n):
+                row_r = adj[r]
+                m_a = row_r & (-1 << (r + 1))
+                if not m_a:
+                    continue
+                bit_r = 1 << r
+                r_anch = no_anchor or anchor_bits & bit_r
+                while m_a:
+                    low_a = m_a & -m_a
+                    a = low_a.bit_length() - 1
+                    m_a ^= low_a
+                    closing = row_r & adj[a] & (-1 << (a + 1))
+                    if not (r_anch or anchor_bits & low_a):
+                        closing &= anchor_bits
+                    prefix = bit_r | low_a
+                    while closing:
+                        low_b = closing & -closing
+                        b = low_b.bit_length() - 1
+                        closing ^= low_b
+                        emitted += 1
+                        if emitted > max_cycles:
+                            raise self._overflow(max_cycles)
+                        mask = prefix | low_b
+                        art_e = cat_e = 0
+                        for label in (r, a, b):
+                            if (articles >> label) & 1:
+                                art_e += (erow[label] & mask).bit_count()
+                            else:
+                                cat_e += (erow[label] & mask).bit_count()
+                        edges = art_e + cat_e // 2
+                        num_art = (mask & articles).bit_count()
+                        if accept is None or accept(3, num_art, edges):
+                            out.append(
+                                (
+                                    _canonical_nodes((ids[r], ids[a], ids[b])),
+                                    num_art,
+                                    edges,
+                                )
+                            )
+
+        if min_length <= 4 <= max_length:
+            for r in range(self.n):
+                above_root = -1 << (r + 1)
+                row = adj[r] & above_root
+                if not row:
+                    continue
+                bit_r = 1 << r
+                r_anch = no_anchor or anchor_bits & bit_r
+                m_a = row
+                while m_a:
+                    low_a = m_a & -m_a
+                    a = low_a.bit_length() - 1
+                    m_a ^= low_a
+                    row_a = adj[a] & above_root
+                    a_anch = r_anch or anchor_bits & low_a
+                    prefix_a = bit_r | low_a
+                    m_c = row & (-1 << (a + 1))
+                    while m_c:
+                        low_c = m_c & -m_c
+                        c = low_c.bit_length() - 1
+                        m_c ^= low_c
+                        candidates = row_a & adj[c] & ~low_c
+                        if not (a_anch or anchor_bits & low_c):
+                            candidates &= anchor_bits
+                        prefix = prefix_a | low_c
+                        while candidates:
+                            low_b = candidates & -candidates
+                            b = low_b.bit_length() - 1
+                            candidates ^= low_b
+                            emitted += 1
+                            if emitted > max_cycles:
+                                raise self._overflow(max_cycles)
+                            mask = prefix | low_b
+                            art_e = cat_e = 0
+                            for label in (r, a, b, c):
+                                if (articles >> label) & 1:
+                                    art_e += (erow[label] & mask).bit_count()
+                                else:
+                                    cat_e += (erow[label] & mask).bit_count()
+                            edges = art_e + cat_e // 2
+                            num_art = (mask & articles).bit_count()
+                            if accept is None or accept(4, num_art, edges):
+                                out.append(
+                                    (
+                                        _canonical_nodes(
+                                            (ids[r], ids[a], ids[b], ids[c])
+                                        ),
+                                        num_art,
+                                        edges,
+                                    )
+                                )
+
+        if min_length <= 5 <= max_length:
+            for r in range(self.n):
+                above_root = -1 << (r + 1)
+                row = adj[r] & above_root
+                if not row:
+                    continue
+                bit_r = 1 << r
+                r_anch = no_anchor or anchor_bits & bit_r
+                m_a = row
+                while m_a:
+                    low_a = m_a & -m_a
+                    a = low_a.bit_length() - 1
+                    m_a ^= low_a
+                    row_a = adj[a] & above_root
+                    a_anch = r_anch or anchor_bits & low_a
+                    prefix_a = bit_r | low_a
+                    m_d = row & (-1 << (a + 1))
+                    while m_d:
+                        low_d = m_d & -m_d
+                        d = low_d.bit_length() - 1
+                        m_d ^= low_d
+                        row_d = adj[d] & above_root & ~low_a
+                        d_anch = a_anch or anchor_bits & low_d
+                        prefix_d = prefix_a | low_d
+                        m_b = row_a & ~low_d
+                        while m_b:
+                            low_b = m_b & -m_b
+                            b = low_b.bit_length() - 1
+                            m_b ^= low_b
+                            closing = adj[b] & row_d
+                            if not (d_anch or anchor_bits & low_b):
+                                closing &= anchor_bits
+                            prefix = prefix_d | low_b
+                            while closing:
+                                low_c = closing & -closing
+                                c = low_c.bit_length() - 1
+                                closing ^= low_c
+                                emitted += 1
+                                if emitted > max_cycles:
+                                    raise self._overflow(max_cycles)
+                                mask = prefix | low_c
+                                art_e = cat_e = 0
+                                for label in (r, a, b, c, d):
+                                    if (articles >> label) & 1:
+                                        art_e += (
+                                            erow[label] & mask
+                                        ).bit_count()
+                                    else:
+                                        cat_e += (
+                                            erow[label] & mask
+                                        ).bit_count()
+                                edges = art_e + cat_e // 2
+                                num_art = (mask & articles).bit_count()
+                                if accept is None or accept(5, num_art, edges):
+                                    out.append(
+                                        (
+                                            _canonical_nodes(
+                                                (
+                                                    ids[r],
+                                                    ids[a],
+                                                    ids[b],
+                                                    ids[c],
+                                                    ids[d],
+                                                )
+                                            ),
+                                            num_art,
+                                            edges,
+                                        )
+                                    )
+        return out

@@ -25,19 +25,59 @@ Consequences implemented here:
 Enumeration is exponential in the maximum length, as the paper points out;
 the intended input is a per-query graph (hundreds of nodes), not all of
 Wikipedia.  A ``max_cycles`` guard protects against degenerate inputs.
+
+Two engines implement the same contract:
+
+* ``"kernels"`` (default) — the bitset hot path of
+  :mod:`repro.core.cycle_kernels`: the ball is frozen into degree-ordered
+  bitset rows and each length in 2..5 is mined by a closed-form kernel.
+  Used whenever ``max_length <= 5`` (the paper's range).
+* ``"dfs"`` — the general recursive enumerator below, kept as the
+  equivalence oracle and for ``max_length > 5``.
+
+Both return the same canonical node tuples in the same sort order —
+bit-identical lists — and both fire the ``max_cycles`` tripwire at the
+same total count of emitted (anchor-filtered) cycles, 2-cycles included.
+Select with the ``engine`` argument or the ``REPRO_CYCLE_ENGINE``
+environment variable.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
+from repro.core.cycle_kernels import KERNEL_MAX_LENGTH, KernelBall
 from repro.errors import AnalysisError
 from repro.wiki.graph import WikiGraph
 
-__all__ = ["Cycle", "CycleFinder", "find_cycles"]
+__all__ = ["Cycle", "CycleFinder", "find_cycles", "resolve_engine"]
 
 MAX_SUPPORTED_LENGTH = 8  # enumeration is exponential; hard stop well past 5
+
+ENGINE_ENV_VAR = "REPRO_CYCLE_ENGINE"
+_ENGINES = ("kernels", "dfs")
+
+
+def resolve_engine(engine: str | None, max_length: int) -> str:
+    """Resolve the cycle-mining engine for a finder.
+
+    Explicit argument wins, then the ``REPRO_CYCLE_ENGINE`` environment
+    variable, then the default ``"kernels"``.  The kernels are
+    specialised for the paper's lengths, so any ``max_length`` beyond
+    :data:`~repro.core.cycle_kernels.KERNEL_MAX_LENGTH` falls back to
+    the general DFS regardless of the requested engine.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "kernels"
+    if engine not in _ENGINES:
+        raise AnalysisError(
+            f"unknown cycle engine {engine!r}; expected one of {_ENGINES}"
+        )
+    if engine == "kernels" and max_length > KERNEL_MAX_LENGTH:
+        return "dfs"
+    return engine
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,6 +112,10 @@ class CycleFinder:
     max_cycles:
         Enumeration aborts with :class:`AnalysisError` beyond this many
         cycles — a tripwire for accidentally passing a huge dense graph.
+    engine:
+        ``"kernels"`` (bitset hot path, the default) or ``"dfs"`` (the
+        oracle); see :func:`resolve_engine`.  Both produce bit-identical
+        results, so the choice never affects output, only speed.
     """
 
     def __init__(
@@ -81,6 +125,7 @@ class CycleFinder:
         min_length: int = 2,
         max_length: int = 5,
         max_cycles: int = 1_000_000,
+        engine: str | None = None,
     ) -> None:
         if min_length < 2:
             raise AnalysisError("min_length must be >= 2 (a cycle needs two nodes)")
@@ -95,11 +140,17 @@ class CycleFinder:
         self._min_length = min_length
         self._max_length = max_length
         self._max_cycles = max_cycles
-        # Undirected adjacency snapshot, sorted for determinism.
-        self._adjacency: dict[int, tuple[int, ...]] = {
-            node_id: tuple(sorted(graph.undirected_neighbors(node_id)))
-            for node_id in graph.node_ids()
-        }
+        self._engine = resolve_engine(engine, max_length)
+        # Both views of the graph are built lazily, on first use by their
+        # engine: the DFS adjacency snapshot costs a full sorted decode of
+        # every neighbour set, the kernel ball a bitset freeze.
+        self._adjacency_cache: dict[int, tuple[int, ...]] | None = None
+        self._ball_cache: KernelBall | None = None
+
+    @property
+    def engine(self) -> str:
+        """The resolved engine actually used by this finder."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Public API
@@ -113,26 +164,138 @@ class CycleFinder:
         deterministic.
         """
         anchor_set = None if anchors is None else frozenset(anchors)
-        cycles = []
-        if self._min_length <= 2:
-            cycles.extend(self._two_cycles(anchor_set))
-        if self._max_length >= 3:
-            cycles.extend(self._simple_cycles(anchor_set))
+        if self._engine == "kernels":
+            cycles = [
+                Cycle(nodes)
+                for nodes in self._ball().find(
+                    self._min_length, self._max_length, anchor_set, self._max_cycles
+                )
+            ]
+        else:
+            cycles = [Cycle(nodes) for nodes in self._dfs_tuples(anchor_set)]
         cycles.sort(key=lambda c: (c.length, c.nodes))
         return cycles
 
     def count_by_length(self, anchors: Iterable[int] | None = None) -> dict[int, int]:
-        """Cycle census: ``{length: count}`` with zeros for empty lengths."""
+        """Cycle census: ``{length: count}`` with zeros for empty lengths.
+
+        Never materialises :class:`Cycle` objects; the kernel engine
+        reduces the innermost level of each kernel to a popcount.
+        """
+        anchor_set = None if anchors is None else frozenset(anchors)
+        if self._engine == "kernels":
+            return self._ball().count_by_length(
+                self._min_length, self._max_length, anchor_set, self._max_cycles
+            )
         census = {length: 0 for length in range(self._min_length, self._max_length + 1)}
-        for cycle in self.find(anchors):
-            census[cycle.length] += 1
+        for nodes in self._dfs_tuples(anchor_set):
+            census[len(nodes)] += 1
         return census
+
+    def find_with_features(
+        self, anchors: Iterable[int] | None = None, *, accept=None
+    ):
+        """Like :meth:`find`, but paired with each cycle's structural
+        features — ``list[CycleFeatures]`` in the same (length, nodes)
+        order.
+
+        On the kernel engine the features fall out of the bitset rows
+        (popcounts of the typed rows masked by the cycle), skipping the
+        per-cycle edge scan of :func:`repro.core.features.count_edges`;
+        on DFS this is exactly ``compute_features`` over :meth:`find`.
+
+        ``accept`` is an optional ``(length, num_articles, num_edges) ->
+        bool`` prefilter; cycles it rejects are dropped before any
+        object is built (inside the kernel's innermost loop on the
+        kernel engine).  It sees identical values on both engines and
+        never affects the ``max_cycles`` tripwire.
+        """
+        # Deferred: features imports Cycle from this module.
+        from repro.core.features import CycleFeatures, compute_features, max_edges
+
+        anchor_set = None if anchors is None else frozenset(anchors)
+        if self._engine != "kernels":
+            out = []
+            for cycle in self.find(anchor_set):
+                features = compute_features(self._graph, cycle)
+                if accept is None or accept(
+                    features.length, features.num_articles, features.num_edges
+                ):
+                    out.append(features)
+            return out
+        rows = self._ball().find_features(
+            self._min_length,
+            self._max_length,
+            anchor_set,
+            self._max_cycles,
+            accept=accept,
+        )
+        rows.sort(key=lambda row: (len(row[0]), row[0]))
+        out = []
+        for nodes, num_articles, num_edges in rows:
+            num_categories = len(nodes) - num_articles
+            out.append(
+                CycleFeatures(
+                    cycle=Cycle(nodes),
+                    num_articles=num_articles,
+                    num_categories=num_categories,
+                    num_edges=num_edges,
+                    max_possible_edges=max_edges(num_articles, num_categories),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Engine internals
+    # ------------------------------------------------------------------
+
+    def _ball(self) -> KernelBall:
+        if self._ball_cache is None:
+            self._ball_cache = KernelBall.build(self._graph)
+        return self._ball_cache
+
+    def _adjacency(self) -> dict[int, tuple[int, ...]]:
+        """Undirected adjacency snapshot, sorted for determinism."""
+        if self._adjacency_cache is None:
+            graph = self._graph
+            self._adjacency_cache = {
+                node_id: tuple(sorted(graph.undirected_neighbors(node_id)))
+                for node_id in graph.node_ids()
+            }
+        return self._adjacency_cache
+
+    def _dfs_tuples(
+        self, anchors: frozenset[int] | None
+    ) -> Iterator[tuple[int, ...]]:
+        """Canonical node tuples from the DFS engine, unsorted, with the
+        shared ``max_cycles`` tripwire across all lengths."""
+        emitted = 0
+        if self._min_length <= 2:
+            for nodes in self._two_cycles(anchors):
+                emitted += 1
+                if emitted > self._max_cycles:
+                    raise self._overflow()
+                yield nodes
+        if self._max_length >= 3:
+            for nodes in self._simple_cycles(anchors):
+                emitted += 1
+                if emitted > self._max_cycles:
+                    raise self._overflow()
+                yield nodes
+
+    def _overflow(self) -> AnalysisError:
+        return AnalysisError(
+            f"more than {self._max_cycles} cycles; "
+            "pass a smaller graph or raise max_cycles"
+        )
 
     # ------------------------------------------------------------------
     # Length-2: antiparallel article links
     # ------------------------------------------------------------------
 
-    def _two_cycles(self, anchors: frozenset[int] | None) -> Iterator[Cycle]:
+    def _two_cycles(
+        self, anchors: frozenset[int] | None
+    ) -> Iterator[tuple[int, ...]]:
         graph = self._graph
         for article in graph.articles():
             u = article.node_id
@@ -142,20 +305,21 @@ class CycleFinder:
                 if anchors is not None and u not in anchors and v not in anchors:
                     continue
                 if u in graph.links_from(v):
-                    yield Cycle((u, v))
+                    yield (u, v)
 
     # ------------------------------------------------------------------
     # Length >= 3: DFS over the undirected view
     # ------------------------------------------------------------------
 
-    def _simple_cycles(self, anchors: frozenset[int] | None) -> Iterator[Cycle]:
+    def _simple_cycles(
+        self, anchors: frozenset[int] | None
+    ) -> Iterator[tuple[int, ...]]:
         """Canonical enumeration: root is the smallest node id of the cycle,
         neighbours on the path must exceed the root, and the orientation
         with ``path[1] < path[-1]`` is kept (dedups the mirror image)."""
-        adjacency = self._adjacency
+        adjacency = self._adjacency()
         max_length = self._max_length
         min_length = max(3, self._min_length)
-        emitted = 0
         on_path: set[int] = set()
 
         for root in sorted(adjacency):
@@ -163,8 +327,7 @@ class CycleFinder:
             path = [root]
             on_path = {root}
 
-            def dfs() -> Iterator[Cycle]:
-                nonlocal emitted
+            def dfs() -> Iterator[tuple[int, ...]]:
                 current = path[-1]
                 for neighbor in adjacency[current]:
                     if neighbor <= root:
@@ -181,13 +344,7 @@ class CycleFinder:
                     ):
                         nodes = tuple(path)
                         if anchors is None or not anchors.isdisjoint(nodes):
-                            emitted += 1
-                            if emitted > self._max_cycles:
-                                raise AnalysisError(
-                                    f"more than {self._max_cycles} cycles; "
-                                    "pass a smaller graph or raise max_cycles"
-                                )
-                            yield Cycle(nodes)
+                            yield nodes
                     if length < max_length:
                         yield from dfs()
                     path.pop()
@@ -205,9 +362,14 @@ def find_cycles(
     min_length: int = 2,
     max_length: int = 5,
     max_cycles: int = 1_000_000,
+    engine: str | None = None,
 ) -> list[Cycle]:
     """Convenience wrapper over :class:`CycleFinder` for one-off calls."""
     finder = CycleFinder(
-        graph, min_length=min_length, max_length=max_length, max_cycles=max_cycles
+        graph,
+        min_length=min_length,
+        max_length=max_length,
+        max_cycles=max_cycles,
+        engine=engine,
     )
     return finder.find(anchors)

@@ -27,7 +27,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError
-from repro.core.cycles import Cycle, CycleFinder
+from repro.core.cycles import Cycle, CycleFinder, resolve_engine
 from repro.core.features import CycleFeatures, compute_features
 from repro.wiki.graph import WikiGraph
 
@@ -174,6 +174,11 @@ class CycleExpander(Expander):
         Drop article-only cycles of length >= 3 (the Figure 8 hazard).
         Subsumed by ``min_category_ratio`` > 0; kept as an explicit switch
         for the ablation.
+    engine:
+        Cycle-mining engine handed to :class:`CycleFinder` (``"kernels"``
+        default / ``"dfs"`` oracle).  Engines are bit-identical, so this
+        is deliberately *not* part of :meth:`fingerprint` — prefilled
+        expansions built under one engine stay valid under the other.
     """
 
     def __init__(
@@ -185,6 +190,7 @@ class CycleExpander(Expander):
         min_extra_edge_density: float = 0.0,
         exclude_category_free: bool = False,
         max_cycles: int = 1_000_000,
+        engine: str | None = None,
     ) -> None:
         self._lengths = frozenset(lengths)
         if not self._lengths:
@@ -200,6 +206,13 @@ class CycleExpander(Expander):
         self._min_density = min_extra_edge_density
         self._exclude_category_free = exclude_category_free
         self._max_cycles = max_cycles
+        # Validate eagerly (and pin the DFS fallback for lengths > 5).
+        self._engine = resolve_engine(engine, max(self._lengths))
+
+    @property
+    def engine(self) -> str:
+        """The resolved cycle-mining engine (for trace-span labelling)."""
+        return self._engine
 
     def fingerprint(self) -> str:
         return (
@@ -227,22 +240,72 @@ class CycleExpander(Expander):
             return False
         return True
 
+    def _prefilter(self):
+        """:meth:`accepts` as a raw ``(length, A(C), E(C))`` predicate.
+
+        Handed to :meth:`CycleFinder.find_with_features` so the kernel
+        engine drops rejected cycles inside its innermost loop, before
+        canonicalisation or any object build.  Only valid when
+        :meth:`accepts` is not overridden — the caller checks.
+        """
+        lengths = self._lengths
+        min_ratio = self._min_category_ratio
+        max_ratio = self._max_category_ratio
+        min_density = self._min_density
+        exclude_free = self._exclude_category_free
+
+        def accept(length: int, num_articles: int, num_edges: int) -> bool:
+            if length not in lengths:
+                return False
+            num_categories = length - num_articles
+            ratio = num_categories / length
+            if length > 2 and ratio < min_ratio:
+                return False
+            if ratio > max_ratio:
+                return False
+            if exclude_free and length > 2 and num_categories == 0:
+                return False
+            max_possible = (
+                num_articles * (num_articles - 1)
+                + num_articles * num_categories
+                + num_categories * (num_categories - 1) // 2
+            )
+            slack = max_possible - length
+            if slack > 0 and (num_edges - length) / slack < min_density:
+                return False
+            return True
+
+        return accept
+
     def qualifying_cycles(
         self, graph: WikiGraph, seeds: frozenset[int]
     ) -> list[CycleFeatures]:
-        """All anchored cycles passing the filters, with their features."""
+        """All anchored cycles passing the filters, with their features.
+
+        Goes through :meth:`CycleFinder.find_with_features` so the kernel
+        engine computes ``A(C)``/``E(C)`` from its bitset rows instead of
+        re-scanning each cycle's adjacency (the second-hottest loop of a
+        cold expansion, after enumeration itself).
+        """
         finder = CycleFinder(
             graph,
             min_length=min(self._lengths),
             max_length=max(self._lengths),
             max_cycles=self._max_cycles,
+            engine=self._engine,
         )
-        out = []
-        for cycle in finder.find(anchors=seeds):
-            features = compute_features(graph, cycle)
-            if self.accepts(features):
-                out.append(features)
-        return out
+        # The in-kernel prefilter mirrors accepts(); subclasses that
+        # override accepts() fall back to filtering materialised features.
+        accept = (
+            self._prefilter()
+            if type(self).accepts is CycleExpander.accepts
+            else None
+        )
+        return [
+            features
+            for features in finder.find_with_features(anchors=seeds, accept=accept)
+            if self.accepts(features)
+        ]
 
     def expand(self, graph: WikiGraph, seed_articles: Iterable[int]) -> ExpansionResult:
         seeds = frozenset(seed_articles)
@@ -270,11 +333,16 @@ class NeighborhoodCycleExpander(Expander):
         *,
         radius: int = 2,
         max_nodes: int = 400,
+        engine: str | None = None,
     ) -> None:
         if radius < 1:
             raise AnalysisError("radius must be >= 1")
         if max_nodes < 2:
             raise AnalysisError("max_nodes must be >= 2")
+        if cycle_expander is not None and engine is not None:
+            raise AnalysisError(
+                "pass engine on the inner CycleExpander, not both"
+            )
         # Default filters = the paper's conclusion: *dense* cycles whose
         # category ratio stands around 30 %.  On the benchmark, dropping
         # the density bound admits distractor cycles and collapses top-1
@@ -283,9 +351,15 @@ class NeighborhoodCycleExpander(Expander):
             min_category_ratio=0.25,
             max_category_ratio=0.5,
             min_extra_edge_density=0.3,
+            engine=engine,
         )
         self._radius = radius
         self._max_nodes = max_nodes
+
+    @property
+    def engine(self) -> str:
+        """The inner expander's resolved cycle-mining engine."""
+        return self._expander.engine
 
     def fingerprint(self) -> str:
         return (

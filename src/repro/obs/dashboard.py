@@ -48,6 +48,17 @@ def _fmt_ms(seconds: float) -> str:
     return f"{seconds * 1000.0:8.2f}"
 
 
+def _engine_counts(metrics_text: str) -> list[tuple[str, int]]:
+    """(engine, runs) pairs from ``repro_cycle_mine_total``, sorted."""
+    parsed = parse_prometheus_text(metrics_text)
+    counts: dict[str, int] = {}
+    for (name, labelset), value in parsed["samples"].items():
+        if name == "repro_cycle_mine_total":
+            engine = dict(labelset).get("engine", "?")
+            counts[engine] = counts.get(engine, 0) + int(value)
+    return sorted(counts.items())
+
+
 def _stage_rows(metrics_text: str) -> list[tuple[str, int, float, float, float]]:
     """(stage, count, p50_s, p95_s, p99_s) rows from the exposition text."""
     parsed = parse_prometheus_text(metrics_text)
@@ -157,6 +168,12 @@ def render_dashboard(
                     f"{stage:<11} {count:>6} {_fmt_ms(p50)} {_fmt_ms(p95)} "
                     f"{_fmt_ms(p99)}"
                 )
+        engines = _engine_counts(metrics_text)
+        if engines:
+            lines.append(
+                "cycle_mine engines: "
+                + "  ".join(f"{engine}={count}" for engine, count in engines)
+            )
 
     slow = http.get("slow_queries") or stats.get("slow_queries")
     if slow:

@@ -17,6 +17,10 @@ Families (all prefixed ``repro_``):
   shard that did the work (fan-out stages record one span per shard);
 * ``repro_cache_lookups_total{cache,result}`` — link/expansion cache
   outcomes (``hit`` / ``miss``), derived from span labels;
+* ``repro_cycle_mine_total{engine}`` — cycle-mining runs by engine
+  (``kernels`` bitset hot path / ``dfs`` oracle), derived from the
+  ``engine`` label on ``cycle_mine`` spans — the switch that proves
+  which enumerator served a cold request;
 * ``repro_inflight_requests`` / ``repro_shard_inflight{shard}`` /
   ``repro_uptime_seconds`` — gauges refreshed from
   :class:`~repro.service.router.RouterStats` at scrape time by
@@ -72,6 +76,11 @@ class ServingMetrics:
             "Cache lookups by cache tier and outcome.",
             ("cache", "result"),
         )
+        self.cycle_mine = self.registry.counter(
+            "repro_cycle_mine_total",
+            "Cycle-mining runs by enumeration engine.",
+            ("engine",),
+        )
         self.inflight = self.registry.gauge(
             "repro_inflight_requests",
             "Requests currently inside the router.",
@@ -110,6 +119,10 @@ class ServingMetrics:
                 self.cache_lookups.inc(
                     cache=cache, result="hit" if cached else "miss"
                 )
+            if span.stage == "cycle_mine":
+                engine = span.labels.get("engine")
+                if engine is not None:
+                    self.cycle_mine.inc(engine=engine)
 
     def update_from_stats(self, stats) -> None:
         """Refresh the scrape-time gauges from a :class:`RouterStats`."""

@@ -214,6 +214,9 @@ class ExpansionService:
         self._engine = engine
         self._linker = linker
         self._expander = expander or NeighborhoodCycleExpander()
+        # Cycle-mining engine, for the cycle_mine span label (None for
+        # duck-typed expanders that don't expose one).
+        self._cycle_engine = getattr(self._expander, "engine", None)
         self.doc_names = dict(doc_names or {})
         self._link_cache = LRUCache(link_cache_size)
         self._expansion_cache = LRUCache(expansion_cache_size)
@@ -475,7 +478,9 @@ class ExpansionService:
             try:
                 with tracing.span(
                     "cycle_mine", shard=self._shard_id, batch=len(pending)
-                ):
+                ) as span:
+                    if self._cycle_engine is not None:
+                        span["engine"] = self._cycle_engine
                     expansions = list(batch_expand(self._graph, pending))
                 for seeds, result in zip(pending, expansions):
                     self._expansion_cache.put(seeds, result)
@@ -539,7 +544,9 @@ class ExpansionService:
                 self._inflight_waits += 1
             event.wait()
         try:
-            with tracing.span("cycle_mine", shard=self._shard_id):
+            with tracing.span("cycle_mine", shard=self._shard_id) as span:
+                if self._cycle_engine is not None:
+                    span["engine"] = self._cycle_engine
                 result = self._expander.expand(self._graph, seeds)
             self._expansion_cache.put(seeds, result)
             return result, False

@@ -383,6 +383,26 @@ class CompactGraphView:
     def has_edge(self, u: int, v: int) -> bool:
         return v in self.undirected_neighbors(u)
 
+    def kernel_csr(self):
+        """Raw CSR arrays for the bitset cycle kernels.
+
+        Returns ``(node_ids, index_of, offsets, targets, kinds, flags,
+        keep)`` — ``targets`` are base indices into ``node_ids`` and
+        ``keep`` is ``None`` (the whole view).  The kernels
+        (:mod:`repro.core.cycle_kernels`) build their bitset rows
+        straight from these int32/byte arrays, skipping the frozenset
+        decode path entirely.
+        """
+        return (
+            self._node_ids,
+            self._index_of,
+            self._adj_offsets,
+            self._adj_targets,
+            self._adj_kinds,
+            self._flags,
+            None,
+        )
+
     # ------------------------------------------------------------------
     # Subgraphs
     # ------------------------------------------------------------------
@@ -644,6 +664,20 @@ class _CompactSubgraph:
 
     def has_edge(self, u: int, v: int) -> bool:
         return v in self.undirected_neighbors(u)
+
+    def kernel_csr(self):
+        """Raw CSR arrays restricted to the keep set; see
+        :meth:`CompactGraphView.kernel_csr`."""
+        base = self._base
+        return (
+            base._node_ids,
+            base._index_of,
+            base._adj_offsets,
+            base._adj_targets,
+            base._adj_kinds,
+            base._flags,
+            self._keep,
+        )
 
     def induced_subgraph(self, node_ids: Iterable[int]) -> "_CompactSubgraph":
         keep = frozenset(node_ids)

@@ -93,6 +93,21 @@ class TestRenderDashboard:
         assert "slow queries" not in frame
         assert "stage " not in frame
 
+    def test_cycle_mine_engine_line_renders_from_the_counter(self):
+        registry = MetricsRegistry()
+        runs = registry.counter(
+            "repro_cycle_mine_total", "runs by engine", ("engine",)
+        )
+        runs.inc(engine="kernels")
+        runs.inc(engine="kernels")
+        runs.inc(engine="dfs")
+        frame = render_dashboard(canned_stats(), registry.render())
+        assert "cycle_mine engines: dfs=1  kernels=2" in frame
+
+    def test_engine_line_absent_without_the_counter(self):
+        frame = render_dashboard(canned_stats(), canned_metrics_text())
+        assert "cycle_mine engines" not in frame
+
     def test_top_level_slow_queries_key_is_honoured(self):
         stats = {"shards": 1,
                  "slow_queries": {"threshold_ms": 50.0, "requests": 10,

@@ -60,6 +60,24 @@ class TestObserveRequest:
         metrics.observe_request("batch_expand", None, 0.02)
         assert metrics.request_latency.snapshot(path="batch_expand")[2] == 1
 
+    def test_cycle_mine_engine_label_feeds_the_engine_counter(self):
+        metrics = ServingMetrics()
+        trace = Trace()
+        trace.add("cycle_mine", 3.0, shard=0, engine="kernels")
+        trace.add("cycle_mine", 9.0, shard=1, engine="dfs")
+        metrics.observe_request("expand_query", trace, 0.02)
+        metrics.observe_request("expand_query", trace, 0.02)
+        assert metrics.cycle_mine.value(engine="kernels") == 2
+        assert metrics.cycle_mine.value(engine="dfs") == 2
+
+    def test_cycle_mine_span_without_engine_label_is_not_counted(self):
+        metrics = ServingMetrics()
+        metrics.observe_request("expand_query", make_trace(), 0.01)
+        assert metrics.cycle_mine.value(engine="kernels") == 0
+        assert metrics.cycle_mine.value(engine="dfs") == 0
+        # The stage histogram still sees the span either way.
+        assert metrics.stage_latency.snapshot(stage="cycle_mine")[2] == 1
+
 
 class TestScrapeTimeGauges:
     def test_update_from_stats_refreshes_gauges(self):
@@ -103,6 +121,7 @@ class TestExposition:
             "repro_stage_seconds",
             "repro_shard_stage_seconds",
             "repro_cache_lookups_total",
+            "repro_cycle_mine_total",
             "repro_inflight_requests",
             "repro_shard_inflight",
             "repro_uptime_seconds",

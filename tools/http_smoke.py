@@ -114,6 +114,14 @@ def check_metrics(base: str, failures: list[str]) -> None:
     for stage in ("link", "expand", "rank", "merge"):
         if sample("repro_stage_seconds_count", stage=stage) < 1:
             failures.append(f"stage counter {stage!r} is zero after /expand")
+    # The cold /expand above mined cycles; the span's engine label must
+    # show the configured engine (the bitset kernels by default).
+    engine = os.environ.get("REPRO_CYCLE_ENGINE") or "kernels"
+    if sample("repro_cycle_mine_total", engine=engine) < 1:
+        failures.append(
+            f"repro_cycle_mine_total{{engine={engine}}} is zero — the "
+            "cycle_mine span lost its engine label"
+        )
     if sample("repro_uptime_seconds") <= 0:
         failures.append("repro_uptime_seconds gauge was not refreshed")
     print(f"metrics: {len(parsed['samples'])} samples, "
