@@ -29,7 +29,13 @@ the standard 50-topic benchmark, in several regimes:
   response is asserted bit-identical — doc ids AND scores after the
   JSON round trip — to the in-process reference before its timing
   counts, so the wire protocol provably adds latency only, never
-  drift.
+  drift;
+* **socket workers cold / cached** — the same traffic with every shard
+  served by a supervised *worker process* over the shard wire protocol
+  (:class:`ShardSupervisor` + :class:`SocketShardAdapter`,
+  ``docs/shard_protocol.md``).  Every response is again asserted
+  bit-identical to the in-process reference before its timing counts —
+  the acceptance bar for out-of-process sharding.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
 performance trajectory is tracked across PRs.  Each regime additionally
@@ -53,6 +59,7 @@ import http.client
 import json
 import os
 import statistics
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -64,6 +71,7 @@ from repro.service import (
     ExpansionService,
     HttpFrontEnd,
     ShardRouter,
+    ShardSupervisor,
     ShardedSnapshot,
     Snapshot,
 )
@@ -280,6 +288,45 @@ def measurements(service_snapshot, queries) -> dict:
     front.service.close()
     http_router.close()
 
+    # Out-of-process serving: one supervised worker process per shard
+    # behind SocketShardAdapter.  Same traffic, and every response must
+    # be bit-identical to the in-process reference before it counts.
+    socket_sharded = ShardedSnapshot.from_snapshot(service_snapshot, SHARD_COUNT)
+    socket_dir = tempfile.TemporaryDirectory(prefix="repro-bench-snapshot-")
+    socket_sharded.save(socket_dir.name)
+    supervisor = ShardSupervisor(socket_dir.name, SHARD_COUNT)
+    supervisor.start(timeout_s=300.0)
+    socket_router = AsyncShardRouter(ShardRouter(socket_sharded),
+                                     supervisor=supervisor)
+
+    async def socket_traffic():
+        cold_l, cold_s = [], []
+        cold_started = time.perf_counter()
+        for query, reference in zip(queries, cold_responses):
+            response = await socket_router.expand_query(query)
+            _assert_same_answer(response, reference, query)
+            cold_l.append(response.latency_ms)
+            cold_s.append(response.stage_totals_ms())
+        cold_secs = time.perf_counter() - cold_started
+        cached_l, cached_s = [], []
+        cached_started = time.perf_counter()
+        for _ in range(CACHED_ROUNDS):
+            for query in queries:
+                response = await socket_router.expand_query(query)
+                assert response.expansion_cached, query
+                cached_l.append(response.latency_ms)
+                cached_s.append(response.stage_totals_ms())
+        cached_secs = time.perf_counter() - cached_started
+        return cold_l, cold_s, cold_secs, cached_l, cached_s, cached_secs
+
+    (socket_cold, socket_cold_stages, socket_cold_seconds,
+     socket_cached, socket_cached_stages, socket_cached_seconds) = \
+        asyncio.run(socket_traffic())
+    socket_restarts = supervisor.restarts_total
+    socket_router.close()
+    supervisor.stop()
+    socket_dir.cleanup()
+
     stats = dict_service.stats()
     return {
         "smoke": SMOKE,
@@ -339,6 +386,20 @@ def measurements(service_snapshot, queries) -> dict:
             "shards": SHARD_COUNT,
             **_summarize(http_cached, http_cached_seconds),
             "stage_p50_ms": _stage_p50(http_cached_stages),
+        },
+        "socket_workers_cold": {
+            "shards": SHARD_COUNT,
+            "workers": SHARD_COUNT,
+            "identical_to_in_process": True,  # asserted per query above
+            "worker_restarts": socket_restarts,
+            **_summarize(socket_cold, socket_cold_seconds),
+            "stage_p50_ms": _stage_p50(socket_cold_stages),
+        },
+        "socket_workers_cached": {
+            "shards": SHARD_COUNT,
+            "workers": SHARD_COUNT,
+            **_summarize(socket_cached, socket_cached_seconds),
+            "stage_p50_ms": _stage_p50(socket_cached_stages),
         },
         "cache_hit_rate": {
             "link": round(stats.link_cache.hit_rate, 4),
@@ -403,6 +464,26 @@ def test_http_responses_bit_identical_to_in_process_router(measurements):
     assert measurements["http_cold"]["queries"] == measurements["cold"]["queries"]
 
 
+def test_socket_workers_bit_identical_to_in_process(measurements):
+    """Worker processes must serve the exact in-process answer.
+
+    Doc ids AND scores are asserted equal per query while measuring;
+    this pins the flag in the emitted schema, plus the expectation that
+    unfaulted workers never restart during a bench run.
+    """
+    assert measurements["socket_workers_cold"]["identical_to_in_process"] is True
+    assert measurements["socket_workers_cold"]["queries"] == \
+        measurements["cold"]["queries"]
+    assert measurements["socket_workers_cold"]["worker_restarts"] == 0
+
+
+def test_socket_workers_cached_p50_strictly_below_cold(measurements):
+    """Remote workers keep their own expansion caches: a warm hit over
+    the wire protocol must still beat cold cycle mining."""
+    assert measurements["socket_workers_cached"]["p50_ms"] < \
+        measurements["socket_workers_cold"]["p50_ms"]
+
+
 def test_http_cached_p50_strictly_below_http_cold(measurements):
     """Caches keep paying off behind the network front end: a cached hit
     plus wire overhead must still beat cold cycle mining."""
@@ -447,7 +528,8 @@ def test_emit_bench_json(measurements):
     assert written["sharded_cold"]["shards"] == SHARD_COUNT
     for regime in ("cold", "cached", "compact_cold", "compact_cached",
                    "sharded_cold", "sharded_cached", "prefilled",
-                   "http_cold", "http_cached"):
+                   "http_cold", "http_cached",
+                   "socket_workers_cold", "socket_workers_cached"):
         assert written[regime]["p50_ms"] > 0
         assert written[regime]["p99_ms"] >= written[regime]["p50_ms"]
         assert written[regime]["throughput_qps"] > 0
@@ -463,3 +545,6 @@ def test_emit_bench_json(measurements):
     assert written["compact_speedup"]["cold_mean_ratio"] > 0
     assert written["prefilled"]["first_hit_cached"] is True
     assert written["http_cold"]["identical_to_in_process"] is True
+    assert written["socket_workers_cold"]["identical_to_in_process"] is True
+    assert written["socket_workers_cold"]["worker_restarts"] == 0
+    assert "rank" in written["socket_workers_cached"]["stage_p50_ms"]

@@ -76,6 +76,7 @@ __all__ = [
     "report_main",
     "snapshot_main",
     "serve_main",
+    "shard_worker_main",
     "top_main",
     "main",
 ]
@@ -335,7 +336,18 @@ def snapshot_main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _serve_http(snapshot, host: str, port: int, slow_ms: float = 100.0) -> int:
+def _serve_http(
+    snapshot,
+    host: str,
+    port: int,
+    slow_ms: float = 100.0,
+    *,
+    snapshot_dir=None,
+    workers: int = 0,
+    call_timeout_s: float = 30.0,
+    hedge_after_ms: float | None = None,
+    max_restarts: int = 5,
+) -> int:
     """Run the asyncio HTTP front end over a ShardRouter until interrupted.
 
     Single-shard and sharded snapshots both go through the router here
@@ -343,6 +355,12 @@ def _serve_http(snapshot, host: str, port: int, slow_ms: float = 100.0) -> int:
     HTTP surface is uniform across layouts.  Slow requests (>=
     ``slow_ms``) are logged as JSON lines on stderr and sampled into the
     reservoir ``/stats`` exposes.
+
+    With ``workers`` set (one per shard), shard calls run in supervised
+    out-of-process workers behind socket adapters: crashed workers are
+    restarted with backoff, stalled calls hit ``call_timeout_s``, and
+    ``hedge_after_ms`` arms tail-latency hedging.  See
+    ``docs/operations.md``.
     """
     import asyncio
 
@@ -350,9 +368,35 @@ def _serve_http(snapshot, host: str, port: int, slow_ms: float = 100.0) -> int:
     from repro.service import AsyncShardRouter, HttpFrontEnd, ShardRouter
 
     router = ShardRouter(snapshot)
+    supervisor = None
+    if workers:
+        from repro.service.socket_adapter import ShardCallPolicy
+        from repro.service.supervisor import ShardSupervisor
+
+        supervisor = ShardSupervisor(
+            str(snapshot_dir),
+            router.num_shards,
+            metrics=router.metrics,
+            max_restarts=max_restarts,
+        )
+        print(f"workers: starting {router.num_shards} shard worker(s)",
+              flush=True)
+        supervisor.start()
+        for info in supervisor.describe():
+            print(f"workers: shard {info['shard']} up "
+                  f"(pid={info.get('pid')}, port={info.get('port')})")
+        policy = ShardCallPolicy(
+            call_timeout_s=call_timeout_s,
+            hedge_after_s=(
+                hedge_after_ms / 1000.0 if hedge_after_ms else None
+            ),
+        )
+        service = AsyncShardRouter(router, supervisor=supervisor, policy=policy)
+    else:
+        service = AsyncShardRouter(router)
     generation = snapshot.source_version
     front = HttpFrontEnd(
-        AsyncShardRouter(router),
+        service,
         snapshot_info=snapshot.layout_description(),
         snapshot_generation="" if generation is None else f"v{generation}",
         request_log=RequestLog(slow_ms=slow_ms, sink=sys.stderr.write),
@@ -375,6 +419,8 @@ def _serve_http(snapshot, host: str, port: int, slow_ms: float = 100.0) -> int:
     except KeyboardInterrupt:
         print("http: shut down")
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         router.close()
     return 0
 
@@ -437,6 +483,30 @@ def serve_main(argv: list[str] | None = None) -> int:
              "as JSON lines on stderr and sampled into /stats "
              "slow_queries (default 100)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="with --http: serve shards from N supervised out-of-process "
+             "worker processes (one per shard; N must equal the snapshot "
+             "shard count) speaking the wire protocol of "
+             "docs/shard_protocol.md — crashed workers restart with "
+             "backoff, see docs/operations.md",
+    )
+    parser.add_argument(
+        "--call-timeout-s", type=float, default=30.0,
+        help="with --workers: per-attempt deadline for one shard call "
+             "(default 30)",
+    )
+    parser.add_argument(
+        "--hedge-after-ms", type=float, default=None, metavar="MS",
+        help="with --workers: fire a second attempt for a shard call "
+             "still unanswered after MS milliseconds; first answer wins "
+             "(default: hedging off)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="with --workers: restarts each shard worker gets before the "
+             "shard is marked failed and left down (default 5)",
+    )
     args = parser.parse_args(argv)
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
@@ -444,6 +514,14 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 1")
     if args.http is not None and not 0 <= args.http <= 65535:
         parser.error("--http PORT must be in [0, 65535]")
+    if args.workers and args.http is None:
+        parser.error("--workers requires --http")
+    if args.workers < 0 or args.max_restarts < 0:
+        parser.error("--workers and --max-restarts must be >= 0")
+    if args.call_timeout_s <= 0:
+        parser.error("--call-timeout-s must be > 0")
+    if args.hedge_after_ms is not None and args.hedge_after_ms <= 0:
+        parser.error("--hedge-after-ms must be > 0")
 
     snapshot_dir = Path(args.snapshot)
     try:
@@ -466,7 +544,21 @@ def serve_main(argv: list[str] | None = None) -> int:
     print(f"snapshot layout: {snapshot.layout_description()}")
 
     if args.http is not None:
-        return _serve_http(snapshot, args.host, args.http, slow_ms=args.slow_ms)
+        if args.workers and args.workers != snapshot.num_shards:
+            print(
+                f"error: --workers {args.workers} must equal the snapshot "
+                f"shard count ({snapshot.num_shards}) — one worker process "
+                "serves exactly one shard"
+            )
+            return 2
+        return _serve_http(
+            snapshot, args.host, args.http, slow_ms=args.slow_ms,
+            snapshot_dir=snapshot_dir,
+            workers=args.workers,
+            call_timeout_s=args.call_timeout_s,
+            hedge_after_ms=args.hedge_after_ms,
+            max_restarts=args.max_restarts,
+        )
 
     # One worker serves a single shard directly; N shards go through the
     # router.  Both expose the same expand_query/batch_expand/stats API
@@ -521,6 +613,58 @@ def serve_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def shard_worker_main(argv: list[str] | None = None) -> int:
+    """Serve one shard of a sharded snapshot over the wire protocol.
+
+    This is the process ``repro serve --workers N`` (via the shard
+    supervisor) spawns once per shard; it can also be started by hand
+    for debugging.  The worker loads its shard, binds, and prints a
+    single ready line (``shard-worker: shard I serving on HOST:PORT
+    pid=PID``) the supervisor parses.  Protocol and framing:
+    ``docs/shard_protocol.md``.
+    """
+    from repro.errors import ReproError
+    from repro.service.faults import FAULTS_ENV
+    from repro.service.shard_worker import run_worker
+
+    parser = argparse.ArgumentParser(
+        prog="repro-shard-worker", description=shard_worker_main.__doc__
+    )
+    parser.add_argument(
+        "--snapshot", required=True,
+        help="sharded snapshot directory to load one shard from",
+    )
+    parser.add_argument(
+        "--shard", type=int, required=True, help="shard id to serve"
+    )
+    parser.add_argument(
+        "--bind", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to serve on (default 0 = ephemeral, printed on stdout)",
+    )
+    parser.add_argument(
+        "--fault", default="",
+        help="fault-injection spec, e.g. 'kill@2' or 'stall=1.5@1:"
+             f"expand_seeds' (also read from ${FAULTS_ENV}; test-only)",
+    )
+    args = parser.parse_args(argv)
+    if args.shard < 0:
+        parser.error("--shard must be >= 0")
+    if not 0 <= args.port <= 65535:
+        parser.error("--port must be in [0, 65535]")
+    try:
+        return run_worker(
+            args.snapshot, args.shard,
+            host=args.bind, port=args.port, fault_spec=args.fault,
+        )
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+
+
 def top_main(argv: list[str] | None = None) -> int:
     """Live terminal dashboard over a running ``repro serve --http``."""
     from repro.obs.dashboard import run_top
@@ -558,6 +702,7 @@ _COMMANDS = {
     "report": report_main,
     "snapshot": snapshot_main,
     "serve": serve_main,
+    "shard-worker": shard_worker_main,
     "top": top_main,
 }
 

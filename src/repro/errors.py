@@ -79,3 +79,50 @@ class SnapshotError(ServiceError):
     Raised with a message that names the offending file and, for version
     mismatches, both the found and the supported version.
     """
+
+
+class WireProtocolError(ServiceError):
+    """A shard-protocol frame was malformed, oversized, or truncated.
+
+    Raised by :mod:`repro.service.wire` on decode; the socket adapter
+    treats it as a transient transport failure (the connection is
+    dropped and the call retried on a fresh one).
+    """
+
+
+class WorkerCallError(ServiceError):
+    """A shard worker executed a call and reported an application error.
+
+    Unlike :class:`WireProtocolError` this is *not* transient: the
+    worker is alive and answered with an error frame, so retrying would
+    repeat the same failure.  ``error_type`` carries the worker-side
+    exception class name.
+    """
+
+    def __init__(self, shard_id: int | None, error_type: str, message: str) -> None:
+        super().__init__(f"shard {shard_id}: {error_type}: {message}")
+        self.shard_id = shard_id
+        self.error_type = error_type
+
+
+class ShardUnavailableError(ServiceError):
+    """A shard worker is down and the call cannot be served without it.
+
+    The router degrades gracefully: queries owned by healthy shards keep
+    serving (ranking falls back to the router-local segment engine), and
+    queries owned by the dead shard raise this — the HTTP front end maps
+    it onto a structured 503 with ``retry_after_s``.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        message: str,
+        *,
+        state: str = "down",
+        retry_after_s: float = 1.0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.state = state
+        self.retry_after_s = retry_after_s

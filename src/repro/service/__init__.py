@@ -18,7 +18,15 @@ answers ad-hoc queries online:
   asyncio counterpart (executor-backed shard adapters, ``asyncio.gather``
   scatter-gather, async request coalescing);
 * :mod:`repro.service.http` — :class:`HttpFrontEnd`, the hand-rolled
-  HTTP/1.1 + JSON network surface (``docs/http_api.md``).
+  HTTP/1.1 + JSON network surface (``docs/http_api.md``);
+* :mod:`repro.service.wire` / :mod:`repro.service.shard_worker` /
+  :mod:`repro.service.socket_adapter` / :mod:`repro.service.supervisor` —
+  out-of-process shard serving: a length-prefixed JSON frame protocol
+  (``docs/shard_protocol.md``), the worker process that serves one shard
+  over it, the router-side socket adapter (deadlines, retries, hedging),
+  and the supervisor that spawns, health-checks and restarts workers;
+* :mod:`repro.service.faults` — env/flag-driven fault injection for the
+  worker frame layer (kill / stall / garbage / short write).
 
 CLI entry points: ``python -m repro.cli serve`` (``--http PORT`` for the
 network front end) and ``python -m repro.cli snapshot`` (see
@@ -35,14 +43,19 @@ from repro.service.artifacts import (
     Snapshot,
 )
 from repro.service.async_router import (
+    SHARD_ADAPTER_ENV,
     SHARD_PROTOCOL_VERSION,
     AsyncShardRouter,
     ExecutorShardAdapter,
 )
 from repro.service.cache import CacheStats, LRUCache
+from repro.service.faults import FaultPlan
 from repro.service.http import HttpFrontEnd
 from repro.service.router import RouterStats, ShardRouter
 from repro.service.server import ExpansionService, ServiceResponse, ServiceStats
+from repro.service.shard_worker import ShardWorkerServer, make_shard_worker
+from repro.service.socket_adapter import ShardCallPolicy, SocketShardAdapter
+from repro.service.supervisor import ShardSupervisor
 
 __all__ = [
     "Snapshot",
@@ -63,4 +76,11 @@ __all__ = [
     "ExecutorShardAdapter",
     "HttpFrontEnd",
     "SHARD_PROTOCOL_VERSION",
+    "SHARD_ADAPTER_ENV",
+    "FaultPlan",
+    "ShardWorkerServer",
+    "make_shard_worker",
+    "ShardCallPolicy",
+    "SocketShardAdapter",
+    "ShardSupervisor",
 ]

@@ -43,6 +43,8 @@ threads only ever run the shard calls.
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
@@ -53,12 +55,35 @@ from repro.obs import trace as tracing
 from repro.retrieval.engine import SearchResult, merge_ranked_lists
 from repro.service.router import ShardRouter
 from repro.service.server import ServiceResponse
+from repro.service.wire import SHARD_PROTOCOL_VERSION  # re-export
 
-__all__ = ["AsyncShardRouter", "ExecutorShardAdapter", "SHARD_PROTOCOL_VERSION"]
+__all__ = [
+    "AsyncShardRouter",
+    "ExecutorShardAdapter",
+    "SHARD_PROTOCOL_VERSION",
+    "SHARD_ADAPTER_ENV",
+]
 
-# Version of the five-call shard protocol the adapters implement; bumped
-# together with docs/shard_protocol.md.
-SHARD_PROTOCOL_VERSION = 1
+# Setting this to "socket" makes every AsyncShardRouter construct its
+# shard adapters over supervised out-of-process workers instead of the
+# in-process executor — the switch the CI socket-adapter leg flips to
+# re-run the whole service suite against the wire protocol.
+SHARD_ADAPTER_ENV = "REPRO_SHARD_ADAPTER"
+
+# Snapshot directories exported for env-driven socket mode, keyed by
+# snapshot identity (a strong reference keeps id() stable).  Routers
+# over the same snapshot share one on-disk copy per process.
+_SNAPSHOT_EXPORTS: dict[int, tuple[object, tempfile.TemporaryDirectory]] = {}
+
+
+def _export_snapshot_dir(snapshot) -> str:
+    entry = _SNAPSHOT_EXPORTS.get(id(snapshot))
+    if entry is not None and entry[0] is snapshot:
+        return entry[1].name
+    tmp = tempfile.TemporaryDirectory(prefix="repro-snapshot-")
+    snapshot.save(tmp.name)
+    _SNAPSHOT_EXPORTS[id(snapshot)] = (snapshot, tmp)
+    return tmp.name
 
 
 class ExecutorShardAdapter:
@@ -87,7 +112,18 @@ class ExecutorShardAdapter:
         )
 
     async def link_text(self, normalized: str) -> tuple[LinkResult, bool]:
-        return await self._call(self._worker.link_text, normalized)
+        worker = self._worker
+
+        def run(normalized):
+            # link_text itself records no span (unlike expand/rank), so
+            # the adapter does — keeping per-shard stage seconds
+            # complete across all five protocol calls.
+            with tracing.span("link", shard=self._shard_id) as span:
+                link, cached = worker.link_text(normalized)
+                span["cached"] = cached
+            return link, cached
+
+        return await self._call(run, normalized)
 
     async def expand_seeds(
         self, seeds: frozenset[int]
@@ -128,7 +164,13 @@ class AsyncShardRouter:
     """
 
     def __init__(
-        self, router: ShardRouter, *, executor: ThreadPoolExecutor | None = None
+        self,
+        router: ShardRouter,
+        *,
+        executor: ThreadPoolExecutor | None = None,
+        adapters=None,
+        supervisor=None,
+        policy=None,
     ) -> None:
         self._router = router
         self._own_executor = executor is None
@@ -136,7 +178,18 @@ class AsyncShardRouter:
             max_workers=max(2, router.num_shards),
             thread_name_prefix="async-shard",
         )
-        self._adapters = [
+        self._supervisor = supervisor
+        self._own_supervisor = False
+        if (
+            adapters is None
+            and supervisor is None
+            and os.environ.get(SHARD_ADAPTER_ENV, "").strip().lower() == "socket"
+        ):
+            self._supervisor = self._spawn_supervisor()
+            self._own_supervisor = True
+        if adapters is None and self._supervisor is not None:
+            adapters = self._socket_adapters(self._supervisor, policy)
+        self._adapters = list(adapters) if adapters is not None else [
             ExecutorShardAdapter(worker, self._executor, shard_id)
             for shard_id, worker in enumerate(router.workers)
         ]
@@ -172,8 +225,34 @@ class AsyncShardRouter:
         (one registry per serving stack, sync and async paths included)."""
         return self._router.metrics
 
+    @property
+    def supervisor(self):
+        """The worker supervisor when shards run out of process, else None."""
+        return self._supervisor
+
+    @property
+    def adapters(self) -> tuple:
+        return tuple(self._adapters)
+
     def stats(self):
-        return self._router.stats()
+        """Router counters plus the adapter-level resilience counters."""
+        stats = self._router.stats()
+        retries = sum(getattr(a, "retries_total", 0) for a in self._adapters)
+        hedges = sum(getattr(a, "hedges_total", 0) for a in self._adapters)
+        wins = sum(getattr(a, "hedge_wins_total", 0) for a in self._adapters)
+        restarts = (
+            self._supervisor.restarts_total
+            if self._supervisor is not None else 0
+        )
+        if retries or hedges or wins or restarts:
+            stats = replace(
+                stats,
+                retries_total=retries,
+                hedges_total=hedges,
+                hedge_wins_total=wins,
+                worker_restarts=restarts,
+            )
+        return stats
 
     async def expand_query(self, text: str, top_k: int = 10) -> ServiceResponse:
         """Answer one query; identical concurrent queries share one pass."""
@@ -297,9 +376,61 @@ class AsyncShardRouter:
         return [by_norm[norm] for norm in normalized]
 
     def close(self) -> None:
-        """Shut the adapter executor down (the wrapped router survives)."""
+        """Shut the adapter executor down (the wrapped router survives).
+
+        In socket mode this also closes pooled worker connections and,
+        when this router spawned its own supervisor (env-driven mode),
+        stops the worker processes.
+        """
+        for adapter in self._adapters:
+            closer = getattr(adapter, "close", None)
+            if closer is not None:
+                closer()
+        if self._own_supervisor and self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         if self._own_executor:
             self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Socket-mode construction
+    # ------------------------------------------------------------------
+
+    def _spawn_supervisor(self):
+        """Start supervised workers for env-driven socket mode.
+
+        The router's snapshot is exported to a per-process temporary
+        directory (shared across routers over the same snapshot object)
+        and one worker process is spawned per shard.
+        """
+        from repro.service.supervisor import ShardSupervisor
+
+        supervisor = ShardSupervisor(
+            _export_snapshot_dir(self._router.snapshot),
+            self._router.num_shards,
+            metrics=self._router.metrics,
+        )
+        supervisor.start()
+        return supervisor
+
+    def _socket_adapters(self, supervisor, policy):
+        """One socket adapter per shard, endpoint-resolved per attempt.
+
+        Each adapter keeps the router-local worker engine as its rank
+        fallback: with a shard's worker down, queries owned by healthy
+        shards still rank over all segments bit-identically.
+        """
+        from repro.service.socket_adapter import SocketShardAdapter
+
+        return [
+            SocketShardAdapter(
+                (lambda sid=shard_id: supervisor.endpoint(sid)),
+                shard_id,
+                policy=policy,
+                fallback_engine=self._router.workers[shard_id].engine,
+            )
+            for shard_id in range(self._router.num_shards)
+        ]
 
     # ------------------------------------------------------------------
     # Internals

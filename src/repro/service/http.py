@@ -45,6 +45,7 @@ import asyncio
 import json
 import time
 
+from repro.errors import ShardUnavailableError
 from repro.obs.logs import RequestLog
 from repro.service.async_router import AsyncShardRouter
 
@@ -61,7 +62,7 @@ _MAX_HEADERS = 128
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -319,10 +320,18 @@ class HttpFrontEnd:
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
+        retry_after = ""
+        if status == 503 and isinstance(payload, dict):
+            seconds = payload.get("error", {}).get("retry_after_s")
+            if seconds is not None:
+                # HTTP Retry-After is integral seconds; round up so a
+                # compliant client never retries before the window.
+                retry_after = f"Retry-After: {max(1, int(-(-seconds // 1)))}\r\n"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -379,6 +388,17 @@ class HttpFrontEnd:
             return 200, await handler()
         except _RequestError as exc:
             return exc.status, _error_body(exc.code, exc.message)
+        except ShardUnavailableError as exc:
+            # Graceful degradation, not an internal error: the query's
+            # owning shard worker is down.  Healthy-shard queries keep
+            # serving; this one gets a structured, retryable 503.
+            body = _error_body("shard_unavailable", str(exc))
+            body["error"].update(
+                shard=exc.shard_id,
+                state=exc.state,
+                retry_after_s=exc.retry_after_s,
+            )
+            return 503, body
         except Exception as exc:  # noqa: BLE001 — the envelope must hold
             return 500, _error_body(
                 "internal_error", f"{type(exc).__name__}: {exc}"
@@ -503,8 +523,12 @@ class HttpFrontEnd:
         key is gone.
         """
         stats = self._service.stats()
+        supervisor = getattr(self._service, "supervisor", None)
+        status = "ok"
+        if supervisor is not None and supervisor.degraded:
+            status = "degraded"
         payload = {
-            "status": "ok",
+            "status": status,
             "shards": stats.shards,
             "uptime_s": round(stats.uptime_s, 3),
             "http_requests_total": self._http_requests,
@@ -531,6 +555,13 @@ class HttpFrontEnd:
                 for shard_id, shard in enumerate(stats.shard_stats)
             ],
         }
+        if supervisor is not None:
+            # Out-of-process deployment: per-shard worker process state
+            # (pid/port/state/restarts) plus the resilience counters.
+            payload["workers"] = supervisor.describe()
+            payload["worker_restarts"] = stats.worker_restarts
+            payload["retries_total"] = stats.retries_total
+            payload["hedges_total"] = stats.hedges_total
         if self._snapshot_info:
             payload["snapshot"] = self._snapshot_info
         if self._snapshot_generation:

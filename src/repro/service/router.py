@@ -77,6 +77,11 @@ class RouterStats:
     ``per_shard_inflight`` gauges the expansions currently executing on
     each worker (0 for an idle or never-hit shard — zero-lookup-safe,
     like ``per_shard_hit_rates``).
+
+    The resilience counters (``retries_total``, ``hedges_total``,
+    ``hedge_wins_total``, ``worker_restarts``) stay 0 for the in-process
+    deployment; :meth:`AsyncShardRouter.stats` fills them in when the
+    shard adapters are socket-backed and a supervisor is attached.
     """
 
     shards: int
@@ -88,6 +93,10 @@ class RouterStats:
     uptime_s: float
     link_cache: CacheStats
     shard_stats: tuple[ServiceStats, ...]
+    retries_total: int = 0
+    hedges_total: int = 0
+    hedge_wins_total: int = 0
+    worker_restarts: int = 0
 
     @property
     def expansion_cache(self) -> CacheStats:
@@ -122,6 +131,10 @@ class RouterStats:
             "batches": self.batches,
             "unlinked_queries": self.unlinked_queries,
             "uptime_s": round(self.uptime_s, 3),
+            "retries_total": self.retries_total,
+            "hedges_total": self.hedges_total,
+            "hedge_wins_total": self.hedge_wins_total,
+            "worker_restarts": self.worker_restarts,
             "link_cache": self.link_cache.as_dict(),
             "expansion_cache": self.expansion_cache.as_dict(),
             "per_shard_hit_rates": [
@@ -159,45 +172,28 @@ class ShardRouter:
         # Serve from the compact read path: CSR adjacency for expansion,
         # interned CSR postings for ranking.  frozen() is a no-op for
         # snapshots loaded from the version-3 format.
+        from repro.service.shard_worker import make_shard_worker
+
         snapshot = snapshot.frozen()
+        self.snapshot = snapshot
         self._view = snapshot.view()
         self.doc_names = dict(snapshot.doc_names)
         self._linker = snapshot.make_linker(self._view)
         shared_expander = expander or NeighborhoodCycleExpander()
-        # Warm-cache prefill: expansions precomputed at snapshot build
-        # time are owner-shard-local, so each worker warms only its own.
-        # prefill_for returns () when this router's expander fingerprint
-        # differs from the one that computed the prefill (those queries
-        # just run cold), and each worker's cache is sized to hold its
-        # whole prefill so warmed entries cannot evict each other before
-        # the first request.
-        prefill = [
-            snapshot.prefill_for(shard_id, shared_expander)
-            for shard_id in range(snapshot.num_shards)
-        ]
+        # Worker construction (cache sizing, warm-cache prefill) is
+        # shared with the out-of-process worker entry point
+        # (`repro shard-worker`) so both deployments serve from
+        # identically configured shards.
         self._workers = [
-            ExpansionService(
-                snapshot.compact_graph,
-                snapshot.make_segment_engine(shard_id),
-                self._linker,
-                shared_expander,
-                doc_names=snapshot.doc_names,
-                # Linking happens once at the router (owner routing needs
-                # the seeds before a worker is chosen), so worker link
-                # caches would only ever hold dead entries — keep them at
-                # the minimum size instead of the 4096 default.
-                link_cache_size=1,
-                expansion_cache_size=max(
-                    expansion_cache_size, len(prefill[shard_id])
-                ),
-                allow_empty_index=True,
-                shard_id=shard_id,
+            make_shard_worker(
+                snapshot,
+                shard_id,
+                linker=self._linker,
+                expander=shared_expander,
+                expansion_cache_size=expansion_cache_size,
             )
             for shard_id in range(snapshot.num_shards)
         ]
-        for shard_id, entries in enumerate(prefill):
-            if entries:
-                self._workers[shard_id].warm_expansions(entries)
         self._tokenizer = self._workers[0].engine.tokenizer
         self._link_cache = LRUCache(link_cache_size)
         self._pool = ThreadPoolExecutor(

@@ -1,0 +1,330 @@
+"""Out-of-process shard worker: one shard served over the wire protocol.
+
+A shard worker is a process that loads *one* shard of a
+:class:`~repro.service.artifacts.ShardedSnapshot` and serves the five
+shard-protocol calls (``docs/shard_protocol.md``) over length-prefixed
+JSON frames (:mod:`repro.service.wire`) on the same asyncio-streams
+machinery the HTTP front end uses.  Start one with::
+
+    python -m repro.cli shard-worker --snapshot DIR --shard 2 --port 0
+
+``--port 0`` binds an ephemeral port; the worker prints a single ready
+line (``shard-worker: shard 2 serving on 127.0.0.1:PORT pid=PID``) that
+:class:`~repro.service.supervisor.ShardSupervisor` parses.
+
+Connection lifecycle: the first frame on every connection must be a
+``hello`` handshake carrying the peer's protocol version.  A mismatch
+is answered with a clean error frame and the connection is closed —
+version negotiation fails loudly instead of mis-decoding call frames.
+The hello response carries static shard metadata (pid, document count,
+segment token total) so a supervisor's liveness ping doubles as a
+readiness check without touching the five calls.
+
+Trace propagation (the PR-6 follow-up): a call frame may carry the
+router's ``trace_id``; the worker executes the call inside a trace with
+that id and returns its recorded spans in the response, which the
+socket adapter replays into the router-side request trace — one
+``/metrics`` scrape still sees the whole pipeline, processes included.
+
+Execution model mirrors the in-process stack: the event loop frames and
+dispatches; the calls themselves (cycle mining is CPU-heavy and cache-
+stateful) run on a small thread pool, so a slow expansion does not stop
+the worker from answering rank calls on other connections.
+
+Fault injection (:mod:`repro.service.faults`) hooks in *here*, at the
+frame layer — after a request is decoded, before it is dispatched — so
+``tests/service/test_shard_faults.py`` can kill, stall, or corrupt a
+specific call deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.expansion import Expander, NeighborhoodCycleExpander
+from repro.errors import ServiceError
+from repro.obs import trace as tracing
+from repro.service import wire
+from repro.service.artifacts import ShardedSnapshot
+from repro.service.faults import FaultPlan
+from repro.service.server import ExpansionService
+
+from repro.service.wire import SHARD_PROTOCOL_VERSION
+
+__all__ = ["make_shard_worker", "ShardWorkerServer", "run_worker"]
+
+READY_LINE = "shard-worker: shard {shard} serving on {host}:{port} pid={pid}"
+
+_CALLS = (
+    "link_text",
+    "expand_seeds",
+    "prefill_expansions",
+    "leaf_collection_counts",
+    "search_with_background",
+)
+
+
+def make_shard_worker(
+    snapshot: ShardedSnapshot,
+    shard_id: int,
+    *,
+    linker=None,
+    expander: Expander | None = None,
+    expansion_cache_size: int = 1024,
+) -> ExpansionService:
+    """One shard's :class:`ExpansionService`, configured the router way.
+
+    Shared by :class:`~repro.service.router.ShardRouter` (in-process
+    workers) and :class:`ShardWorkerServer` (worker processes), so both
+    deployments serve from identically configured workers: minimum link
+    cache (linking happens at the router), expansion cache sized to hold
+    the shard's whole prefill, empty index segments allowed, and the
+    prefilled expansions warmed before the first request.
+    """
+    snapshot = snapshot.frozen()
+    expander = expander or NeighborhoodCycleExpander()
+    prefill = snapshot.prefill_for(shard_id, expander)
+    worker = ExpansionService(
+        snapshot.compact_graph,
+        snapshot.make_segment_engine(shard_id),
+        linker if linker is not None else snapshot.make_linker(snapshot.view()),
+        expander,
+        doc_names=snapshot.doc_names,
+        # Linking happens once at the router (owner routing needs the
+        # seeds before a worker is chosen), so worker link caches would
+        # only ever hold dead entries — keep them at the minimum size.
+        link_cache_size=1,
+        expansion_cache_size=max(expansion_cache_size, len(prefill)),
+        allow_empty_index=True,
+        shard_id=shard_id,
+    )
+    if prefill:
+        worker.warm_expansions(prefill)
+    return worker
+
+
+class ShardWorkerServer:
+    """Serve one shard worker's five protocol calls over asyncio streams."""
+
+    def __init__(
+        self,
+        worker: ExpansionService,
+        shard_id: int,
+        *,
+        faults: FaultPlan | None = None,
+        max_frame_bytes: int = wire.MAX_FRAME_BYTES,
+        executor: ThreadPoolExecutor | None = None,
+    ) -> None:
+        self._worker = worker
+        self._shard_id = shard_id
+        self._faults = faults
+        self._max_frame_bytes = max_frame_bytes
+        self._own_executor = executor is None
+        self._executor = executor or ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix=f"shard-{shard_id}"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self.calls_served = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = await asyncio.start_server(self._serve_connection, host, port)
+        return self._server
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._own_executor:
+            self._executor.shutdown(wait=False)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _hello_response(self) -> dict:
+        engine = self._worker.engine
+        return {
+            "ok": True,
+            "protocol": SHARD_PROTOCOL_VERSION,
+            "shard": self._shard_id,
+            "pid": os.getpid(),
+            "documents": engine.num_documents,
+            "total_tokens": engine.index.total_tokens,
+        }
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await wire.read_frame(
+                reader, max_frame_bytes=self._max_frame_bytes
+            )
+            if hello is None:
+                return
+            if hello.get("call") != "hello":
+                await wire.write_frame(writer, _error_frame(
+                    "protocol_error",
+                    f"expected a hello handshake, got {hello.get('call')!r}",
+                ))
+                return
+            if hello.get("protocol") != SHARD_PROTOCOL_VERSION:
+                await wire.write_frame(writer, _error_frame(
+                    "protocol_mismatch",
+                    f"peer speaks shard protocol {hello.get('protocol')!r}, "
+                    f"this worker speaks {SHARD_PROTOCOL_VERSION}",
+                ))
+                return
+            await wire.write_frame(writer, self._hello_response())
+            while True:
+                request = await wire.read_frame(
+                    reader, max_frame_bytes=self._max_frame_bytes
+                )
+                if request is None:
+                    return
+                if not await self._serve_call(request, writer):
+                    return
+        except (
+            wire.WireProtocolError, ConnectionResetError, BrokenPipeError,
+        ):
+            pass  # peer vanished or sent garbage; drop the connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_call(
+        self, request: dict, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Answer one call frame; False closes the connection."""
+        call = request.get("call")
+        if call not in _CALLS:
+            await wire.write_frame(
+                writer, _error_frame("unknown_call", f"unknown call {call!r}")
+            )
+            return True
+        fault = self._faults.check(call) if self._faults else None
+        if fault is not None and fault.action == "kill":
+            os._exit(17)  # a hard crash: no response, no cleanup
+        if fault is not None and fault.action == "stall":
+            await asyncio.sleep(fault.arg)
+        if fault is not None and fault.action == "garbage":
+            # A well-framed body that is not JSON: exercises the
+            # receiver's decode error path, not its length check.
+            body = b"\xffgarbage\xfe"
+            writer.write(len(body).to_bytes(4, "big") + body)
+            await writer.drain()
+            return False
+
+        trace = tracing.Trace(trace_id=request.get("trace_id") or None)
+
+        def run():
+            with tracing.start_trace(trace):
+                return self._dispatch(call, request)
+
+        try:
+            response = await asyncio.get_running_loop().run_in_executor(
+                self._executor, run
+            )
+        except Exception as exc:  # noqa: BLE001 — becomes an error frame
+            response = _error_frame(type(exc).__name__, str(exc))
+        else:
+            response["spans"] = [span.as_dict() for span in trace.spans]
+        self.calls_served += 1
+
+        if fault is not None and fault.action == "short":
+            frame = wire.encode_frame(response)
+            writer.write(frame[: max(1, len(frame) // 2)])
+            await writer.drain()
+            return False
+        await wire.write_frame(writer, response)
+        return True
+
+    # ------------------------------------------------------------------
+    # Call dispatch (runs on an executor thread, inside the call's trace)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, call: str, request: dict) -> dict:
+        worker = self._worker
+        if call == "link_text":
+            with tracing.span("link", shard=self._shard_id) as span:
+                link, cached = worker.link_text(str(request["normalized"]))
+                span["cached"] = cached
+            return {"link": wire.encode_link_result(link), "cached": cached}
+        if call == "expand_seeds":
+            seeds = frozenset(int(s) for s in request["seeds"])
+            expansion, cached = worker.expand_seeds(seeds)
+            return {"expansion": wire.encode_expansion(expansion), "cached": cached}
+        if call == "prefill_expansions":
+            seed_sets = [
+                frozenset(int(s) for s in seeds)
+                for seeds in request["seed_sets"]
+            ]
+            computed = worker.prefill_expansions(seed_sets)
+            return {"computed": [sorted(seeds) for seeds in computed]}
+        if call == "leaf_collection_counts":
+            root = wire.decode_query(request["root"])
+            with tracing.span("rank", shard=self._shard_id, phase="counts"):
+                counts = worker.engine.leaf_collection_counts(root)
+            return {"counts": wire.encode_counts(counts)}
+        if call == "search_with_background":
+            root = wire.decode_query(request["root"])
+            background = wire.decode_background(request["background"])
+            top_k = int(request["top_k"])
+            with tracing.span("rank", shard=self._shard_id, phase="score"):
+                results = worker.engine.search_with_background(
+                    root, background, top_k
+                )
+            return {"results": wire.encode_results(results)}
+        raise AssertionError(f"unreachable call {call!r}")
+
+
+def _error_frame(error_type: str, message: str) -> dict:
+    return {"error": {"type": error_type, "message": message}}
+
+
+def run_worker(
+    snapshot_dir: str,
+    shard_id: int,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fault_spec: str = "",
+) -> int:
+    """Load one shard and serve it until interrupted (the CLI entry)."""
+    snapshot = ShardedSnapshot.load(snapshot_dir)
+    if not 0 <= shard_id < snapshot.num_shards:
+        raise ServiceError(
+            f"shard {shard_id} out of range: snapshot has "
+            f"{snapshot.num_shards} shard(s)"
+        )
+    faults = FaultPlan.from_spec(fault_spec) if fault_spec \
+        else FaultPlan.from_env()
+    worker = make_shard_worker(snapshot, shard_id)
+    server = ShardWorkerServer(worker, shard_id, faults=faults or None)
+
+    async def serve() -> None:
+        bound = await server.start(host, port)
+        print(
+            READY_LINE.format(
+                shard=shard_id, host=host, port=server.port, pid=os.getpid()
+            ),
+            flush=True,
+        )
+        async with bound:
+            await bound.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -84,10 +84,13 @@ class TestEquivalence:
 
 class TestCoalescing:
     def test_identical_concurrent_queries_share_one_computation(
-        self, small_benchmark, sharded_snapshot
+        self, small_benchmark, sharded_snapshot, monkeypatch
     ):
         """N concurrent copies of one cold query pay one expansion pass
         and every awaiter gets the same answer."""
+        # Asserts on the in-process workers' expansion-cache counters,
+        # which socket-mode (out-of-process) workers would not touch.
+        monkeypatch.delenv("REPRO_SHARD_ADAPTER", raising=False)
         keywords = small_benchmark.topics[0].keywords
         async_router = AsyncShardRouter(ShardRouter(sharded_snapshot))
 
@@ -148,8 +151,9 @@ class TestCoalescing:
 
 class TestAccounting:
     def test_requests_total_and_errors_count_failures(
-        self, small_benchmark, sharded_snapshot
+        self, small_benchmark, sharded_snapshot, monkeypatch
     ):
+        monkeypatch.delenv("REPRO_SHARD_ADAPTER", raising=False)
         router = ShardRouter(sharded_snapshot)
         async_router = AsyncShardRouter(router)
 

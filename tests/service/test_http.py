@@ -218,8 +218,13 @@ class TestFailureModes:
                 response += chunk
         assert b"400" in response.split(b"\r\n", 1)[0]
 
-    def test_stop_lets_in_flight_requests_finish(self, sharded_snapshot):
+    def test_stop_lets_in_flight_requests_finish(
+        self, sharded_snapshot, monkeypatch
+    ):
         """stop() must deliver in-flight responses, then close."""
+        # Patches the in-process workers, so force the executor adapter
+        # even when the suite runs in its socket-adapter configuration.
+        monkeypatch.delenv("REPRO_SHARD_ADAPTER", raising=False)
         router = ShardRouter(sharded_snapshot)
         release = threading.Event()
         arrived = threading.Event()
@@ -270,7 +275,10 @@ class TestFailureModes:
         assert status == 413
         assert payload["error"]["code"] == "payload_too_large"
 
-    def test_internal_error_is_500_and_counted(self, sharded_snapshot):
+    def test_internal_error_is_500_and_counted(
+        self, sharded_snapshot, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_SHARD_ADAPTER", raising=False)
         router = ShardRouter(sharded_snapshot)
 
         def boom(normalized):
@@ -292,10 +300,12 @@ class TestFailureModes:
 
 class TestCoalescing:
     def test_concurrent_identical_requests_coalesce_to_identical_payloads(
-        self, sharded_snapshot, small_benchmark
+        self, sharded_snapshot, small_benchmark, monkeypatch
     ):
         """A thundering herd on one cold query is answered by ONE
         computation; every client receives byte-identical JSON."""
+        # Relies on patching the in-process workers to park requests.
+        monkeypatch.delenv("REPRO_SHARD_ADAPTER", raising=False)
         router = ShardRouter(sharded_snapshot)
         release = threading.Event()
         real_expand = router.workers[0].expand_seeds.__func__

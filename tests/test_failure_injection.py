@@ -74,6 +74,83 @@ class TestCorruptedArtifacts:
             Benchmark.load(tmp_path / "nope")
 
 
+class TestShardUnavailableOverHttp:
+    """A dead shard worker surfaces as a structured, retryable 503."""
+
+    def test_structured_503_envelope_and_retry_after_header(
+        self, saved_benchmark
+    ):
+        import asyncio
+        import http.client
+        import json
+        import threading
+
+        from repro.errors import ShardUnavailableError
+        from repro.service import (
+            AsyncShardRouter,
+            HttpFrontEnd,
+            ShardCallPolicy,
+            ShardRouter,
+            ShardedSnapshot,
+            Snapshot,
+            SocketShardAdapter,
+        )
+
+        benchmark = Benchmark.load(saved_benchmark)
+        sharded = ShardedSnapshot.from_snapshot(
+            Snapshot.build(benchmark), num_shards=1
+        )
+
+        def dead_endpoint():
+            raise ShardUnavailableError(
+                0, "shard 0 worker is failed (restarts=5)",
+                state="failed", retry_after_s=7.0,
+            )
+
+        adapter = SocketShardAdapter(
+            dead_endpoint, 0, policy=ShardCallPolicy(max_attempts=1)
+        )
+        front = HttpFrontEnd(AsyncShardRouter(
+            ShardRouter(sharded), adapters=[adapter]
+        ))
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            server = asyncio.run_coroutine_threadsafe(
+                front.start("127.0.0.1", 0), loop
+            ).result(timeout=30)
+            port = server.sockets[0].getsockname()[1]
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/expand",
+                    json.dumps({"query": "anything"}).encode(),
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                status = response.status
+                retry_after = response.getheader("Retry-After")
+                payload = json.loads(response.read())
+            finally:
+                conn.close()
+            assert status == 503
+            error = payload["error"]
+            assert error["code"] == "shard_unavailable"
+            assert error["shard"] == 0
+            assert error["state"] == "failed"
+            assert error["retry_after_s"] == 7.0
+            assert "failed" in error["message"]
+            assert retry_after == "7"
+            asyncio.run_coroutine_threadsafe(
+                front.stop(), loop
+            ).result(timeout=30)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30)
+            front.service.close()
+
+
 class TestAdversarialInputs:
     def test_empty_engine_search(self):
         with pytest.raises(EmptyIndexError):

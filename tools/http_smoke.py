@@ -16,7 +16,13 @@ End to end, as a real deployment would run it:
    the HTTP request counter must be non-zero after the ``/expand``;
 6. render one ``repro top --once`` dashboard frame against the live
    server (the scriptable mode operators pipe to files);
-7. shut the server down and fail loudly if anything differed.
+7. relaunch with ``--workers 2`` (out-of-process shard workers behind
+   the socket adapter), diff ``/expand`` against the same in-process
+   reference, then SIGKILL one worker process mid-run and assert the
+   supervisor restarts it (``/healthz`` workers back to ``up``, the
+   ``repro_shard_worker_restarts_total`` counter advanced) and that
+   post-restart answers are still identical;
+8. shut the servers down and fail loudly if anything differed.
 
 Run from the repo root with ``PYTHONPATH=src`` (CI does).
 """
@@ -147,6 +153,89 @@ def check_top_once(base: str, failures: list[str]) -> None:
     print("top: one-shot dashboard frame rendered")
 
 
+def check_worker_serving(
+    snap_dir: Path, query: str, ref_results: list, failures: list[str]
+) -> None:
+    """Serve with out-of-process shard workers; kill one mid-run."""
+    from repro.obs import parse_prometheus_text
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--snapshot", str(snap_dir), "--http", "0", "--workers", "2"],
+        cwd=ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_for_port(proc)
+        base = f"http://127.0.0.1:{port}"
+
+        health = get_json(f"{base}/healthz")
+        workers = health.get("workers", [])
+        if len(workers) != 2:
+            failures.append(f"healthz workers list missing or wrong: {health}")
+            return
+        if any(w.get("state") != "up" for w in workers):
+            failures.append(f"workers not all up at startup: {workers}")
+
+        served = get_json(f"{base}/expand", {"query": query})
+        if [(r["doc_id"], r["score"]) for r in served["results"]] != ref_results:
+            failures.append(
+                "worker-mode /expand differs from the in-process router"
+            )
+        else:
+            print("workers: /expand over worker processes matches "
+                  "the in-process router")
+
+        victim = workers[0].get("pid")
+        if not victim:
+            failures.append(f"worker entry carries no pid: {workers[0]}")
+            return
+        os.kill(victim, signal.SIGKILL)
+        print(f"workers: killed worker pid {victim}; waiting for restart")
+        deadline = time.time() + 120
+        recovered = False
+        while time.time() < deadline:
+            health = get_json(f"{base}/healthz")
+            workers = health.get("workers", [])
+            if sum(w.get("restarts", 0) for w in workers) >= 1 and \
+                    all(w.get("state") == "up" for w in workers):
+                recovered = True
+                break
+            time.sleep(0.2)
+        if not recovered:
+            failures.append(f"killed worker did not recover: {health}")
+            return
+        print("workers: supervisor restarted the killed worker "
+              f"(healthz: {health.get('worker_restarts')} restart(s))")
+
+        served = get_json(f"{base}/expand", {"query": query})
+        if [(r["doc_id"], r["score"]) for r in served["results"]] != ref_results:
+            failures.append(
+                "post-restart /expand differs from the in-process router"
+            )
+
+        text, _ = get_text(f"{base}/metrics")
+        restarts_metric = sum(
+            value
+            for (name, _labels), value
+            in parse_prometheus_text(text)["samples"].items()
+            if name == "repro_shard_worker_restarts_total"
+        )
+        if restarts_metric < 1:
+            failures.append(
+                "repro_shard_worker_restarts_total did not advance "
+                f"after the kill (saw {restarts_metric})"
+            )
+        else:
+            print("workers: restart counter visible in /metrics")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
 def main() -> int:
     sys.path.insert(0, str(ROOT / "src"))
     failures: list[str] = []
@@ -224,13 +313,16 @@ def main() -> int:
             except subprocess.TimeoutExpired:
                 proc.kill()
 
+        check_worker_serving(snap_dir, query, ref_results, failures)
+
     if failures:
         print("HTTP smoke FAILED:")
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("HTTP smoke ok: /healthz, /expand, /metrics and repro top agree "
-          "with the synchronous path")
+    print("HTTP smoke ok: /healthz, /expand, /metrics, repro top and "
+          "worker-mode serving (with a mid-run kill) agree with the "
+          "synchronous path")
     return 0
 
 
