@@ -35,7 +35,15 @@ the standard 50-topic benchmark, in several regimes:
   (:class:`ShardSupervisor` + :class:`SocketShardAdapter`,
   ``docs/shard_protocol.md``).  Every response is again asserted
   bit-identical to the in-process reference before its timing counts —
-  the acceptance bar for out-of-process sharding.
+  the acceptance bar for out-of-process sharding;
+* **delta overlay** — the live-update read path
+  (``docs/live_updates.md``): a router whose coordinator published an
+  overlay that no query's neighbourhood touches must answer cold
+  queries within 10% of a plain router measured interleaved in the
+  same process (the disjoint-overlay fast path), a delta far from
+  every cached seed set must evict nothing
+  (``unrelated_hit_preserved == 1.0``), and a delta next to a cached
+  seed must evict that entry and only be counted once.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
 performance trajectory is tracked across PRs.  Each regime additionally
@@ -327,6 +335,69 @@ def measurements(service_snapshot, queries) -> dict:
     supervisor.stop()
     socket_dir.cleanup()
 
+    # Live-update overlay: a router serving THROUGH an overlay that no
+    # query touches, interleaved with a plain router in the same
+    # process.  The overlay must ride the disjoint fast path (delegate
+    # to the compact kernels), so its cold overhead is bounded; then a
+    # far delta must evict nothing and a near delta exactly its
+    # neighbourhood.
+    from repro.updates import UpdateCoordinator
+
+    island = 9_500_000
+    plain_router = ShardRouter(ShardedSnapshot.from_snapshot(service_snapshot, 1))
+    overlay_router = ShardRouter(ShardedSnapshot.from_snapshot(service_snapshot, 1))
+    coordinator = UpdateCoordinator(overlay_router)
+    coordinator.apply([
+        {"op": "add_article", "seq": 1, "node_id": island,
+         "title": "Bench Overlay Island"},
+    ])
+    assert coordinator.describe()["touched_nodes"] == 1
+
+    overlay_cold: list[float] = []
+    overlay_plain_cold: list[float] = []
+    overlay_cold_stages: list[dict] = []
+    for query, reference in zip(queries, cold_responses):
+        ref = plain_router.expand_query(query)
+        mine = overlay_router.expand_query(query)
+        _assert_same_answer(ref, reference, query)
+        _assert_same_answer(mine, reference, query)
+        overlay_plain_cold.append(ref.latency_ms)
+        overlay_cold.append(mine.latency_ms)
+        overlay_cold_stages.append(mine.stage_totals_ms())
+    overlay_cold_seconds = sum(overlay_cold) / 1000.0
+
+    # Far delta: a second island wired only to the first — its delta
+    # ball misses every cached seed set, so every topic stays warm.
+    far_summary = coordinator.apply([
+        {"op": "add_article", "seq": 2, "node_id": island + 1,
+         "title": "Bench Overlay Island Twin"},
+        {"op": "add_edge", "seq": 3, "source": island, "target": island + 1,
+         "kind": "link"},
+    ])
+    preserved = sum(
+        1 for query in queries
+        if overlay_router.expand_query(query).expansion_cached
+    )
+    unrelated_hit_preserved = preserved / len(queries)
+
+    # Near delta: wire the island into the first linked topic's seed —
+    # exactly that neighbourhood must be evicted and recomputed.
+    target_query = next(
+        query for query in queries
+        if overlay_router.expand_query(query).linked
+    )
+    target_seed = sorted(
+        overlay_router.expand_query(target_query).link.article_ids
+    )[0]
+    near_summary = coordinator.apply([
+        {"op": "add_edge", "seq": 4, "source": island, "target": target_seed,
+         "kind": "link"},
+    ])
+    near_evicts_target = \
+        not overlay_router.expand_query(target_query).expansion_cached
+    plain_router.close()
+    overlay_router.close()
+
     stats = dict_service.stats()
     return {
         "smoke": SMOKE,
@@ -400,6 +471,24 @@ def measurements(service_snapshot, queries) -> dict:
             "workers": SHARD_COUNT,
             **_summarize(socket_cached, socket_cached_seconds),
             "stage_p50_ms": _stage_p50(socket_cached_stages),
+        },
+        "delta_overlay": {
+            "shards": 1,
+            "empty_overlay_cold": {
+                **_summarize(overlay_cold, overlay_cold_seconds),
+                "stage_p50_ms": _stage_p50(overlay_cold_stages),
+            },
+            "plain_cold_p50_ms": round(
+                statistics.median(overlay_plain_cold), 3
+            ),
+            "empty_overlay_overhead_ratio": round(
+                statistics.median(overlay_cold)
+                / statistics.median(overlay_plain_cold), 3
+            ),
+            "unrelated_hit_preserved": unrelated_hit_preserved,
+            "far_delta_invalidated": far_summary["invalidated"],
+            "near_delta_invalidated": near_summary["invalidated"],
+            "near_delta_evicts_target": near_evicts_target,
         },
         "cache_hit_rate": {
             "link": round(stats.link_cache.hit_rate, 4),
@@ -503,6 +592,32 @@ def test_prefilled_router_serves_first_hits_at_cached_tier(measurements):
     assert measurements["prefilled"]["p50_ms"] < measurements["cold"]["p50_ms"]
 
 
+def test_empty_overlay_overhead_within_ten_percent(measurements):
+    """A published-but-irrelevant overlay must ride the fast path.
+
+    Cold p50 through a router carrying an overlay no query touches,
+    against a plain router interleaved in the same process — the ratio
+    is machine-robust the same way ``compact_speedup`` is.  Smoke runs
+    keep the key in the schema but skip the ceiling.
+    """
+    ratio = measurements["delta_overlay"]["empty_overlay_overhead_ratio"]
+    assert ratio > 0
+    if measurements["smoke"]:
+        pytest.skip(f"smoke run (ratio {ratio}); the ceiling is asserted on full runs")
+    assert ratio <= 1.10, measurements["delta_overlay"]
+
+
+def test_unrelated_topics_keep_cache_hits_across_deltas(measurements):
+    """Targeted invalidation: a delta whose ball misses every cached
+    seed set must preserve every hit, and a delta next to a cached
+    seed must evict that entry."""
+    overlay = measurements["delta_overlay"]
+    assert overlay["unrelated_hit_preserved"] == 1.0
+    assert overlay["far_delta_invalidated"]["expansion"] == 0
+    assert overlay["near_delta_invalidated"]["expansion"] >= 1
+    assert overlay["near_delta_evicts_target"] is True
+
+
 def test_emit_bench_json(measurements):
     """Persist the numbers so the perf trajectory is tracked across PRs.
 
@@ -548,3 +663,11 @@ def test_emit_bench_json(measurements):
     assert written["socket_workers_cold"]["identical_to_in_process"] is True
     assert written["socket_workers_cold"]["worker_restarts"] == 0
     assert "rank" in written["socket_workers_cached"]["stage_p50_ms"]
+    overlay = written["delta_overlay"]
+    assert overlay["empty_overlay_cold"]["p50_ms"] > 0
+    assert overlay["plain_cold_p50_ms"] > 0
+    assert overlay["empty_overlay_overhead_ratio"] > 0
+    assert overlay["unrelated_hit_preserved"] == 1.0
+    assert overlay["far_delta_invalidated"]["expansion"] == 0
+    assert overlay["near_delta_invalidated"]["expansion"] >= 1
+    assert overlay["near_delta_evicts_target"] is True

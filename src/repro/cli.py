@@ -394,12 +394,22 @@ def _serve_http(
         service = AsyncShardRouter(router, supervisor=supervisor, policy=policy)
     else:
         service = AsyncShardRouter(router)
-    generation = snapshot.source_version
+    from repro.updates import UpdateCoordinator
+
+    request_log = RequestLog(slow_ms=slow_ms, sink=sys.stderr.write)
+    coordinator = UpdateCoordinator(
+        router,
+        snapshot_dir=snapshot_dir,
+        supervisor=supervisor,
+        request_log=request_log,
+    )
+    format_version = snapshot.source_version
     front = HttpFrontEnd(
         service,
         snapshot_info=snapshot.layout_description(),
-        snapshot_generation="" if generation is None else f"v{generation}",
-        request_log=RequestLog(slow_ms=slow_ms, sink=sys.stderr.write),
+        snapshot_format="" if format_version is None else f"v{format_version}",
+        coordinator=coordinator,
+        request_log=request_log,
     )
 
     async def run() -> None:
@@ -407,7 +417,8 @@ def _serve_http(
         bound = server.sockets[0].getsockname()[1]
         print(
             f"http: serving on http://{host}:{bound} "
-            f"(POST /expand /search /batch_expand, "
+            f"(POST /expand /search /batch_expand "
+            f"/admin/apply_delta /admin/compact, "
             f"GET /stats /healthz /metrics)",
             flush=True,
         )

@@ -81,6 +81,31 @@ class SnapshotError(ServiceError):
     """
 
 
+class DeltaError(ServiceError):
+    """A live-update delta is malformed or invalid against the graph.
+
+    Examples: adding a node id that already exists, removing an edge
+    that is not present, redirecting an article onto itself.  The HTTP
+    admin endpoint maps this onto a structured 400.
+    """
+
+
+class StaleGenerationError(DeltaError):
+    """A delta batch targeted a snapshot generation no longer serving.
+
+    Carries both generations so the client can refetch ``/healthz`` and
+    resubmit; the HTTP admin endpoint maps this onto a 409.
+    """
+
+    def __init__(self, expected: int, got: object) -> None:
+        super().__init__(
+            f"delta targets generation {got!r}, but the service is at "
+            f"generation {expected}"
+        )
+        self.expected = expected
+        self.got = got
+
+
 class WireProtocolError(ServiceError):
     """A shard-protocol frame was malformed, oversized, or truncated.
 

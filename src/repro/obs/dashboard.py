@@ -105,6 +105,12 @@ def render_dashboard(
     http = stats.get("http", {})
     uptime = stats.get("uptime_s")
     header = f"repro top — shards={stats.get('shards', '?')}"
+    generation = stats.get("generation")
+    if generation is not None:
+        header += f"  gen:{generation}"
+        delta_seq = stats.get("delta_seq", 0)
+        if delta_seq:
+            header += f"+{delta_seq}"
     if uptime is not None:
         header += f"  uptime={uptime:.0f}s"
     if now is not None:

@@ -24,8 +24,14 @@ from __future__ import annotations
 import heapq
 import json
 import threading
+import time
 
 __all__ = ["RequestLog"]
+
+# Recent-query retention defaults: how many distinct queries the warm-up
+# ring keeps and how old an entry may grow before age-out drops it.
+DEFAULT_RECENT_CAPACITY = 256
+DEFAULT_RECENT_MAX_AGE_S = 900.0
 
 
 class RequestLog:
@@ -51,19 +57,33 @@ class RequestLog:
         slow_ms: float = 100.0,
         capacity: int = 32,
         sink=None,
+        recent_capacity: int = DEFAULT_RECENT_CAPACITY,
+        recent_max_age_s: float = DEFAULT_RECENT_MAX_AGE_S,
+        clock=time.monotonic,
     ) -> None:
         if capacity < 1:
             raise ValueError("reservoir capacity must be >= 1")
         if slow_ms < 0:
             raise ValueError("slow_ms must be >= 0")
+        if recent_capacity < 1:
+            raise ValueError("recent_capacity must be >= 1")
+        if recent_max_age_s <= 0:
+            raise ValueError("recent_max_age_s must be > 0")
         self.slow_ms = float(slow_ms)
         self.capacity = capacity
+        self.recent_capacity = recent_capacity
+        self.recent_max_age_s = float(recent_max_age_s)
+        self._clock = clock
         self._sink = sink
         self._lock = threading.Lock()
         self._seq = 0
         self._slow = 0
         # heap of (latency_ms, -seq, entry): root = first to displace
         self._reservoir: list[tuple[float, int, dict]] = []
+        # Warm-up ring: query text -> last-seen clock reading, in
+        # insertion order (re-seeing a query moves it to the back).
+        # Bounded by recent_capacity; reads age out stale entries.
+        self._recent: dict[str, float] = {}
 
     def record(
         self,
@@ -87,6 +107,8 @@ class RequestLog:
         with self._lock:
             self._seq += 1
             seq = self._seq
+        if query is not None and (status is None or status < 400):
+            self._note_recent(query)
         if latency_ms < self.slow_ms:
             return False
         entry: dict = {
@@ -116,6 +138,31 @@ class RequestLog:
         if self._sink is not None:
             self._sink(json.dumps(entry, sort_keys=True) + "\n")
         return True
+
+    def _note_recent(self, query: str) -> None:
+        now = self._clock()
+        with self._lock:
+            # Re-insertion keeps the dict ordered by last-seen time.
+            self._recent.pop(query, None)
+            self._recent[query] = now
+            while len(self._recent) > self.recent_capacity:
+                del self._recent[next(iter(self._recent))]
+
+    def recent_queries(self, *, max_age_s: float | None = None) -> list[str]:
+        """Distinct queries served successfully within the age window,
+        oldest first — the warm-up feed the update coordinator replays
+        through a freshly swapped snapshot generation.  Entries past the
+        window are dropped (age-out is enforced on read, so an idle
+        service does not retain stale query text indefinitely)."""
+        age = self.recent_max_age_s if max_age_s is None else float(max_age_s)
+        horizon = self._clock() - age
+        with self._lock:
+            for query, seen in list(self._recent.items()):
+                if seen < horizon:
+                    del self._recent[query]
+                else:
+                    break  # ordered by last-seen: the rest are fresh
+            return list(self._recent)
 
     @property
     def requests(self) -> int:

@@ -21,8 +21,12 @@ Families (all prefixed ``repro_``):
   (``kernels`` bitset hot path / ``dfs`` oracle), derived from the
   ``engine`` label on ``cycle_mine`` spans — the switch that proves
   which enumerator served a cold request;
+* ``repro_delta_invalidations_total{cache}`` — cache entries evicted by
+  applied graph deltas (live updates, ``docs/live_updates.md``),
+  incremented by the :class:`~repro.updates.UpdateCoordinator`;
 * ``repro_inflight_requests`` / ``repro_shard_inflight{shard}`` /
-  ``repro_uptime_seconds`` — gauges refreshed from
+  ``repro_uptime_seconds`` / ``repro_snapshot_generation`` /
+  ``repro_delta_seq`` — gauges refreshed from
   :class:`~repro.service.router.RouterStats` at scrape time by
   :meth:`update_from_stats`, not maintained continuously.
 
@@ -81,6 +85,19 @@ class ServingMetrics:
             "Cycle-mining runs by enumeration engine.",
             ("engine",),
         )
+        self.delta_invalidations = self.registry.counter(
+            "repro_delta_invalidations_total",
+            "Cache entries evicted by applied graph deltas, by cache tier.",
+            ("cache",),
+        )
+        self.snapshot_generation = self.registry.gauge(
+            "repro_snapshot_generation",
+            "Generation of the serving snapshot (advanced by compaction).",
+        )
+        self.delta_seq = self.registry.gauge(
+            "repro_delta_seq",
+            "Sequence number of the last applied delta (0 = pristine).",
+        )
         self.inflight = self.registry.gauge(
             "repro_inflight_requests",
             "Requests currently inside the router.",
@@ -127,6 +144,8 @@ class ServingMetrics:
     def update_from_stats(self, stats) -> None:
         """Refresh the scrape-time gauges from a :class:`RouterStats`."""
         self.uptime.set(round(stats.uptime_s, 3))
+        self.snapshot_generation.set(getattr(stats, "generation", 1))
+        self.delta_seq.set(getattr(stats, "delta_seq", 0))
         inflight = stats.requests_total - stats.queries - stats.errors
         self.inflight.set(max(0, inflight))
         for shard_id, value in enumerate(stats.per_shard_inflight):

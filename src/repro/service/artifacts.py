@@ -55,6 +55,7 @@ from __future__ import annotations
 import gzip
 import hashlib
 import json
+import os
 from collections.abc import Iterable
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -95,6 +96,10 @@ __all__ = [
     "SHARDED_SNAPSHOT_VERSION",
     "COMPACT_SNAPSHOT_VERSION",
     "MANIFEST_NAME",
+    "CURRENT_POINTER_NAME",
+    "generation_dir_name",
+    "resolve_snapshot_dir",
+    "write_current_pointer",
 ]
 
 SNAPSHOT_FORMAT = "repro-expansion-snapshot"
@@ -388,6 +393,66 @@ def _shard_dir_name(shard_id: int) -> str:
     return f"shard-{shard_id:04d}"
 
 
+# ----------------------------------------------------------------------
+# Snapshot generations (live updates / hot swap, docs/live_updates.md)
+# ----------------------------------------------------------------------
+#
+# Compaction folds an applied delta overlay into a *new generation* of
+# the same logical snapshot: ``<dir>/gen-0002/`` written in full, then
+# the one-line ``CURRENT`` pointer file swapped atomically.  A snapshot
+# directory without a pointer serves its own top-level manifest (the
+# layout every earlier release wrote), so generations are strictly
+# opt-in and appear only after the first compaction.
+
+CURRENT_POINTER_NAME = "CURRENT"
+
+
+def generation_dir_name(generation: int) -> str:
+    return f"gen-{generation:04d}"
+
+
+def resolve_snapshot_dir(directory: str | Path) -> Path:
+    """Follow the ``CURRENT`` generation pointer, if one exists.
+
+    Returns the directory whose manifest should be loaded: the pointed-at
+    generation subdirectory when ``CURRENT`` is present and sane, the
+    directory itself otherwise.  Workers, the supervisor and the delta
+    log all resolve through here so every process agrees on which
+    generation "the snapshot" currently means.
+    """
+    directory = Path(directory)
+    pointer = directory / CURRENT_POINTER_NAME
+    if not pointer.is_file():
+        return directory
+    name = pointer.read_text(encoding="utf-8").strip()
+    if not name or "/" in name or "\\" in name or name.startswith("."):
+        raise SnapshotError(
+            f"snapshot generation pointer {pointer} is malformed: {name!r}"
+        )
+    resolved = directory / name
+    if not (resolved / MANIFEST_NAME).exists():
+        raise SnapshotError(
+            f"snapshot generation pointer names {name!r}, but "
+            f"{resolved / MANIFEST_NAME} does not exist"
+        )
+    return resolved
+
+
+def write_current_pointer(directory: str | Path, generation: int) -> Path:
+    """Atomically point ``directory`` at ``gen-<generation>`` (the hot swap)."""
+    directory = Path(directory)
+    name = generation_dir_name(generation)
+    if not (directory / name / MANIFEST_NAME).exists():
+        raise SnapshotError(
+            f"refusing to point {directory} at {name}: no manifest there"
+        )
+    pointer = directory / CURRENT_POINTER_NAME
+    tmp = directory / (CURRENT_POINTER_NAME + ".tmp")
+    tmp.write_text(name + "\n", encoding="utf-8")
+    os.replace(tmp, pointer)
+    return pointer
+
+
 def _split_index(index: PositionalIndex, num_shards: int) -> list[PositionalIndex]:
     """Split one index into per-shard segments by document hash.
 
@@ -452,6 +517,11 @@ class ShardedSnapshot:
     # surface it (`serve` startup line, /healthz) so operators can tell
     # which layout a live process actually loaded.
     source_version: int | None = field(default=None, compare=False)
+    # Live-update generation (docs/live_updates.md): 1 for a freshly
+    # built snapshot, incremented each time a delta overlay is compacted
+    # into a new on-disk generation.  Deltas are validated against it,
+    # /healthz and /metrics surface it, and the hot swap advances it.
+    generation: int = field(default=1, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.partitions) != len(self.segments):
@@ -692,6 +762,7 @@ class ShardedSnapshot:
             "format": SNAPSHOT_FORMAT,
             "version": version,
             "mu": self.mu,
+            "generation": self.generation,
             "shards": self.num_shards,
             "counts": {
                 "articles": sum(len(p.core_articles) for p in self.partitions),
@@ -723,7 +794,7 @@ class ShardedSnapshot:
         path.  Raises :class:`SnapshotError` on checksum mismatches,
         missing shards, or count inconsistencies.
         """
-        directory = Path(directory)
+        directory = resolve_snapshot_dir(directory)
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
             raise SnapshotError(
@@ -866,6 +937,7 @@ class ShardedSnapshot:
             prefills=tuple(prefills), compact_graph=compact_graph,
             prefill_expander=next(iter(prefill_expanders), ""),
             source_version=version,
+            generation=int(manifest.get("generation", 1)),
         )
         counts = manifest.get("counts", {})
         actual_global = {

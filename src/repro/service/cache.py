@@ -143,6 +143,23 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def evict_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count.
+
+        The targeted-invalidation primitive of the live-update path: a
+        delta evicts only the entries whose neighbourhood it touched,
+        leaving the rest of the cache warm.  Evicted entries count into
+        the eviction counter (they are evictions, just not capacity
+        ones).  The predicate runs under the cache lock and must not
+        touch the cache reentrantly.
+        """
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            self._evictions += len(doomed)
+            return len(doomed)
+
     @property
     def stats(self) -> CacheStats:
         with self._lock:

@@ -10,8 +10,15 @@ serves six endpoints::
     POST /batch_expand  many queries in one request
     GET  /stats         RouterStats dict + front-end counters + slow log
     GET  /healthz       liveness: status, shards, per-shard health,
-                        hit-rate breakdown, error breakdown by status
+                        hit-rate breakdown, error breakdown by status,
+                        serving snapshot generation + delta sequence
     GET  /metrics       Prometheus text exposition (text/plain, not JSON)
+
+plus, when an :class:`~repro.updates.UpdateCoordinator` is attached
+(``repro serve --http`` always attaches one)::
+
+    POST /admin/apply_delta  apply one typed graph-delta batch live
+    POST /admin/compact      fold the overlay into generation N+1 + swap
 
 Every endpoint, every request/response schema, the error envelope and
 the status codes are specified in ``docs/http_api.md`` (the metric
@@ -20,10 +27,11 @@ Errors are always JSON::
 
     {"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
 
-with 400 (malformed JSON / invalid fields), 404 (unknown path), 405
-(known path, wrong method), 413 (body over ``max_body_bytes``) and 500
-(handler raised; also bumps the router error counter via the failed
-request).
+with 400 (malformed JSON / invalid fields / invalid delta), 404
+(unknown path), 405 (known path, wrong method), 409 (delta batch
+against a stale snapshot generation), 413 (body over
+``max_body_bytes``) and 500 (handler raised; also bumps the router
+error counter via the failed request).
 
 Concurrency model: the event loop parses requests and dispatches to an
 :class:`~repro.service.async_router.AsyncShardRouter`; shard work runs
@@ -45,7 +53,7 @@ import asyncio
 import json
 import time
 
-from repro.errors import ShardUnavailableError
+from repro.errors import DeltaError, ShardUnavailableError, StaleGenerationError
 from repro.obs.logs import RequestLog
 from repro.service.async_router import AsyncShardRouter
 
@@ -61,9 +69,11 @@ _MAX_BATCH_QUERIES = 1024
 _MAX_HEADERS = 128
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
+_MAX_DELTA_BATCH = 4096
 
 
 class _RequestError(Exception):
@@ -92,11 +102,18 @@ class HttpFrontEnd:
         Optional human-readable snapshot layout line, echoed in
         ``/healthz`` so operators can tell which format a live server
         loaded.
-    snapshot_generation:
-        Optional snapshot version/generation identifier (the build
-        version string of the loaded snapshot), echoed in ``/healthz``
-        so a fleet rollout can assert every replica serves the same
-        snapshot.
+    snapshot_format:
+        Optional on-disk format tag of the loaded snapshot (``"v3"``),
+        echoed in ``/healthz``.  The *serving generation* is not a
+        parameter: ``/healthz`` reports the router's live
+        ``snapshot_generation`` (an integer that advances on
+        compaction), so a fleet rollout can assert every replica serves
+        the same generation.
+    coordinator:
+        Optional :class:`~repro.updates.UpdateCoordinator`.  When
+        attached, the admin endpoints ``POST /admin/apply_delta`` and
+        ``POST /admin/compact`` are served (``docs/live_updates.md``);
+        without one they 404.
     request_log:
         The :class:`~repro.obs.logs.RequestLog` receiving one record per
         HTTP request (slow ones are sampled into its reservoir and
@@ -119,14 +136,16 @@ class HttpFrontEnd:
         service: AsyncShardRouter,
         *,
         snapshot_info: str = "",
-        snapshot_generation: str = "",
+        snapshot_format: str = "",
+        coordinator=None,
         request_log: RequestLog | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
     ) -> None:
         self._service = service
         self._snapshot_info = snapshot_info
-        self._snapshot_generation = snapshot_generation
+        self._snapshot_format = snapshot_format
+        self._coordinator = coordinator
         self._request_log = request_log or RequestLog()
         self._max_body_bytes = max_body_bytes
         self._read_timeout = read_timeout
@@ -352,6 +371,9 @@ class HttpFrontEnd:
             "/healthz": ("GET", self._handle_healthz),
             "/metrics": ("GET", self._handle_metrics),
         }
+        if self._coordinator is not None:
+            routes["/admin/apply_delta"] = ("POST", self._handle_apply_delta)
+            routes["/admin/compact"] = ("POST", self._handle_compact)
         started = time.perf_counter()
         self._http_requests += 1
         route = routes.get(path)
@@ -388,6 +410,15 @@ class HttpFrontEnd:
             return 200, await handler()
         except _RequestError as exc:
             return exc.status, _error_body(exc.code, exc.message)
+        except StaleGenerationError as exc:
+            # The client validated its batch against a generation that
+            # compaction has since retired: a retryable conflict, not a
+            # bad request — refetch /healthz and resubmit.
+            body = _error_body("stale_generation", str(exc))
+            body["error"].update(expected=exc.expected, got=exc.got)
+            return 409, body
+        except DeltaError as exc:
+            return 400, _error_body("invalid_delta", str(exc))
         except ShardUnavailableError as exc:
             # Graceful degradation, not an internal error: the query's
             # owning shard worker is down.  Healthy-shard queries keep
@@ -564,8 +595,12 @@ class HttpFrontEnd:
             payload["hedges_total"] = stats.hedges_total
         if self._snapshot_info:
             payload["snapshot"] = self._snapshot_info
-        if self._snapshot_generation:
-            payload["snapshot_generation"] = self._snapshot_generation
+        if self._snapshot_format:
+            payload["snapshot_format"] = self._snapshot_format
+        # Load-bearing for live updates: clients read the generation
+        # here and echo it in /admin/apply_delta; a mismatch is a 409.
+        payload["snapshot_generation"] = stats.generation
+        payload["delta_seq"] = stats.delta_seq
         return payload
 
     async def _handle_metrics(self) -> str:
@@ -578,3 +613,48 @@ class HttpFrontEnd:
         metrics = self._service.metrics
         metrics.update_from_stats(self._service.stats())
         return metrics.render()
+
+    async def _handle_apply_delta(self, payload: dict) -> dict:
+        """Apply one delta batch to the live stack (docs/live_updates.md).
+
+        The body carries ``deltas`` (a list of delta objects in wire
+        form) and ``generation`` (the generation the client validated
+        against — read it from ``/healthz``).  Validation errors are
+        400s; a stale generation is a 409; success returns the apply
+        summary (applied count, last sequence, eviction counts).
+        """
+        deltas = payload.get("deltas")
+        if not isinstance(deltas, list) or not deltas:
+            raise _RequestError(
+                400, "invalid_request",
+                "'deltas' must be a non-empty list of delta objects",
+            )
+        if len(deltas) > _MAX_DELTA_BATCH:
+            raise _RequestError(
+                400, "invalid_request",
+                f"a delta batch may hold at most {_MAX_DELTA_BATCH} deltas",
+            )
+        generation = payload.get("generation")
+        if generation is not None and (
+            not isinstance(generation, int) or isinstance(generation, bool)
+        ):
+            raise _RequestError(
+                400, "invalid_request", "'generation' must be an integer"
+            )
+        coordinator = self._coordinator
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: coordinator.apply(deltas, generation=generation)
+        )
+
+    async def _handle_compact(self, payload: dict) -> dict:
+        """Fold the overlay into a new on-disk generation and hot-swap.
+
+        The body is an empty JSON object (reserved for future options).
+        Compaction is serialised against concurrent applies inside the
+        coordinator; the response reports the new generation.
+        """
+        del payload  # no options yet; the empty object is the contract
+        coordinator = self._coordinator
+        return await asyncio.get_running_loop().run_in_executor(
+            None, coordinator.compact
+        )

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.expansion import Expander, ExpansionResult, NeighborhoodCycleExpander
+from repro.errors import ServiceError
 from repro.linking.linker import LinkResult
 from repro.obs import trace as tracing
 from repro.obs.serving import ServingMetrics
@@ -97,6 +98,12 @@ class RouterStats:
     hedges_total: int = 0
     hedge_wins_total: int = 0
     worker_restarts: int = 0
+    # Live-update state: the serving snapshot generation, the sequence
+    # number of the last applied delta (0 = pristine), and how many
+    # cache entries delta application has evicted so far.
+    generation: int = 1
+    delta_seq: int = 0
+    delta_invalidations: int = 0
 
     @property
     def expansion_cache(self) -> CacheStats:
@@ -135,6 +142,9 @@ class RouterStats:
             "hedges_total": self.hedges_total,
             "hedge_wins_total": self.hedge_wins_total,
             "worker_restarts": self.worker_restarts,
+            "generation": self.generation,
+            "delta_seq": self.delta_seq,
+            "delta_invalidations": self.delta_invalidations,
             "link_cache": self.link_cache.as_dict(),
             "expansion_cache": self.expansion_cache.as_dict(),
             "per_shard_hit_rates": [
@@ -206,6 +216,8 @@ class ShardRouter:
         self._unlinked = 0
         self._errors = 0
         self._started = time.monotonic()
+        self._delta_seq = 0
+        self._delta_invalidations = 0
         # Process-wide aggregates folded from per-request traces; the
         # async front end shares this instance and /metrics renders it.
         self.metrics = ServingMetrics()
@@ -392,6 +404,9 @@ class ShardRouter:
                 uptime_s=time.monotonic() - self._started,
                 link_cache=self._link_cache.stats,
                 shard_stats=tuple(worker.stats() for worker in self._workers),
+                generation=self.generation,
+                delta_seq=self._delta_seq,
+                delta_invalidations=self._delta_invalidations,
             )
 
     def clear_caches(self) -> None:
@@ -399,6 +414,89 @@ class ShardRouter:
         self._link_cache.clear()
         for worker in self._workers:
             worker.clear_caches()
+
+    # ------------------------------------------------------------------
+    # Live updates (driven by repro.updates.UpdateCoordinator)
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The serving snapshot generation (advanced by compaction)."""
+        return self.snapshot.generation
+
+    @property
+    def linker(self):
+        return self._linker
+
+    @property
+    def linker_tokenizer(self):
+        """The tokenizer linker rebuilds must use (vocabulary alignment)."""
+        return self._tokenizer
+
+    def apply_overlay(
+        self, router_view, worker_graph, *, linker=None, delta_seq: int = 0
+    ) -> None:
+        """Publish new effective graph views after an applied delta batch.
+
+        ``router_view`` replaces the router's logical view (linking,
+        ``build_query`` titles, owner routing); ``worker_graph`` is
+        pushed into every in-process worker's expansion path.  Both are
+        reference swaps — requests in flight finish on the view they
+        started with.  The caller evicts invalidated cache entries
+        separately (:meth:`evict_expansions` / :meth:`evict_links`).
+        """
+        self._view = router_view
+        if linker is not None:
+            self._linker = linker
+        for worker in self._workers:
+            worker.set_graph(worker_graph, linker=linker)
+        if delta_seq:
+            with self._lock:
+                self._delta_seq = max(self._delta_seq, delta_seq)
+
+    def swap_snapshot(self, snapshot: ShardedSnapshot) -> None:
+        """Hot-swap to a compacted generation of the same logical data.
+
+        Compaction only folds *graph* deltas in — index segments and
+        document names are unchanged by construction — so the swap
+        replaces the graph artefacts (snapshot, view, linker, worker
+        graphs) and deliberately keeps engines and caches: the overlay
+        the workers were serving is bit-identical to the new base, so
+        every cached expansion stays valid across the swap.
+        """
+        snapshot = snapshot.frozen()
+        if snapshot.num_shards != self.num_shards:
+            raise ServiceError(
+                f"cannot hot-swap to a {snapshot.num_shards}-shard snapshot: "
+                f"this router serves {self.num_shards} shard(s)"
+            )
+        self.snapshot = snapshot
+        self._view = snapshot.view()
+        self._linker = snapshot.make_linker(self._view)
+        for worker in self._workers:
+            worker.set_graph(snapshot.compact_graph, linker=self._linker)
+        with self._lock:
+            self._delta_seq = 0
+
+    def evict_expansions(self, predicate) -> int:
+        """Evict matching expansion entries from every worker; returns
+        the total count (also folded into the stats counter)."""
+        evicted = sum(
+            worker.evict_expansions(predicate) for worker in self._workers
+        )
+        with self._lock:
+            self._delta_invalidations += evicted
+        return evicted
+
+    def evict_links(self) -> int:
+        """Drop all cached link results, router and workers (title
+        surface changed); returns the total count."""
+        evicted = self._link_cache.evict_where(lambda _key: True)
+        for worker in self._workers:
+            evicted += worker.evict_links()
+        with self._lock:
+            self._delta_invalidations += evicted
+        return evicted
 
     def close(self) -> None:
         """Shut the fan-out pool down (the router stops serving)."""

@@ -424,6 +424,35 @@ class ExpansionService:
         self._link_cache.clear()
         self._expansion_cache.clear()
 
+    # ------------------------------------------------------------------
+    # Live updates (driven by repro.updates — see docs/live_updates.md)
+    # ------------------------------------------------------------------
+
+    def set_graph(self, graph, linker: EntityLinker | None = None) -> None:
+        """Swap the serving graph (and optionally the linker) in place.
+
+        The live-update path publishes a fresh
+        :class:`~repro.updates.overlay.OverlayGraphView` here after each
+        applied delta batch, and the compacted base graph after a hot
+        swap.  Swapping is a reference assignment — requests already
+        executing finish against the view they started with; the caller
+        is responsible for evicting the cache entries the change
+        invalidates (:meth:`evict_expansions`).
+        """
+        self._graph = graph
+        if linker is not None:
+            self._linker = linker
+
+    def evict_expansions(self, predicate) -> int:
+        """Targeted invalidation: drop expansion-cache entries whose
+        seed-set key satisfies ``predicate``; returns the count."""
+        return self._expansion_cache.evict_where(predicate)
+
+    def evict_links(self) -> int:
+        """Drop every cached link result (title surface changed);
+        returns the count."""
+        return self._link_cache.evict_where(lambda _key: True)
+
     def warm_expansions(self, entries) -> int:
         """Seed the expansion cache with precomputed results.
 

@@ -63,6 +63,7 @@ _CALLS = (
     "prefill_expansions",
     "leaf_collection_counts",
     "search_with_background",
+    "apply_delta",
 )
 
 
@@ -116,10 +117,14 @@ class ShardWorkerServer:
         faults: FaultPlan | None = None,
         max_frame_bytes: int = wire.MAX_FRAME_BYTES,
         executor: ThreadPoolExecutor | None = None,
+        updater=None,
     ) -> None:
         self._worker = worker
         self._shard_id = shard_id
         self._faults = faults
+        # Live-update receiver (repro.updates.ShardWorkerUpdater); a
+        # server without one rejects apply_delta with an error frame.
+        self._updater = updater
         self._max_frame_bytes = max_frame_bytes
         self._own_executor = executor is None
         self._executor = executor or ThreadPoolExecutor(
@@ -151,7 +156,7 @@ class ShardWorkerServer:
 
     def _hello_response(self) -> dict:
         engine = self._worker.engine
-        return {
+        payload = {
             "ok": True,
             "protocol": SHARD_PROTOCOL_VERSION,
             "shard": self._shard_id,
@@ -159,6 +164,10 @@ class ShardWorkerServer:
             "documents": engine.num_documents,
             "total_tokens": engine.index.total_tokens,
         }
+        if self._updater is not None:
+            payload["generation"] = self._updater.generation
+            payload["delta_seq"] = self._updater.last_seq
+        return payload
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -285,6 +294,18 @@ class ShardWorkerServer:
                     root, background, top_k
                 )
             return {"results": wire.encode_results(results)}
+        if call == "apply_delta":
+            if self._updater is None:
+                raise ServiceError(
+                    "this shard worker was started without live-update "
+                    "support (no delta updater attached)"
+                )
+            generation = request.get("generation")
+            result = self._updater.apply_payloads(
+                request["deltas"],
+                generation=None if generation is None else int(generation),
+            )
+            return {"result": result}
         raise AssertionError(f"unreachable call {call!r}")
 
 
@@ -300,7 +321,16 @@ def run_worker(
     port: int = 0,
     fault_spec: str = "",
 ) -> int:
-    """Load one shard and serve it until interrupted (the CLI entry)."""
+    """Load one shard and serve it until interrupted (the CLI entry).
+
+    ``snapshot_dir`` is the snapshot *root*: the loader follows its
+    ``CURRENT`` generation pointer, and any delta-log segments of the
+    loaded generation are replayed before the socket opens — a
+    restarted worker catches up to the batches its peers applied live
+    (``docs/live_updates.md``).
+    """
+    from repro.updates import DeltaLog, ShardWorkerUpdater
+
     snapshot = ShardedSnapshot.load(snapshot_dir)
     if not 0 <= shard_id < snapshot.num_shards:
         raise ServiceError(
@@ -310,7 +340,15 @@ def run_worker(
     faults = FaultPlan.from_spec(fault_spec) if fault_spec \
         else FaultPlan.from_env()
     worker = make_shard_worker(snapshot, shard_id)
-    server = ShardWorkerServer(worker, shard_id, faults=faults or None)
+    updater = ShardWorkerUpdater(
+        worker, snapshot.compact_graph, generation=snapshot.generation
+    )
+    pending = DeltaLog(snapshot_dir).replay(snapshot.generation)
+    if pending:
+        updater.apply(pending)
+    server = ShardWorkerServer(
+        worker, shard_id, faults=faults or None, updater=updater
+    )
 
     async def serve() -> None:
         bound = await server.start(host, port)

@@ -176,6 +176,47 @@ class ShardSupervisor:
             if proc.stdout is not None:
                 proc.stdout.close()
 
+    def reload(self, *, timeout_s: float = 60.0) -> None:
+        """Rolling restart: every shard gets a fresh worker process.
+
+        Used by compaction (``docs/live_updates.md``): a freshly exec'd
+        worker re-resolves the snapshot root's ``CURRENT`` pointer and
+        replays the delta log, so after ``reload()`` every process
+        serves the new generation.  Each replacement is spawned and
+        waited ready *before* the old process is terminated — at most a
+        connection-retry blip per shard, never an unavailable window —
+        and the restart budget is not consumed (this is an orchestrated
+        swap, not a crash)."""
+        for shard_id in range(len(self._workers)):
+            self._reload_one(shard_id, timeout_s)
+
+    def _reload_one(self, shard_id: int, timeout_s: float) -> None:
+        fresh = WorkerInfo(shard_id)
+        with self._lock:
+            self._spawn_locked(fresh)
+        if not fresh.ready.wait(timeout_s):
+            if fresh.proc is not None and fresh.proc.poll() is None:
+                fresh.proc.kill()
+                fresh.proc.wait()
+            raise ServiceError(
+                f"shard {shard_id} replacement worker did not become ready "
+                f"within {timeout_s:.0f}s; the old worker keeps serving"
+            )
+        with self._lock:
+            info = self._workers[shard_id]
+            old_proc = info.proc
+            info.proc = fresh.proc
+            info.host, info.port, info.pid = fresh.host, fresh.port, fresh.pid
+            info.state = "up"
+            info.ready = fresh.ready
+        if old_proc is not None and old_proc.poll() is None:
+            old_proc.terminate()
+            try:
+                old_proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                old_proc.kill()
+                old_proc.wait()
+
     # ------------------------------------------------------------------
     # The async side's view
     # ------------------------------------------------------------------

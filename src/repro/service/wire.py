@@ -71,11 +71,12 @@ __all__ = [
     "decode_results",
 ]
 
-# Version of the five-call shard protocol; carried in every request
-# frame and negotiated in the connection handshake.  Bumped together
-# with docs/shard_protocol.md.  (Also re-exported by async_router, the
-# module that historically defined it.)
-SHARD_PROTOCOL_VERSION = 1
+# Version of the shard protocol; carried in every request frame and
+# negotiated in the connection handshake.  Bumped together with
+# docs/shard_protocol.md.  (Also re-exported by async_router, the
+# module that historically defined it.)  Version 2 added the
+# ``apply_delta`` admin call (live updates, docs/live_updates.md).
+SHARD_PROTOCOL_VERSION = 2
 
 # Default bound on one frame.  The largest legitimate frames are ranked
 # lists and expansion results over the benchmark-scale graph — well

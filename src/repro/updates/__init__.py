@@ -1,0 +1,56 @@
+"""Live updates: typed graph deltas over frozen serving snapshots.
+
+The subsystem splits along the serving stack's trust boundaries:
+
+* :mod:`repro.updates.deltas` — the typed, versioned operations and
+  their validation against the currently effective graph;
+* :mod:`repro.updates.overlay` — copy-on-write overlay state plus the
+  :class:`OverlayGraphView` read facade the frozen bases serve through,
+  and the independent dict-path oracle the equivalence tests use;
+* :mod:`repro.updates.log` — the durable append-only delta log that
+  makes worker restarts converge;
+* :mod:`repro.updates.invalidation` — delta-ball computation and the
+  targeted cache-eviction predicates;
+* :mod:`repro.updates.coordinator` — the orchestration layer gluing the
+  above to routers, workers, supervisors and compaction.
+
+See ``docs/live_updates.md`` for the operator-facing story.
+"""
+
+from repro.updates.coordinator import ShardWorkerUpdater, UpdateCoordinator
+from repro.updates.deltas import DELTA_OPS, Delta, decode_deltas, validate_delta
+from repro.updates.invalidation import (
+    INVALIDATION_RADIUS,
+    changed_nodes,
+    delta_ball,
+    deltas_touch_titles,
+    expansion_eviction_predicate,
+)
+from repro.updates.log import DeltaLog
+from repro.updates.overlay import (
+    OverlayGraphView,
+    OverlayState,
+    apply_deltas,
+    apply_deltas_to_graph,
+    materialize_graph,
+)
+
+__all__ = [
+    "DELTA_OPS",
+    "Delta",
+    "decode_deltas",
+    "validate_delta",
+    "OverlayGraphView",
+    "OverlayState",
+    "apply_deltas",
+    "apply_deltas_to_graph",
+    "materialize_graph",
+    "DeltaLog",
+    "INVALIDATION_RADIUS",
+    "changed_nodes",
+    "delta_ball",
+    "deltas_touch_titles",
+    "expansion_eviction_predicate",
+    "UpdateCoordinator",
+    "ShardWorkerUpdater",
+]

@@ -1,0 +1,453 @@
+"""Live-update orchestration: apply deltas, invalidate, compact, swap.
+
+:class:`UpdateCoordinator` owns the mutable half of a serving stack
+built from frozen artefacts.  It keeps one :class:`OverlayState` and
+publishes it through two :class:`OverlayGraphView` facades over the two
+immutable bases the stack actually reads:
+
+* the router's :class:`~repro.wiki.partition.PartitionedGraphView`
+  (linking, ``build_query`` titles, owner-shard routing), and
+* the workers' :class:`~repro.wiki.compact.CompactGraphView` (cycle
+  mining and expansion titles).
+
+Both views consult the *same* state object, so a batch becomes visible
+to every layer in one reference swap
+(:meth:`~repro.service.router.ShardRouter.apply_overlay`).
+
+``apply`` is the write path: validate the batch against the serving
+generation (:class:`~repro.errors.StaleGenerationError` on mismatch),
+fold it into a copy-on-write successor state, durably append it to the
+:class:`~repro.updates.log.DeltaLog` *before* publishing, rebuild the
+entity linker only when the title surface changed, evict exactly the
+expansion-cache entries whose seeds fall inside the delta ball
+(:mod:`repro.updates.invalidation`), publish, and fan the batch out to
+supervised socket workers (which apply it idempotently by sequence
+number; a worker that misses it replays the log on its next restart).
+
+``compact`` is the fold: materialise base+overlay into a plain
+:class:`~repro.wiki.graph.WikiGraph`, re-partition it, rebuild the
+linker vocabulary, and save the result as generation N+1 under
+``gen-NNNN/`` with the ``CURRENT`` pointer flipped atomically
+(:func:`~repro.service.artifacts.write_current_pointer`).  The router
+hot-swaps in place — caches survive, because the overlay it was serving
+is bit-identical to the compacted base — the delta log resets, workers
+rolling-restart onto the new generation, and the expansion caches are
+re-warmed from the queries the request log saw recently.
+
+Deltas only ever touch the *graph*; index segments, document names and
+``mu`` ride through compaction untouched by construction.
+"""
+
+from __future__ import annotations
+
+import socket as socketlib
+import threading
+from pathlib import Path
+
+from repro.errors import DeltaError, StaleGenerationError
+from repro.linking.linker import EntityLinker
+from repro.service import wire
+from repro.service.artifacts import (
+    ShardedSnapshot,
+    generation_dir_name,
+    write_current_pointer,
+)
+from repro.service.wire import SHARD_PROTOCOL_VERSION
+from repro.updates.deltas import Delta, decode_deltas
+from repro.updates.invalidation import (
+    changed_nodes,
+    delta_ball,
+    deltas_touch_titles,
+    expansion_eviction_predicate,
+)
+from repro.updates.log import DeltaLog
+from repro.updates.overlay import (
+    OverlayGraphView,
+    OverlayState,
+    apply_deltas,
+    materialize_graph,
+)
+from repro.wiki.partition import GraphPartition, partition_graph
+
+__all__ = ["UpdateCoordinator", "ShardWorkerUpdater"]
+
+# Sockets used for the worker fan-out are short-lived and blocking; a
+# worker that cannot take a delta within this window is left to catch
+# up from the log on its next restart.
+_FANOUT_TIMEOUT_S = 10.0
+_FANOUT_ATTEMPTS = 3
+
+
+class UpdateCoordinator:
+    """Drive live updates for one :class:`ShardRouter` serving stack.
+
+    Parameters
+    ----------
+    router:
+        The (synchronous) shard router under the serving stack.  The
+        async front end shares its caches and counters, so updates
+        published here are visible on every surface.
+    snapshot_dir:
+        The snapshot *root* directory (the one holding the ``CURRENT``
+        pointer once compaction has run).  Enables the durable delta
+        log and on-disk compaction; ``None`` keeps everything in memory
+        (tests, ephemeral stacks).
+    supervisor:
+        The :class:`~repro.service.supervisor.ShardSupervisor` when
+        shard workers run out of process; applied batches fan out to
+        every worker and compaction rolling-restarts them.
+    request_log:
+        The front end's :class:`~repro.obs.logs.RequestLog`; after a
+        compaction swap the coordinator re-warms expansion caches from
+        its recently seen queries.
+    """
+
+    def __init__(
+        self,
+        router,
+        *,
+        snapshot_dir: str | Path | None = None,
+        supervisor=None,
+        request_log=None,
+    ) -> None:
+        self._router = router
+        self._snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self._supervisor = supervisor
+        self._request_log = request_log
+        self._log = DeltaLog(self._snapshot_dir) if self._snapshot_dir else None
+        self._lock = threading.Lock()
+        self._state = OverlayState(generation=router.generation)
+        self._metrics = router.metrics
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    @property
+    def last_seq(self) -> int:
+        return self._state.last_seq
+
+    @property
+    def state(self) -> OverlayState:
+        return self._state
+
+    @property
+    def delta_log(self) -> DeltaLog | None:
+        return self._log
+
+    def describe(self) -> dict:
+        state = self._state
+        return {
+            "generation": state.generation,
+            "last_seq": state.last_seq,
+            "overlay_empty": state.is_empty,
+            "touched_nodes": len(state.touched),
+            "log_segments": len(self._log.segments()) if self._log else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+
+    def apply(self, payloads: list[dict], *, generation: int | None = None) -> dict:
+        """Validate, persist, publish and fan out one delta batch.
+
+        ``payloads`` is the JSON wire form (``Delta.to_payload``);
+        ``generation`` is the generation the client validated against —
+        a mismatch with the serving generation raises
+        :class:`StaleGenerationError` (HTTP 409) without touching any
+        state.  Re-submitting an already-applied batch is a no-op
+        (idempotent by sequence number).
+        """
+        deltas = decode_deltas(payloads)
+        with self._lock:
+            current = self._state.generation
+            if generation is not None and int(generation) != current:
+                raise StaleGenerationError(current, generation)
+            return self._apply_locked(deltas)
+
+    def _apply_locked(self, deltas: list[Delta]) -> dict:
+        router = self._router
+        state = self._state
+        base_router = router.snapshot.view()
+        base_worker = router.snapshot.compact_graph
+        before_view = OverlayGraphView(base_router, state)
+
+        new_state, applied = apply_deltas(base_router, state, deltas)
+        if not applied:
+            return {
+                "generation": state.generation,
+                "applied": 0,
+                "skipped": len(deltas),
+                "last_seq": state.last_seq,
+                "invalidated": {"expansion": 0, "link": 0},
+            }
+
+        # Durability before visibility: once a batch is published, a
+        # restarted worker must be able to replay it.
+        if self._log is not None:
+            self._log.append(state.generation, applied)
+
+        after_view = OverlayGraphView(base_router, new_state)
+        worker_view = OverlayGraphView(base_worker, new_state)
+
+        linker = None
+        if deltas_touch_titles(applied):
+            linker = EntityLinker(after_view, router.linker_tokenizer)
+
+        ball = delta_ball(
+            changed_nodes(applied), before=before_view, after=after_view
+        )
+
+        router.apply_overlay(
+            after_view, worker_view, linker=linker, delta_seq=new_state.last_seq
+        )
+        self._state = new_state
+
+        evicted_expansions = router.evict_expansions(
+            expansion_eviction_predicate(ball)
+        )
+        evicted_links = router.evict_links() if linker is not None else 0
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.delta_invalidations.inc(evicted_expansions, cache="expansion")
+            metrics.delta_invalidations.inc(evicted_links, cache="link")
+
+        stale_workers = self._fan_out(applied, new_state.generation)
+        return {
+            "generation": new_state.generation,
+            "applied": len(applied),
+            "skipped": len(deltas) - len(applied),
+            "last_seq": new_state.last_seq,
+            "ball_size": len(ball),
+            "invalidated": {
+                "expansion": evicted_expansions,
+                "link": evicted_links,
+            },
+            "stale_workers": stale_workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Compaction + hot swap
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Fold the overlay into generation N+1 and hot-swap onto it.
+
+        Returns a summary even when the overlay is empty (compaction is
+        then a generation bump — still useful to force a clean on-disk
+        baseline).  The order is crash-safe: the new generation
+        directory is complete before ``CURRENT`` flips, and the delta
+        log resets only after the pointer is durable (stale-generation
+        segments are ignored by replay anyway).
+        """
+        with self._lock:
+            router = self._router
+            state = self._state
+            old_generation = state.generation
+            new_generation = old_generation + 1
+            folded_seq = state.last_seq
+
+            overlay = OverlayGraphView(router.snapshot.view(), state)
+            new_graph = materialize_graph(overlay)
+            num_shards = router.num_shards
+            if num_shards == 1:
+                # Mirror ShardedSnapshot.from_snapshot's single-shard
+                # path: the partition IS the whole graph, no halo math.
+                partitions: tuple[GraphPartition, ...] = (GraphPartition(
+                    shard_id=0,
+                    num_shards=1,
+                    graph=new_graph,
+                    core_articles=frozenset(
+                        a.node_id for a in new_graph.articles()
+                    ),
+                    core_categories=frozenset(
+                        c.node_id for c in new_graph.categories()
+                    ),
+                ),)
+            else:
+                partitions = tuple(partition_graph(new_graph, num_shards))
+
+            linker = EntityLinker(new_graph, router.linker_tokenizer)
+            old_snapshot = router.snapshot
+            new_snapshot = ShardedSnapshot(
+                partitions=partitions,
+                segments=old_snapshot.segments,
+                title_index=linker.vocabulary(),
+                doc_names=dict(old_snapshot.doc_names),
+                mu=old_snapshot.mu,
+                generation=new_generation,
+            ).frozen()
+
+            if self._snapshot_dir is not None:
+                gen_dir = self._snapshot_dir / generation_dir_name(new_generation)
+                new_snapshot.save(gen_dir)
+                write_current_pointer(self._snapshot_dir, new_generation)
+            dropped_segments = self._log.reset() if self._log else 0
+
+            router.swap_snapshot(new_snapshot)
+            self._state = OverlayState(generation=new_generation)
+
+            if self._supervisor is not None:
+                # Workers re-resolve CURRENT on exec, so the rolling
+                # restart lands every process on the new generation.
+                self._supervisor.reload()
+            warmed = self._warm_from_request_log()
+
+        return {
+            "generation": new_generation,
+            "previous_generation": old_generation,
+            "folded_seq": folded_seq,
+            "log_segments_dropped": dropped_segments,
+            "warmed_queries": warmed,
+            "saved": self._snapshot_dir is not None,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fan_out(self, deltas: list[Delta], generation: int) -> list[int]:
+        """Push one applied batch to every supervised socket worker.
+
+        Returns the shards that could not be reached — their durable log
+        entry makes the next restart heal them; callers surface the list
+        so operators can force a restart instead of waiting.
+        """
+        if self._supervisor is None:
+            return []
+        payloads = [delta.to_payload() for delta in deltas]
+        stale = []
+        for shard_id in range(self._supervisor.num_shards):
+            if not self._push_to_worker(shard_id, payloads, generation):
+                stale.append(shard_id)
+        return stale
+
+    def _push_to_worker(
+        self, shard_id: int, payloads: list[dict], generation: int
+    ) -> bool:
+        for _ in range(_FANOUT_ATTEMPTS):
+            try:
+                host, port = self._supervisor.endpoint(shard_id)
+                with socketlib.create_connection(
+                    (host, port), timeout=_FANOUT_TIMEOUT_S
+                ) as sock:
+                    sock.settimeout(_FANOUT_TIMEOUT_S)
+                    wire.send_frame(sock, {
+                        "call": "hello", "protocol": SHARD_PROTOCOL_VERSION,
+                    })
+                    hello = wire.recv_frame(sock)
+                    if not hello or not hello.get("ok"):
+                        continue
+                    wire.send_frame(sock, {
+                        "call": "apply_delta",
+                        "protocol": SHARD_PROTOCOL_VERSION,
+                        "generation": generation,
+                        "deltas": payloads,
+                    })
+                    response = wire.recv_frame(sock)
+                if response is None or response.get("error") is not None:
+                    continue
+                return True
+            except Exception:  # noqa: BLE001 — transport errors retry
+                continue
+        return False
+
+    def _warm_from_request_log(self) -> int:
+        """Re-expand recently seen queries through the fresh stack.
+
+        The post-swap caches are intentionally kept (the swap is
+        bit-identity-preserving), so this only matters for entries the
+        last delta batches evicted — but it is cheap and makes the
+        ``recently hot stays hot across compaction`` property
+        unconditional.
+        """
+        if self._request_log is None:
+            return 0
+        queries = self._request_log.recent_queries()
+        warmed = 0
+        for query in queries:
+            try:
+                self._router.expand_query(query, top_k=1)
+                warmed += 1
+            except Exception:  # noqa: BLE001 — warming must never fail a swap
+                continue
+        return warmed
+
+
+class ShardWorkerUpdater:
+    """Worker-process side of live updates: one shard's overlay.
+
+    A :class:`~repro.service.shard_worker.ShardWorkerServer` holds one
+    of these over its :class:`~repro.service.server.ExpansionService`
+    and the snapshot's frozen compact graph.  ``apply`` mirrors the
+    coordinator's publish path at single-worker scale: same validation,
+    same overlay semantics, same targeted eviction — so a worker that
+    applied batches live answers bit-identically to one that replayed
+    them from the log after a restart.
+    """
+
+    def __init__(self, worker, base_graph, *, generation: int = 1) -> None:
+        self._worker = worker
+        self._base = base_graph
+        self._lock = threading.Lock()
+        self._state = OverlayState(generation=generation)
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    @property
+    def last_seq(self) -> int:
+        return self._state.last_seq
+
+    def apply_payloads(
+        self, payloads: list[dict], *, generation: int | None = None
+    ) -> dict:
+        if not isinstance(payloads, list):
+            raise DeltaError("'deltas' must be a list of delta objects")
+        return self.apply(decode_deltas(payloads), generation=generation)
+
+    def apply(
+        self, deltas: list[Delta], *, generation: int | None = None
+    ) -> dict:
+        with self._lock:
+            current = self._state.generation
+            if generation is not None and int(generation) != current:
+                raise StaleGenerationError(current, generation)
+            state = self._state
+            before_view = OverlayGraphView(self._base, state)
+            new_state, applied = apply_deltas(self._base, state, deltas)
+            if not applied:
+                return {
+                    "generation": current,
+                    "applied": 0,
+                    "last_seq": state.last_seq,
+                    "invalidated": 0,
+                }
+            after_view = OverlayGraphView(self._base, new_state)
+            linker = None
+            if deltas_touch_titles(applied):
+                linker = EntityLinker(
+                    after_view, self._worker.engine.tokenizer
+                )
+            ball = delta_ball(
+                changed_nodes(applied), before=before_view, after=after_view
+            )
+            self._worker.set_graph(after_view, linker=linker)
+            self._state = new_state
+            evicted = self._worker.evict_expansions(
+                expansion_eviction_predicate(ball)
+            )
+            if linker is not None:
+                evicted += self._worker.evict_links()
+            return {
+                "generation": current,
+                "applied": len(applied),
+                "last_seq": new_state.last_seq,
+                "invalidated": evicted,
+            }

@@ -1,0 +1,268 @@
+"""Typed live-update deltas and their validation rules.
+
+A delta is one structural change to the knowledge graph, identified by a
+monotonically increasing *sequence number* assigned by the update
+coordinator.  Five operations cover the mutations the serving stack
+supports (``docs/live_updates.md``):
+
+* ``add_article(node_id, title)`` — a new, edgeless, non-redirect
+  article (edges arrive as separate ``add_edge`` deltas);
+* ``remove_article(node_id)`` — drop an article and every edge incident
+  to it.  Rejected while other articles still redirect to it, so
+  redirect resolution can never dangle;
+* ``add_edge(source, target, kind)`` / ``remove_edge(...)`` — one typed
+  edge (``link`` / ``belongs`` / ``inside``; redirects have their own
+  operation).  Both endpoints must exist and satisfy the schema's
+  endpoint-kind table;
+* ``set_redirect(node_id, target)`` — turn an existing article into a
+  redirect onto ``target``, implicitly dropping its own outgoing
+  ``link``/``belongs`` edges (the schema forbids a redirect to carry
+  any).
+
+Validation runs against the *effective* graph — base snapshot plus the
+overlay built so far — so a batch may add an article and then wire edges
+to it.  Every rule failure raises :class:`~repro.errors.DeltaError`
+naming the offending delta; nothing from a failed batch is applied.
+
+Sequence numbers make application idempotent: a delta whose ``seq`` is
+at or below the highest already applied is skipped, which is what makes
+replaying a delta log (worker restart) and retrying an ``apply_delta``
+wire call (socket adapter transport retry) safe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import DeltaError
+from repro.wiki.schema import normalize_title
+
+__all__ = ["Delta", "DELTA_OPS", "EDGE_KINDS", "validate_delta"]
+
+DELTA_OPS = (
+    "add_article",
+    "remove_article",
+    "add_edge",
+    "remove_edge",
+    "set_redirect",
+)
+
+# Edge kinds addressable by add_edge/remove_edge.  Redirects are managed
+# through set_redirect/remove_article only, so the "exactly one outgoing
+# redirect" invariant has a single write path.
+EDGE_KINDS = ("link", "belongs", "inside")
+
+
+@dataclass(frozen=True, slots=True)
+class Delta:
+    """One graph mutation with its global sequence number.
+
+    Field usage by operation (unused fields stay ``None``):
+
+    ======================  ==========================================
+    ``add_article``          ``node_id``, ``title``
+    ``remove_article``       ``node_id``
+    ``add_edge``             ``source``, ``target``, ``kind``
+    ``remove_edge``          ``source``, ``target``, ``kind``
+    ``set_redirect``         ``node_id``, ``target``
+    ======================  ==========================================
+    """
+
+    op: str
+    seq: int
+    node_id: int | None = None
+    title: str | None = None
+    source: int | None = None
+    target: int | None = None
+    kind: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in DELTA_OPS:
+            raise DeltaError(
+                f"unknown delta op {self.op!r} (expected one of {DELTA_OPS})"
+            )
+        if self.seq < 1:
+            raise DeltaError(f"delta seq must be >= 1, got {self.seq}")
+        if self.op == "add_article":
+            self._require(node_id=True, title=True)
+            if not str(self.title).strip():
+                raise DeltaError(f"delta {self.seq}: add_article needs a title")
+        elif self.op == "remove_article":
+            self._require(node_id=True)
+        elif self.op in ("add_edge", "remove_edge"):
+            self._require(source=True, target=True, kind=True)
+            if self.kind not in EDGE_KINDS:
+                raise DeltaError(
+                    f"delta {self.seq}: edge kind {self.kind!r} is not one of "
+                    f"{EDGE_KINDS} (redirects go through set_redirect)"
+                )
+        elif self.op == "set_redirect":
+            self._require(node_id=True, target=True)
+
+    def _require(self, **wanted: bool) -> None:
+        fields = ("node_id", "title", "source", "target", "kind")
+        for name in fields:
+            value = getattr(self, name)
+            if wanted.get(name) and value is None:
+                raise DeltaError(f"delta {self.seq}: {self.op} needs {name!r}")
+            if not wanted.get(name) and value is not None:
+                raise DeltaError(
+                    f"delta {self.seq}: {self.op} does not take {name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Wire form (JSON round trip, used by the log, HTTP admin and the
+    # shard protocol's apply_delta call)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        payload: dict = {"op": self.op, "seq": self.seq}
+        for name in ("node_id", "title", "source", "target", "kind"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Delta":
+        if not isinstance(payload, dict):
+            raise DeltaError(f"delta payload must be an object, got {payload!r}")
+        unknown = set(payload) - {
+            "op", "seq", "node_id", "title", "source", "target", "kind"
+        }
+        if unknown:
+            raise DeltaError(f"delta payload has unknown fields: {sorted(unknown)}")
+        try:
+            return cls(
+                op=str(payload["op"]),
+                seq=int(payload["seq"]),
+                node_id=(None if payload.get("node_id") is None
+                         else int(payload["node_id"])),
+                title=(None if payload.get("title") is None
+                       else str(payload["title"])),
+                source=(None if payload.get("source") is None
+                        else int(payload["source"])),
+                target=(None if payload.get("target") is None
+                        else int(payload["target"])),
+                kind=(None if payload.get("kind") is None
+                      else str(payload["kind"])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeltaError(f"malformed delta payload: {exc}") from exc
+
+
+def decode_deltas(payloads: Iterable[dict]) -> list[Delta]:
+    """Decode a wire batch, enforcing strictly increasing sequence numbers."""
+    deltas = [Delta.from_payload(p) for p in payloads]
+    for earlier, later in zip(deltas, deltas[1:]):
+        if later.seq <= earlier.seq:
+            raise DeltaError(
+                f"delta batch is not in increasing seq order "
+                f"({earlier.seq} then {later.seq})"
+            )
+    return deltas
+
+
+__all__.append("decode_deltas")
+
+
+# ----------------------------------------------------------------------
+# Validation against an effective graph view
+# ----------------------------------------------------------------------
+
+def _typed_edge_exists(view, source: int, target: int, kind: str) -> bool:
+    if kind == "link":
+        return target in view.links_from(source)
+    if kind == "belongs":
+        return target in view.categories_of(source)
+    if kind == "inside":
+        return target in view.parents_of(source)
+    raise DeltaError(f"unknown edge kind {kind!r}")
+
+
+def validate_delta(view, delta: Delta) -> None:
+    """Check ``delta`` against the effective graph ``view`` (base+overlay).
+
+    ``view`` is any object with the WikiGraph read API; raises
+    :class:`DeltaError` with the failing rule.  Rules mirror the schema:
+    endpoint kinds, redirect articles carrying no own edges, redirect
+    targets that are main articles, and no dangling redirect sources.
+    """
+    what = f"delta {delta.seq} ({delta.op})"
+    if delta.op == "add_article":
+        if delta.node_id in view:
+            raise DeltaError(f"{what}: node {delta.node_id} already exists")
+        norm = normalize_title(delta.title)
+        existing = view.article_by_title(norm)
+        if existing is not None:
+            raise DeltaError(
+                f"{what}: title {delta.title!r} collides with article "
+                f"{existing.node_id}"
+            )
+        return
+    if delta.op == "remove_article":
+        node = delta.node_id
+        if node not in view or not view.is_article(node):
+            raise DeltaError(f"{what}: node {node} is not a known article")
+        pointing = view.redirects_of(node)
+        if pointing:
+            raise DeltaError(
+                f"{what}: article {node} still has redirects pointing at it "
+                f"({sorted(pointing)[:3]}); remove those first"
+            )
+        return
+    if delta.op in ("add_edge", "remove_edge"):
+        source, target, kind = delta.source, delta.target, delta.kind
+        if source == target:
+            raise DeltaError(f"{what}: self-loop {source} -> {target}")
+        for endpoint in (source, target):
+            if endpoint not in view:
+                raise DeltaError(f"{what}: unknown node {endpoint}")
+        expect = {
+            "link": (True, True),
+            "belongs": (True, False),
+            "inside": (False, False),
+        }[kind]
+        actual = (view.is_article(source), view.is_article(target))
+        if actual != expect:
+            raise DeltaError(
+                f"{what}: endpoint kinds {actual} violate the schema for "
+                f"{kind!r} edges"
+            )
+        if kind in ("link", "belongs") and \
+                view.article(source).is_redirect:
+            raise DeltaError(
+                f"{what}: article {source} is a redirect and cannot carry "
+                f"its own {kind!r} edges"
+            )
+        exists = _typed_edge_exists(view, source, target, kind)
+        if delta.op == "add_edge" and exists:
+            raise DeltaError(
+                f"{what}: {kind} edge {source} -> {target} already exists"
+            )
+        if delta.op == "remove_edge" and not exists:
+            raise DeltaError(
+                f"{what}: {kind} edge {source} -> {target} does not exist"
+            )
+        return
+    if delta.op == "set_redirect":
+        node, target = delta.node_id, delta.target
+        if node == target:
+            raise DeltaError(f"{what}: article {node} cannot redirect to itself")
+        for endpoint in (node, target):
+            if endpoint not in view or not view.is_article(endpoint):
+                raise DeltaError(f"{what}: node {endpoint} is not a known article")
+        if view.article(target).is_redirect:
+            raise DeltaError(
+                f"{what}: redirect target {target} is itself a redirect "
+                f"(chains are not allowed; point at the main article)"
+            )
+        pointing = view.redirects_of(node)
+        if pointing:
+            raise DeltaError(
+                f"{what}: article {node} has redirects pointing at it "
+                f"({sorted(pointing)[:3]}) and cannot become a redirect itself"
+            )
+        return
+    raise AssertionError(f"unreachable op {delta.op!r}")

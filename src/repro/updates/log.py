@@ -1,0 +1,113 @@
+"""Durable, append-only on-disk form of applied delta batches.
+
+Each accepted ``apply_delta`` batch becomes one immutable segment file
+under the serving snapshot directory::
+
+    <snapshot>/updates/delta-<seq_hi:08d>.bin
+
+packed with :mod:`repro.blobio` (magic ``RPDLOG1\\n``): the header
+carries the generation the batch was validated against plus its
+sequence range, and one byte section holds the deltas' JSON wire form.
+Segments are written via a temp file + ``os.replace`` so a crash can
+leave at most a garbage ``*.tmp`` file, never a half-visible segment.
+
+Replay (:meth:`DeltaLog.replay`) is what makes worker restarts safe: a
+freshly exec'd shard worker loads generation N from disk and then folds
+in every logged segment whose generation matches, in sequence order,
+deduplicating by sequence number — after which it answers queries
+identically to the long-running workers that applied the same batches
+live.  Segments from older generations are ignored (compaction starts a
+new log rather than rewriting history) and :meth:`DeltaLog.reset`
+removes them once the compacted generation is durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.blobio import pack_blob, unpack_blob
+from repro.errors import DeltaError
+from repro.updates.deltas import Delta
+
+__all__ = ["DeltaLog"]
+
+_MAGIC = b"RPDLOG1\n"
+_SUBDIR = "updates"
+
+
+class DeltaLog:
+    """Segment files of applied delta batches under one snapshot dir."""
+
+    def __init__(self, snapshot_dir: str | Path) -> None:
+        self._dir = Path(snapshot_dir) / _SUBDIR
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def segments(self) -> list[Path]:
+        if not self._dir.is_dir():
+            return []
+        return sorted(self._dir.glob("delta-*.bin"))
+
+    def append(self, generation: int, deltas: list[Delta]) -> Path:
+        """Durably persist one applied batch; returns the segment path."""
+        if not deltas:
+            raise DeltaError("refusing to log an empty delta batch")
+        seq_lo = deltas[0].seq
+        seq_hi = deltas[-1].seq
+        header = {
+            "generation": int(generation),
+            "seq_lo": int(seq_lo),
+            "seq_hi": int(seq_hi),
+            "count": len(deltas),
+        }
+        body = json.dumps(
+            [delta.to_payload() for delta in deltas],
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        blob = pack_blob(_MAGIC, header, {"deltas": body})
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._dir / f"delta-{seq_hi:08d}.bin"
+        tmp = path.with_suffix(".bin.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        return path
+
+    def _read_segment(self, path: Path) -> tuple[int, list[Delta]]:
+        header, sections = unpack_blob(_MAGIC, path.read_bytes(), DeltaError)
+        try:
+            generation = int(header["generation"])
+            payloads = json.loads(bytes(sections["deltas"]).decode("utf-8"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeltaError(f"delta segment {path} is malformed: {exc}") from exc
+        deltas = [Delta.from_payload(p) for p in payloads]
+        if len(deltas) != int(header.get("count", len(deltas))):
+            raise DeltaError(f"delta segment {path} count disagrees with header")
+        return generation, deltas
+
+    def replay(self, generation: int) -> list[Delta]:
+        """All logged deltas of ``generation``, seq-ordered and deduplicated."""
+        merged: dict[int, Delta] = {}
+        for path in self.segments():
+            seg_generation, deltas = self._read_segment(path)
+            if seg_generation != generation:
+                continue
+            for delta in deltas:
+                merged.setdefault(delta.seq, delta)
+        return [merged[seq] for seq in sorted(merged)]
+
+    def reset(self) -> int:
+        """Drop every segment (the overlay was folded into a new
+        generation); returns how many files were removed."""
+        removed = 0
+        for path in self.segments():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"DeltaLog(dir={str(self._dir)!r}, segments={len(self.segments())})"

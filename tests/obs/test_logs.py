@@ -116,3 +116,49 @@ class TestEntryContents:
         feed(log, [150.0, 300.0])
         assert len(lines) == 2  # the log is append-only ...
         assert [e["latency_ms"] for e in log.entries()] == [300.0]  # summary
+
+
+class TestRecentQueries:
+    """The live-update warm-up feed: dedup, bounds, and age-out."""
+
+    def _log(self, **kwargs):
+        return RequestLog(slow_ms=1000.0, **kwargs)
+
+    def test_successful_queries_are_remembered_in_order(self):
+        log = self._log()
+        for query in ("alpha", "beta", "alpha"):
+            log.record(endpoint="/expand", latency_ms=1.0, query=query,
+                       status=200)
+        # deduplicated, ordered by last-seen: beta was seen before the
+        # second alpha
+        assert log.recent_queries() == ["beta", "alpha"]
+
+    def test_failures_and_queryless_requests_are_not_remembered(self):
+        log = self._log()
+        log.record(endpoint="/expand", latency_ms=1.0, query="bad", status=400)
+        log.record(endpoint="/expand", latency_ms=1.0, query="dead", status=503)
+        log.record(endpoint="/stats", latency_ms=1.0)
+        log.record(endpoint="/expand", latency_ms=1.0, query="good")
+        assert log.recent_queries() == ["good"]
+
+    def test_capacity_evicts_the_least_recently_seen(self):
+        log = self._log(recent_capacity=2)
+        for query in ("one", "two", "three"):
+            log.record(endpoint="/expand", latency_ms=1.0, query=query)
+        assert log.recent_queries() == ["two", "three"]
+
+    def test_age_out_is_enforced_on_read(self):
+        now = [0.0]
+        log = self._log(recent_max_age_s=10.0, clock=lambda: now[0])
+        log.record(endpoint="/expand", latency_ms=1.0, query="stale")
+        now[0] = 6.0
+        log.record(endpoint="/expand", latency_ms=1.0, query="fresh")
+        now[0] = 11.0  # "stale" is now 11s old, "fresh" 5s
+        assert log.recent_queries() == ["fresh"]
+        assert log.recent_queries(max_age_s=100.0) == ["fresh"]  # gone for good
+
+    def test_invalid_recent_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RequestLog(recent_capacity=0)
+        with pytest.raises(ValueError):
+            RequestLog(recent_max_age_s=-1.0)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the live-update subsystem tests.
+
+Same small synthetic benchmark as the service suite; the bit-identity
+helpers live in :mod:`update_helpers` (imported directly by the tests —
+these directories are not packages).
+"""
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.service import ShardedSnapshot, Snapshot
+from repro.wiki import SyntheticWikiConfig
+
+
+@pytest.fixture(scope="module")
+def small_benchmark() -> Benchmark:
+    return Benchmark.synthetic(
+        SyntheticWikiConfig(seed=61, num_domains=5, background_articles=80,
+                            background_categories=10),
+        SyntheticCollectionConfig(seed=62, background_docs=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot(small_benchmark) -> Snapshot:
+    return Snapshot.build(small_benchmark)
+
+
+@pytest.fixture(scope="module")
+def sharded2(snapshot) -> ShardedSnapshot:
+    return ShardedSnapshot.from_snapshot(snapshot, num_shards=2)

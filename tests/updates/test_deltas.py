@@ -1,0 +1,140 @@
+"""Delta shape checks, wire round trips, and validation rules."""
+
+import pytest
+
+from repro.errors import DeltaError
+from repro.updates import DELTA_OPS, Delta, decode_deltas, validate_delta
+
+
+def _article_ids(graph, *, redirect=None, limit=None):
+    out = []
+    for article in graph.articles():
+        if redirect is not None and article.is_redirect != redirect:
+            continue
+        out.append(article.node_id)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+class TestShape:
+    def test_ops_are_the_documented_five(self):
+        assert DELTA_OPS == ("add_article", "remove_article", "add_edge",
+                             "remove_edge", "set_redirect")
+
+    def test_payload_round_trip(self):
+        original = Delta(op="add_edge", seq=7, source=1, target=2, kind="link")
+        assert Delta.from_payload(original.to_payload()) == original
+        article = Delta(op="add_article", seq=8, node_id=10, title="New Page")
+        assert Delta.from_payload(article.to_payload()) == article
+
+    @pytest.mark.parametrize("kwargs", [
+        {"op": "not_an_op", "seq": 1, "node_id": 1},
+        {"op": "add_article", "seq": 0, "node_id": 1, "title": "X"},
+        {"op": "add_article", "seq": 1, "node_id": 1},            # no title
+        {"op": "add_article", "seq": 1, "node_id": 1, "title": "  "},
+        {"op": "remove_article", "seq": 1},                       # no node
+        {"op": "remove_article", "seq": 1, "node_id": 1, "title": "X"},
+        {"op": "add_edge", "seq": 1, "source": 1, "target": 2},   # no kind
+        {"op": "add_edge", "seq": 1, "source": 1, "target": 2,
+         "kind": "redirect"},                                     # own op
+        {"op": "set_redirect", "seq": 1, "node_id": 1},           # no target
+    ])
+    def test_malformed_deltas_are_rejected(self, kwargs):
+        with pytest.raises(DeltaError):
+            Delta(**kwargs)
+
+    def test_unknown_payload_fields_are_rejected(self):
+        with pytest.raises(DeltaError, match="unknown fields"):
+            Delta.from_payload({"op": "remove_article", "seq": 1,
+                                "node_id": 1, "extra": True})
+
+    def test_decode_requires_strictly_increasing_seq(self):
+        good = [{"op": "remove_article", "seq": 1, "node_id": 1},
+                {"op": "remove_article", "seq": 5, "node_id": 2}]
+        assert [d.seq for d in decode_deltas(good)] == [1, 5]
+        with pytest.raises(DeltaError, match="increasing"):
+            decode_deltas(list(reversed(good)))
+        with pytest.raises(DeltaError, match="increasing"):
+            decode_deltas([good[0], dict(good[0], node_id=2)])
+
+
+class TestValidation:
+    """Rules run against the live graph (here: the raw WikiGraph)."""
+
+    def test_add_article_rejects_existing_node_and_title(self, small_benchmark):
+        graph = small_benchmark.graph
+        existing = _article_ids(graph, limit=1)[0]
+        with pytest.raises(DeltaError, match="already exists"):
+            validate_delta(graph, Delta(
+                op="add_article", seq=1, node_id=existing, title="Whatever"))
+        taken_title = graph.article(existing).title
+        with pytest.raises(DeltaError, match="collides"):
+            validate_delta(graph, Delta(
+                op="add_article", seq=1, node_id=10**6, title=taken_title))
+
+    def test_remove_article_rejects_redirect_sources_pointing_at_it(
+        self, small_benchmark
+    ):
+        graph = small_benchmark.graph
+        target = next(
+            node for node in _article_ids(graph) if graph.redirects_of(node)
+        )
+        with pytest.raises(DeltaError, match="redirects pointing"):
+            validate_delta(graph, Delta(
+                op="remove_article", seq=1, node_id=target))
+
+    def test_edge_endpoint_rules(self, small_benchmark):
+        graph = small_benchmark.graph
+        a, b = _article_ids(graph, redirect=False, limit=2)
+        category = next(graph.categories()).node_id
+        with pytest.raises(DeltaError, match="self-loop"):
+            validate_delta(graph, Delta(
+                op="add_edge", seq=1, source=a, target=a, kind="link"))
+        with pytest.raises(DeltaError, match="unknown node"):
+            validate_delta(graph, Delta(
+                op="add_edge", seq=1, source=a, target=10**6, kind="link"))
+        # link needs article -> article; category endpoints violate it.
+        with pytest.raises(DeltaError, match="endpoint kinds"):
+            validate_delta(graph, Delta(
+                op="add_edge", seq=1, source=a, target=category, kind="link"))
+        with pytest.raises(DeltaError, match="endpoint kinds"):
+            validate_delta(graph, Delta(
+                op="add_edge", seq=1,
+                source=category, target=a, kind="belongs"))
+
+    def test_add_existing_and_remove_missing_edges_are_rejected(
+        self, small_benchmark
+    ):
+        graph = small_benchmark.graph
+        source = next(
+            node for node in _article_ids(graph, redirect=False)
+            if graph.links_from(node)
+        )
+        target = sorted(graph.links_from(source))[0]
+        with pytest.raises(DeltaError, match="already exists"):
+            validate_delta(graph, Delta(
+                op="add_edge", seq=1, source=source, target=target, kind="link"))
+        missing = next(
+            node for node in _article_ids(graph, redirect=False)
+            if node not in graph.links_from(source) and node != source
+        )
+        with pytest.raises(DeltaError, match="does not exist"):
+            validate_delta(graph, Delta(
+                op="remove_edge", seq=1, source=source, target=missing,
+                kind="link"))
+
+    def test_redirects_cannot_carry_edges_or_chain(self, small_benchmark):
+        graph = small_benchmark.graph
+        redirect = _article_ids(graph, redirect=True, limit=1)[0]
+        plain = next(
+            node for node in _article_ids(graph, redirect=False)
+            if node != graph.resolve(redirect) and not graph.redirects_of(node)
+        )
+        with pytest.raises(DeltaError, match="cannot carry"):
+            validate_delta(graph, Delta(
+                op="add_edge", seq=1, source=redirect, target=plain,
+                kind="link"))
+        with pytest.raises(DeltaError, match="itself a redirect"):
+            validate_delta(graph, Delta(
+                op="set_redirect", seq=1, node_id=plain, target=redirect))

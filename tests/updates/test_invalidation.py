@@ -1,0 +1,94 @@
+"""Delta balls and the eviction predicates driven by them."""
+
+from repro.updates import (
+    INVALIDATION_RADIUS,
+    Delta,
+    OverlayGraphView,
+    OverlayState,
+    apply_deltas,
+    changed_nodes,
+    delta_ball,
+    deltas_touch_titles,
+    expansion_eviction_predicate,
+)
+from repro.wiki.graph import WikiGraph
+from repro.wiki.schema import Article, Edge, EdgeKind
+
+
+def _chain_graph(length=14):
+    """Articles 0..length-1 in a straight line of link edges."""
+    articles = {i: Article(i, f"Chain Node {i}") for i in range(length)}
+    edges = [Edge(i, i + 1, EdgeKind.LINK) for i in range(length - 1)]
+    return WikiGraph(articles, {}, edges)
+
+
+class TestChangedNodes:
+    def test_every_named_endpoint_is_a_source(self):
+        batch = [
+            Delta(op="add_article", seq=1, node_id=11, title="X"),
+            Delta(op="add_edge", seq=2, source=3, target=4, kind="link"),
+            Delta(op="set_redirect", seq=3, node_id=7, target=8),
+        ]
+        assert changed_nodes(batch) == frozenset({11, 3, 4, 7, 8})
+
+    def test_title_surface_detection(self):
+        edge_only = [Delta(op="remove_edge", seq=1, source=1, target=2,
+                           kind="link")]
+        assert not deltas_touch_titles(edge_only)
+        for op, kwargs in (
+            ("add_article", {"node_id": 9, "title": "T"}),
+            ("remove_article", {"node_id": 9}),
+            ("set_redirect", {"node_id": 9, "target": 10}),
+        ):
+            assert deltas_touch_titles(edge_only + [Delta(op=op, seq=2, **kwargs)])
+
+
+class TestDeltaBall:
+    def test_radius_bounds_the_ball_on_a_chain(self):
+        graph = _chain_graph()
+        ball = delta_ball({0}, before=graph, after=graph)
+        assert ball == frozenset(range(INVALIDATION_RADIUS + 1))
+        assert delta_ball({0}, before=graph, after=graph, radius=2) == \
+               frozenset({0, 1, 2})
+
+    def test_ball_covers_both_old_and_new_adjacency(self):
+        """A removed edge must invalidate along the OLD path and an
+        added edge along the NEW one: the ball BFS walks the union."""
+        graph = _chain_graph()
+        state, applied = apply_deltas(graph, OverlayState(), [
+            Delta(op="remove_edge", seq=1, source=2, target=3, kind="link"),
+            Delta(op="add_edge", seq=2, source=2, target=9, kind="link"),
+        ])
+        after = OverlayGraphView(graph, state)
+        ball = delta_ball(changed_nodes(applied), before=graph, after=after,
+                          radius=1)
+        # sources 2, 3, 9; radius-1 union adjacency reaches both the
+        # severed neighbour (3 via before) and the new one (9 via after).
+        assert {2, 3, 9}.issubset(ball)
+        assert 1 in ball and 4 in ball and 8 in ball and 10 in ball
+        assert 6 not in ball
+
+    def test_removed_node_still_seeds_the_ball(self):
+        graph = _chain_graph()
+        state, applied = apply_deltas(graph, OverlayState(), [
+            Delta(op="remove_edge", seq=1, source=4, target=5, kind="link"),
+            Delta(op="remove_edge", seq=2, source=5, target=6, kind="link"),
+            Delta(op="remove_article", seq=3, node_id=5),
+        ])
+        after = OverlayGraphView(graph, state)
+        ball = delta_ball(changed_nodes(applied), before=graph, after=after,
+                          radius=1)
+        assert 5 in ball          # gone from `after`, still a source
+        assert {4, 6}.issubset(ball)
+
+
+class TestEvictionPredicate:
+    def test_evicts_only_intersecting_seed_sets(self):
+        doomed = expansion_eviction_predicate(frozenset({1, 2, 3}))
+        assert doomed(frozenset({3, 50}))
+        assert not doomed(frozenset({50, 51}))
+        assert not doomed(frozenset())
+
+    def test_unknown_key_shapes_evict_conservatively(self):
+        doomed = expansion_eviction_predicate(frozenset({1}))
+        assert doomed(42)  # not iterable: isdisjoint raises TypeError

@@ -1,0 +1,67 @@
+"""Durable delta-log segments: round trips, replay, reset."""
+
+import pytest
+
+from repro.errors import DeltaError
+from repro.updates import Delta, DeltaLog
+
+
+def _batch(*seqs):
+    return [
+        Delta(op="add_article", seq=seq, node_id=5_000_000 + seq,
+              title=f"Logged Page {seq}")
+        for seq in seqs
+    ]
+
+
+class TestDeltaLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        log = DeltaLog(tmp_path)
+        log.append(1, _batch(1, 2))
+        log.append(1, _batch(3))
+        assert log.replay(1) == _batch(1, 2, 3)
+        assert len(log.segments()) == 2
+
+    def test_replay_filters_by_generation(self, tmp_path):
+        log = DeltaLog(tmp_path)
+        log.append(1, _batch(1, 2))
+        log.append(2, _batch(3))
+        assert log.replay(2) == _batch(3)
+        assert log.replay(1) == _batch(1, 2)
+        assert log.replay(7) == []
+
+    def test_replay_deduplicates_overlapping_segments(self, tmp_path):
+        """A retried append (same seqs, new segment) replays each delta
+        once — the same idempotency rule the overlay applies."""
+        log = DeltaLog(tmp_path)
+        log.append(1, _batch(1, 2))
+        log.append(1, _batch(2, 3))
+        assert log.replay(1) == _batch(1, 2, 3)
+
+    def test_reset_drops_all_segments(self, tmp_path):
+        log = DeltaLog(tmp_path)
+        log.append(1, _batch(1))
+        log.append(1, _batch(2))
+        assert log.reset() == 2
+        assert log.segments() == []
+        assert log.replay(1) == []
+
+    def test_empty_directory_replays_nothing(self, tmp_path):
+        log = DeltaLog(tmp_path / "never-created")
+        assert log.replay(1) == []
+        assert log.segments() == []
+
+    def test_corrupt_segment_is_rejected(self, tmp_path):
+        log = DeltaLog(tmp_path)
+        path = log.append(1, _batch(1))
+        path.write_bytes(b"not a delta segment")
+        with pytest.raises(DeltaError):
+            log.replay(1)
+
+    def test_segment_names_sort_by_high_seq(self, tmp_path):
+        log = DeltaLog(tmp_path)
+        first = log.append(1, _batch(1, 2))
+        second = log.append(1, _batch(10))
+        assert first.name < second.name
+        assert [p.name for p in log.segments()] == \
+               sorted(p.name for p in log.segments())

@@ -16,13 +16,20 @@ End to end, as a real deployment would run it:
    the HTTP request counter must be non-zero after the ``/expand``;
 6. render one ``repro top --once`` dashboard frame against the live
    server (the scriptable mode operators pipe to files);
-7. relaunch with ``--workers 2`` (out-of-process shard workers behind
+7. exercise the live-update plane: ``POST /admin/apply_delta`` with a
+   small island batch, assert ``delta_seq`` advances and the new page
+   answers ``/expand``, then ``POST /admin/compact`` and assert the
+   generation hot-swaps (``snapshot_generation`` advances, ``delta_seq``
+   resets) with answers unchanged across the swap;
+8. relaunch with ``--workers 2`` (out-of-process shard workers behind
    the socket adapter), diff ``/expand`` against the same in-process
    reference, then SIGKILL one worker process mid-run and assert the
    supervisor restarts it (``/healthz`` workers back to ``up``, the
    ``repro_shard_worker_restarts_total`` counter advanced) and that
    post-restart answers are still identical;
-8. shut the servers down and fail loudly if anything differed.
+9. repeat the live-update phase in worker mode (delta fan-out over the
+   wire, compaction driving a rolling worker reload);
+10. shut the servers down and fail loudly if anything differed.
 
 Run from the repo root with ``PYTHONPATH=src`` (CI does).
 """
@@ -153,6 +160,82 @@ def check_top_once(base: str, failures: list[str]) -> None:
     print("top: one-shot dashboard frame rendered")
 
 
+def check_live_updates(
+    base: str, query: str, ref_results: list, failures: list[str],
+    *, id_base: int, tag: str,
+) -> None:
+    """apply_delta -> re-query -> compact -> hot swap, over the admin API.
+
+    Generation-agnostic (the worker-mode relaunch serves the generation
+    the first phase compacted), and the delta targets fresh node ids so
+    both phases can run against the same snapshot directory.
+    """
+    health = get_json(f"{base}/healthz")
+    gen0 = health.get("snapshot_generation")
+    if not isinstance(gen0, int):
+        failures.append(f"{tag}: healthz snapshot_generation not an int: {health}")
+        return
+    if health.get("delta_seq") != 0:
+        failures.append(f"{tag}: fresh server has nonzero delta_seq: {health}")
+
+    payloads = [
+        {"op": "add_article", "seq": 1, "node_id": id_base,
+         "title": f"Smoke Live Page {id_base}"},
+        {"op": "add_article", "seq": 2, "node_id": id_base + 1,
+         "title": f"Smoke Live Friend {id_base}"},
+        {"op": "add_edge", "seq": 3, "source": id_base, "target": id_base + 1,
+         "kind": "link"},
+    ]
+    summary = get_json(f"{base}/admin/apply_delta",
+                       {"deltas": payloads, "generation": gen0})
+    if summary.get("applied") != 3:
+        failures.append(f"{tag}: apply_delta did not apply 3: {summary}")
+        return
+    if summary.get("stale_workers"):
+        failures.append(f"{tag}: fan-out left stale workers: {summary}")
+    if summary.get("invalidated", {}).get("expansion") != 0:
+        failures.append(
+            f"{tag}: an island delta must evict no expansions: {summary}"
+        )
+    health = get_json(f"{base}/healthz")
+    if health.get("delta_seq") != 3:
+        failures.append(f"{tag}: delta_seq not 3 after apply: {health}")
+
+    live_query = f"smoke live page {id_base}"
+    overlay = get_json(f"{base}/expand", {"query": live_query})
+    if not overlay.get("linked"):
+        failures.append(f"{tag}: added article did not link: {overlay}")
+    overlay_results = [(r["doc_id"], r["score"]) for r in overlay["results"]]
+
+    topic = get_json(f"{base}/expand", {"query": query})
+    if [(r["doc_id"], r["score"]) for r in topic["results"]] != ref_results:
+        failures.append(f"{tag}: overlay changed an unrelated topic's answer")
+
+    compacted = get_json(f"{base}/admin/compact", {})
+    if compacted.get("generation") != gen0 + 1 or \
+            compacted.get("folded_seq") != 3:
+        failures.append(f"{tag}: compact summary wrong: {compacted}")
+        return
+    health = get_json(f"{base}/healthz")
+    if health.get("snapshot_generation") != gen0 + 1 or \
+            health.get("delta_seq") != 0:
+        failures.append(f"{tag}: healthz generation did not advance: {health}")
+    workers = health.get("workers")
+    if workers is not None and any(w.get("state") != "up" for w in workers):
+        failures.append(f"{tag}: workers not up after rolling reload: {health}")
+
+    after = get_json(f"{base}/expand", {"query": live_query})
+    if [(r["doc_id"], r["score"]) for r in after["results"]] != overlay_results:
+        failures.append(
+            f"{tag}: compacted generation answers differ from the overlay"
+        )
+    topic = get_json(f"{base}/expand", {"query": query})
+    if [(r["doc_id"], r["score"]) for r in topic["results"]] != ref_results:
+        failures.append(f"{tag}: hot swap changed an unrelated topic's answer")
+    print(f"{tag}: apply_delta -> re-query -> compact -> hot swap ok "
+          f"(generation {gen0} -> {gen0 + 1})")
+
+
 def check_worker_serving(
     snap_dir: Path, query: str, ref_results: list, failures: list[str]
 ) -> None:
@@ -228,6 +311,9 @@ def check_worker_serving(
             )
         else:
             print("workers: restart counter visible in /metrics")
+
+        check_live_updates(base, query, ref_results, failures,
+                           id_base=9_610_000, tag="live-workers")
     finally:
         proc.send_signal(signal.SIGINT)
         try:
@@ -305,6 +391,8 @@ def main() -> int:
                 failures.append(f"healthz per_shard breakdown missing: {after}")
             check_metrics(base, failures)
             check_top_once(base, failures)
+            check_live_updates(base, query, ref_results, failures,
+                               id_base=9_600_000, tag="live")
             router.close()
         finally:
             proc.send_signal(signal.SIGINT)
@@ -320,7 +408,8 @@ def main() -> int:
         for failure in failures:
             print(f"  {failure}")
         return 1
-    print("HTTP smoke ok: /healthz, /expand, /metrics, repro top and "
+    print("HTTP smoke ok: /healthz, /expand, /metrics, repro top, "
+          "live updates (apply/compact hot swap, in both modes) and "
           "worker-mode serving (with a mid-run kill) agree with the "
           "synchronous path")
     return 0
