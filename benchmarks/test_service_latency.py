@@ -626,7 +626,9 @@ def test_emit_bench_json(measurements):
 
     Keys owned by other bench modules (``cycle_kernel_speedup`` is
     written by ``test_timing_cycle_mining.py``, which sorts after this
-    file) are carried over from the existing file rather than clobbered.
+    file; ``loadgen_slo`` by ``test_loadgen_slo.py``, which sorts
+    before it) are carried over from the existing file rather than
+    clobbered.
     """
     merged = dict(measurements)
     if BENCH_PATH.exists():
@@ -634,7 +636,7 @@ def test_emit_bench_json(measurements):
             previous = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, OSError):
             previous = {}
-        for key in ("cycle_kernel_speedup",):
+        for key in ("cycle_kernel_speedup", "loadgen_slo"):
             if key in previous and key not in merged:
                 merged[key] = previous[key]
     BENCH_PATH.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")

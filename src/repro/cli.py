@@ -27,7 +27,13 @@ Entry points (also importable as functions):
 * ``repro-top``            — live terminal dashboard over a running
   ``--http`` process: request rates, cache hit bars, per-shard health
   and stage latency quantiles, refreshed every ``--interval`` seconds
-  (``--once`` prints a single frame and exits).
+  (``--once`` prints a single frame and exits);
+* ``repro-loadgen``        — deterministic seeded traffic shapes
+  (Zipf-skewed interactive, flash crowd, batch mix, adversarial flood,
+  delta trickle) replayed closed-loop against a running ``--http``
+  process (or a self-hosted one), emitting a per-shape SLO report into
+  the ``loadgen_slo`` section of ``BENCH_service.json`` — see
+  ``docs/loadgen.md``.
 
 All commands are also reachable through ``python -m repro.cli <command>``,
 which matters in environments where console scripts cannot be installed.
@@ -78,6 +84,7 @@ __all__ = [
     "serve_main",
     "shard_worker_main",
     "top_main",
+    "loadgen_main",
     "main",
 ]
 
@@ -347,6 +354,9 @@ def _serve_http(
     call_timeout_s: float = 30.0,
     hedge_after_ms: float | None = None,
     max_restarts: int = 5,
+    queue_limit: int | None = None,
+    client_rate: float | None = None,
+    client_burst: float = 8.0,
 ) -> int:
     """Run the asyncio HTTP front end over a ShardRouter until interrupted.
 
@@ -361,11 +371,26 @@ def _serve_http(
     restarted with backoff, stalled calls hit ``call_timeout_s``, and
     ``hedge_after_ms`` arms tail-latency hedging.  See
     ``docs/operations.md``.
+
+    ``queue_limit``/``client_rate`` attach load shedding: a bounded
+    admission queue plus per-client token buckets, refusing excess
+    sheddable traffic with structured 429s (``docs/loadgen.md`` shows
+    how to prove the behaviour under real overload).
+
+    A recency set persisted by a previous process (``recent_queries.json``
+    next to the snapshot manifest) is replayed at startup so the first
+    client hits of a restarted server land at cached latency; the set is
+    saved back on shutdown and at every compaction.
     """
     import asyncio
 
     from repro.obs import RequestLog
-    from repro.service import AsyncShardRouter, HttpFrontEnd, ShardRouter
+    from repro.service import (
+        AdmissionPolicy,
+        AsyncShardRouter,
+        HttpFrontEnd,
+        ShardRouter,
+    )
 
     router = ShardRouter(snapshot)
     supervisor = None
@@ -403,6 +428,27 @@ def _serve_http(
         supervisor=supervisor,
         request_log=request_log,
     )
+    if snapshot_dir is not None:
+        restored = request_log.load_recent(snapshot_dir)
+        if restored:
+            warmed = 0
+            for query in request_log.recent_queries():
+                try:
+                    router.expand_query(query, top_k=1)
+                    warmed += 1
+                except Exception:  # noqa: BLE001 — warming must not block startup
+                    continue
+            print(f"warm start: replayed {warmed} persisted recent "
+                  f"quer{'y' if warmed == 1 else 'ies'}", flush=True)
+    admission = None
+    if queue_limit is not None or client_rate is not None:
+        admission = AdmissionPolicy(
+            queue_limit=queue_limit,
+            client_rate=client_rate,
+            client_burst=client_burst,
+        )
+        print(f"admission: queue_limit={queue_limit} "
+              f"client_rate={client_rate}/s burst={client_burst}", flush=True)
     format_version = snapshot.source_version
     front = HttpFrontEnd(
         service,
@@ -410,6 +456,7 @@ def _serve_http(
         snapshot_format="" if format_version is None else f"v{format_version}",
         coordinator=coordinator,
         request_log=request_log,
+        admission=admission,
     )
 
     async def run() -> None:
@@ -430,6 +477,11 @@ def _serve_http(
     except KeyboardInterrupt:
         print("http: shut down")
     finally:
+        if snapshot_dir is not None:
+            try:
+                request_log.save_recent(snapshot_dir)
+            except OSError:
+                pass  # best-effort: shutdown must not fail on a full disk
         if supervisor is not None:
             supervisor.stop()
         router.close()
@@ -518,6 +570,25 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="with --workers: restarts each shard worker gets before the "
              "shard is marked failed and left down (default 5)",
     )
+    parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="with --http: admit at most N sheddable requests at once; "
+             "excess is refused with 429 over_capacity + Retry-After "
+             "(default: unbounded — shedding off)",
+    )
+    parser.add_argument(
+        "--client-rate", type=float, default=None, metavar="RPS",
+        help="with --http: per-client admission rate in requests/s "
+             "(X-Client-Id header, falling back to peer address); a "
+             "client past its token bucket gets 429 client_rate_limited "
+             "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--client-burst", type=float, default=8.0, metavar="N",
+        help="with --client-rate: token bucket depth — short bursts up "
+             "to N requests are admitted before the rate applies "
+             "(default 8)",
+    )
     args = parser.parse_args(argv)
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
@@ -533,6 +604,15 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--call-timeout-s must be > 0")
     if args.hedge_after_ms is not None and args.hedge_after_ms <= 0:
         parser.error("--hedge-after-ms must be > 0")
+    if args.queue_limit is not None and args.queue_limit < 1:
+        parser.error("--queue-limit must be >= 1")
+    if args.client_rate is not None and args.client_rate <= 0:
+        parser.error("--client-rate must be > 0")
+    if args.client_burst < 1:
+        parser.error("--client-burst must be >= 1")
+    if (args.queue_limit is not None or args.client_rate is not None) \
+            and args.http is None:
+        parser.error("--queue-limit/--client-rate require --http")
 
     snapshot_dir = Path(args.snapshot)
     try:
@@ -569,6 +649,9 @@ def serve_main(argv: list[str] | None = None) -> int:
             call_timeout_s=args.call_timeout_s,
             hedge_after_ms=args.hedge_after_ms,
             max_restarts=args.max_restarts,
+            queue_limit=args.queue_limit,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
         )
 
     # One worker serves a single shard directly; N shards go through the
@@ -676,6 +759,237 @@ def shard_worker_main(argv: list[str] | None = None) -> int:
         return 2
 
 
+def loadgen_main(argv: list[str] | None = None) -> int:
+    """Replay deterministic seeded traffic shapes against the HTTP API."""
+    import json
+
+    from repro.loadgen import (
+        build_report,
+        merge_into_bench,
+        plan_workload,
+        run_plans,
+        stream_digest,
+        topic_pool,
+    )
+    from repro.loadgen.shapes import SHAPE_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen", description=loadgen_main.__doc__,
+        epilog="Shapes: " + ", ".join(SHAPE_NAMES) + " — see docs/loadgen.md.",
+    )
+    _add_common(parser)
+    parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a running serve --http process; omitted, the "
+             "command self-hosts a server over the snapshot for the run",
+    )
+    parser.add_argument(
+        "--snapshot", default=None, metavar="DIR",
+        help="snapshot directory supplying the topic pool (and the "
+             "self-hosted server); omitted, a snapshot is built from "
+             "the benchmark (--seed / --benchmark-dir)",
+    )
+    parser.add_argument(
+        "--shapes", default="interactive,flood",
+        help="comma-separated shapes to replay concurrently "
+             f"(default interactive,flood; all: {','.join(SHAPE_NAMES)})",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=100, metavar="N",
+        help="requests planned per shape (delta_trickle plans N/8; "
+             "default 100)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=25.0, metavar="RPS",
+        help="target arrival rate per shape in requests/s (default 25)",
+    )
+    parser.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf popularity exponent for topic sampling (default 1.1)",
+    )
+    parser.add_argument("--top-k", type=int, default=10, help="results per query")
+    parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="closed-loop workers per shape (default 4)",
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=30.0,
+        help="per-request client timeout (default 30)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_service.json", metavar="PATH",
+        help="merge the SLO report into this bench JSON under "
+             "'loadgen_slo' (default BENCH_service.json; 'none' skips)",
+    )
+    parser.add_argument(
+        "--dump-stream", default=None, metavar="PATH",
+        help="also write the planned request stream as JSON lines "
+             "('-' for stdout) — diffing two runs proves determinism",
+    )
+    parser.add_argument(
+        "--plan-only", action="store_true",
+        help="plan the workload and print its digest without sending "
+             "anything (no server needed)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="self-hosted server: admission queue bound (default 32; "
+             "ignored with --url)",
+    )
+    parser.add_argument(
+        "--client-rate", type=float, default=None, metavar="RPS",
+        help="self-hosted server: per-client admission rate "
+             "(default: off; ignored with --url)",
+    )
+    args = parser.parse_args(argv)
+    shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
+    if not shapes:
+        parser.error("--shapes must name at least one shape")
+    for name in shapes:
+        if name not in SHAPE_NAMES:
+            parser.error(f"unknown shape {name!r} (expected one of "
+                         f"{', '.join(SHAPE_NAMES)})")
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.rate <= 0:
+        parser.error("--rate must be > 0")
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
+
+    snapshot = _loadgen_snapshot(args)
+    pool = topic_pool(snapshot)
+    plans = plan_workload(
+        seed=args.seed, pool=pool, shapes=shapes, count=args.requests,
+        zipf_s=args.zipf_s, top_k=args.top_k,
+    )
+    stream = [request for name in shapes for request in plans[name]]
+    digest = stream_digest(stream)
+    total = len(stream)
+    print(f"planned {total} requests over {len(shapes)} shape(s), "
+          f"stream sha256 {digest}")
+    if args.dump_stream:
+        lines = "".join(request.to_line() + "\n" for request in stream)
+        if args.dump_stream == "-":
+            sys.stdout.write(lines)
+        else:
+            Path(args.dump_stream).write_text(lines)
+            print(f"stream written to {args.dump_stream}")
+    if args.plan_only:
+        return 0
+
+    if args.url:
+        import urllib.parse
+
+        parts = urllib.parse.urlsplit(args.url)
+        host = parts.hostname or "127.0.0.1"
+        port = parts.port or 80
+        stop = None
+    else:
+        host, port, stop = _self_host(
+            snapshot,
+            queue_limit=args.queue_limit,
+            client_rate=args.client_rate,
+        )
+        print(f"self-hosting on http://{host}:{port} "
+              f"(queue_limit={args.queue_limit})")
+    try:
+        result = run_plans(
+            host, port, plans,
+            rate=args.rate, concurrency=args.concurrency,
+            timeout_s=args.timeout_s,
+        )
+    finally:
+        if stop is not None:
+            stop()
+
+    report = build_report(
+        result, seed=args.seed, rate=args.rate,
+        stream_sha256=digest, zipf_s=args.zipf_s,
+    )
+    for name, shape in report["shapes"].items():
+        print(f"{name}: {shape['requests']} requests, "
+              f"p50 {shape['p50_ms']}ms p99 {shape['p99_ms']}ms "
+              f"p999 {shape['p999_ms']}ms, "
+              f"errors {shape['error_rate']:.2%}, shed {shape['shed_rate']:.2%}")
+    server = report["server"]
+    print(f"server: p50 {server['p50_ms']}ms p99 {server['p99_ms']}ms, "
+          f"cache hit rate {server['cache_hit_rate']:.2%}, "
+          f"shed {server['shed_total']}")
+    if args.out and args.out != "none":
+        merge_into_bench(args.out, report)
+        print(f"loadgen_slo merged into {args.out}")
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _loadgen_snapshot(args: argparse.Namespace):
+    """Resolve the snapshot the pool (and self-hosted server) comes from."""
+    from repro.errors import SnapshotError
+    from repro.service import ShardedSnapshot
+
+    if args.snapshot:
+        try:
+            snapshot = ShardedSnapshot.load(args.snapshot)
+        except SnapshotError as error:
+            raise SystemExit(f"error: {error}")
+        print(f"loaded {snapshot!r} from {args.snapshot}/")
+        return snapshot
+    benchmark = _benchmark_from_args(args)
+    return ShardedSnapshot.build(benchmark, num_shards=1)
+
+
+def _self_host(snapshot, *, queue_limit: int | None, client_rate: float | None):
+    """Spin up an in-process front end on an ephemeral port.
+
+    Returns ``(host, port, stop)`` — the same serving stack ``serve
+    --http`` runs (router, coordinator for ``/admin/apply_delta``,
+    admission policy), minus on-disk durability, so loadgen works out
+    of the box in CI without orchestrating a subprocess.
+    """
+    import asyncio
+    import threading
+
+    from repro.obs import RequestLog
+    from repro.service import (
+        AdmissionPolicy,
+        AsyncShardRouter,
+        HttpFrontEnd,
+        ShardRouter,
+    )
+    from repro.updates import UpdateCoordinator
+
+    router = ShardRouter(snapshot.frozen())
+    request_log = RequestLog(slow_ms=float("inf"))
+    coordinator = UpdateCoordinator(router, request_log=request_log)
+    admission = None
+    if queue_limit is not None or client_rate is not None:
+        admission = AdmissionPolicy(
+            queue_limit=queue_limit, client_rate=client_rate
+        )
+    front = HttpFrontEnd(
+        AsyncShardRouter(router),
+        coordinator=coordinator,
+        request_log=request_log,
+        admission=admission,
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = asyncio.run_coroutine_threadsafe(
+        front.start("127.0.0.1", 0), loop
+    ).result(timeout=60)
+    port = server.sockets[0].getsockname()[1]
+
+    def stop() -> None:
+        asyncio.run_coroutine_threadsafe(front.stop(), loop).result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=60)
+        router.close()
+
+    return "127.0.0.1", port, stop
+
+
 def top_main(argv: list[str] | None = None) -> int:
     """Live terminal dashboard over a running ``repro serve --http``."""
     from repro.obs.dashboard import run_top
@@ -715,6 +1029,7 @@ _COMMANDS = {
     "serve": serve_main,
     "shard-worker": shard_worker_main,
     "top": top_main,
+    "loadgen": loadgen_main,
 }
 
 

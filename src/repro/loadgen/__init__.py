@@ -1,0 +1,59 @@
+"""Deterministic, seeded load generation against the HTTP front end.
+
+The serving stack is benchmarked by :mod:`benchmarks` in a tight loop
+over a handful of topics — realistic traffic looks nothing like that:
+topic popularity is Zipf-skewed, crowds pile onto one entity, batch
+jobs share the wire with interactive queries, adversaries flood
+cache-missing garbage, and writes trickle in while all of it happens.
+This package generates exactly that traffic, deterministically:
+
+* :mod:`repro.loadgen.generator` — topic pools sampled from a snapshot's
+  linker vocabulary, query templates with paraphrase/typo/operator
+  augmentation, garbage queries, and delta batches.  Same seed →
+  byte-identical request stream, across runs and Python versions;
+* :mod:`repro.loadgen.shapes` — the traffic shapes (``interactive``
+  Zipf skew, ``flash_crowd``, ``batch_mix``, ``flood``,
+  ``delta_trickle``) planned into concrete request lists;
+* :mod:`repro.loadgen.runner` — closed-loop paced replay of those plans
+  against a live ``serve --http`` process, with ``/metrics`` captured
+  before and after;
+* :mod:`repro.loadgen.report` — the SLO report (client p50/p99/p999
+  cross-checked against the server's own histograms, error rate, shed
+  rate, cache hit rate per shape) merged into the ``loadgen_slo``
+  section of ``BENCH_service.json``.
+
+CLI entry point: ``python -m repro.cli loadgen`` (``docs/loadgen.md``).
+The flood shape is what proves load shedding
+(:mod:`repro.service.admission`) under real overload.
+"""
+
+from repro.loadgen.generator import (
+    QueryGenerator,
+    WorkloadRequest,
+    offset_delta_body,
+    seeded_rng,
+    stream_digest,
+    topic_pool,
+)
+from repro.loadgen.report import build_report, merge_into_bench, percentile
+from repro.loadgen.runner import LoadgenResult, RequestOutcome, run_plans
+from repro.loadgen.shapes import SHAPE_NAMES, plan_shape, plan_workload, zipf_indices
+
+__all__ = [
+    "QueryGenerator",
+    "WorkloadRequest",
+    "offset_delta_body",
+    "seeded_rng",
+    "stream_digest",
+    "topic_pool",
+    "SHAPE_NAMES",
+    "plan_shape",
+    "plan_workload",
+    "zipf_indices",
+    "LoadgenResult",
+    "RequestOutcome",
+    "run_plans",
+    "build_report",
+    "merge_into_bench",
+    "percentile",
+]

@@ -1,0 +1,274 @@
+"""Seeded synthetic query generation: topic pools, templates, augmentation.
+
+Everything here is a pure function of ``(seed, snapshot contents)``:
+randomness comes only from :class:`random.Random` instances seeded via
+:func:`seeded_rng` (a SHA-512 of the seed string, stable across Python
+versions and platforms), and every choice draws from that stream in a
+fixed order.  The determinism tests in ``tests/loadgen`` assert the
+resulting request stream is byte-identical run to run.
+
+Augmentation deliberately never touches the topic phrase itself — case
+flips, punctuation, search-style operators and typos land on the filler
+words around it — so an augmented query still links the same entities
+through the real :class:`~repro.linking.linker.EntityLinker` (asserted
+by the property tests).  Flood queries are the opposite: tokens built
+from a consonant-only alphabet with a ``qzx`` prefix so they can never
+match a snapshot title, guaranteeing cache misses all the way down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "QueryGenerator",
+    "WorkloadRequest",
+    "offset_delta_body",
+    "seeded_rng",
+    "stream_digest",
+    "topic_pool",
+    "DELTA_NODE_BASE",
+]
+
+# Fresh articles injected by the delta_trickle shape get node ids far
+# above any synthetic benchmark graph so they can never collide with
+# existing nodes (validate_delta rejects duplicates).
+DELTA_NODE_BASE = 50_000_000
+
+_TEMPLATES = (
+    "{topic}",
+    "{topic}",  # bare topics dominate real query logs; weight them double
+    "{topic} overview",
+    "what is {topic}",
+    "history of {topic}",
+    "tell me about {topic}",
+    "{topic} compared with {other}",
+)
+
+# Filler vocabulary that typos may mutate.  None of these words appear
+# in synthetic snapshot titles, so mutating them never changes linking.
+_FILLERS = ("overview", "what", "history", "tell", "about", "compared", "with")
+
+_OPERATORS = ('"{q}"', "+{q}", "{q} AND recent", "{q} OR summary", "{q}?")
+
+# Consonant-heavy alphabet for garbage tokens — no vowels means no
+# accidental collision with English-like synthetic titles.
+_GARBAGE_ALPHABET = "bcdfghjklmnpqrstvwxz0123456789"
+
+
+def seeded_rng(*parts) -> random.Random:
+    """A ``random.Random`` seeded from the string form of ``parts``.
+
+    ``random.Random(str)`` hashes via a version-pinned algorithm already,
+    but routing through SHA-512 makes the independence of two streams
+    (``seed/interactive`` vs ``seed/flood``) explicit and keeps the seed
+    space uniform even for adjacent integer seeds.
+    """
+    text = "/".join(str(part) for part in parts)
+    digest = hashlib.sha512(text.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:16], "big"))
+
+
+def topic_pool(snapshot, *, limit: int | None = None) -> list[str]:
+    """Topic phrases from the snapshot's linker vocabulary, deterministic.
+
+    The vocabulary maps title token tuples to article ids; sorting the
+    tuples gives a stable order independent of dict insertion, and the
+    phrases are guaranteed to link (they *are* titles).  ``limit`` keeps
+    pools small for tests.
+    """
+    phrases = [" ".join(tokens) for tokens in sorted(snapshot.title_index)]
+    if limit is not None:
+        phrases = phrases[:limit]
+    if not phrases:
+        raise ValueError("snapshot has an empty linker vocabulary")
+    return phrases
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One planned HTTP request of a shape's stream.
+
+    ``to_line()`` is the canonical byte form (sorted keys, no spaces) —
+    the determinism contract is over these lines, and
+    :func:`stream_digest` hashes them into the SLO report as a witness.
+    """
+
+    shape: str
+    index: int
+    method: str
+    path: str
+    client: str
+    body: dict = field(default_factory=dict)
+
+    def to_line(self) -> str:
+        return json.dumps(
+            {
+                "shape": self.shape,
+                "index": self.index,
+                "method": self.method,
+                "path": self.path,
+                "client": self.client,
+                "body": self.body,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def stream_digest(requests) -> str:
+    """SHA-256 over the newline-joined canonical lines of ``requests``."""
+    hasher = hashlib.sha256()
+    for request in requests:
+        hasher.update(request.to_line().encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+class QueryGenerator:
+    """Turns topics into augmented query text using one seeded stream.
+
+    Parameters are rates in [0, 1]; each query draws template → partner
+    topic → augmentation coins in a fixed order so the output is a pure
+    function of the rng state.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        pool: list[str],
+        *,
+        case_rate: float = 0.3,
+        operator_rate: float = 0.2,
+        typo_rate: float = 0.15,
+    ) -> None:
+        if not pool:
+            raise ValueError("topic pool must not be empty")
+        self._rng = rng
+        self._pool = pool
+        self._case_rate = case_rate
+        self._operator_rate = operator_rate
+        self._typo_rate = typo_rate
+
+    # ------------------------------------------------------------------
+    # Entity-bearing queries
+    # ------------------------------------------------------------------
+
+    def query_for(self, topic: str) -> str:
+        """One augmented query that still links ``topic``."""
+        rng = self._rng
+        template = rng.choice(_TEMPLATES)
+        other = rng.choice(self._pool)
+        text = template.format(topic=topic, other=other)
+        if rng.random() < self._typo_rate:
+            text = self._typo_filler(text)
+        if rng.random() < self._operator_rate:
+            text = rng.choice(_OPERATORS).format(q=text)
+        if rng.random() < self._case_rate:
+            # The tokenizer lower-cases, so case flips are free paraphrase.
+            text = "".join(
+                ch.upper() if rng.random() < 0.5 else ch for ch in text
+            )
+        return text
+
+    def _typo_filler(self, text: str) -> str:
+        """Mutate one filler word (never topic tokens) with a typo."""
+        rng = self._rng
+        words = text.split(" ")
+        filler_slots = [
+            i for i, word in enumerate(words) if word.lower() in _FILLERS
+        ]
+        if not filler_slots:
+            return text
+        slot = rng.choice(filler_slots)
+        word = words[slot]
+        kind = rng.randrange(3)
+        pos = rng.randrange(len(word))
+        if kind == 0:  # double a letter
+            word = word[: pos + 1] + word[pos] + word[pos + 1 :]
+        elif kind == 1 and len(word) > 2:  # drop a letter
+            word = word[:pos] + word[pos + 1 :]
+        elif len(word) > 1:  # swap adjacent letters
+            pos = min(pos, len(word) - 2)
+            word = word[:pos] + word[pos + 1] + word[pos] + word[pos + 2 :]
+        words[slot] = word
+        return " ".join(words)
+
+    # ------------------------------------------------------------------
+    # Adversarial garbage
+    # ------------------------------------------------------------------
+
+    def garbage_query(self) -> str:
+        """Cache-missing junk: unique ``qzx``-prefixed consonant tokens."""
+        rng = self._rng
+        tokens = []
+        for _ in range(rng.randint(2, 4)):
+            length = rng.randint(5, 9)
+            tokens.append(
+                "qzx" + "".join(rng.choice(_GARBAGE_ALPHABET) for _ in range(length))
+            )
+        return " ".join(tokens)
+
+    # ------------------------------------------------------------------
+    # Delta batches (relative sequence numbers)
+    # ------------------------------------------------------------------
+
+    def delta_batch(self, rel_seq: int, tag: str) -> tuple[dict, int]:
+        """One ``/admin/apply_delta`` body using *relative* sequences.
+
+        Returns ``(body, next_rel_seq)``.  Node ids and seqs are relative
+        (node id == rel seq); :func:`offset_delta_body` rebases them onto
+        the live server's ``delta_seq`` just before sending, so the
+        planned stream stays byte-identical while replays against any
+        server state stay valid (no id/title/seq collisions).
+
+        Each batch adds one fresh article; from the third batch on it
+        also links the two previously added articles so edge application
+        and cache invalidation get exercised, not just node inserts.
+        """
+        deltas: list[dict] = [
+            {
+                "op": "add_article",
+                "seq": rel_seq,
+                "node_id": rel_seq,
+                "title": f"loadgen {tag} fresh {rel_seq}",
+            }
+        ]
+        next_seq = rel_seq + 1
+        if rel_seq >= 3:
+            deltas.append(
+                {
+                    "op": "add_edge",
+                    "seq": next_seq,
+                    "source": rel_seq - 2,
+                    "target": rel_seq - 1,
+                    "kind": "link",
+                }
+            )
+            next_seq += 1
+        return {"deltas": deltas}, next_seq
+
+
+def offset_delta_body(body: dict, offset: int) -> dict:
+    """Rebase a planned delta body's relative seqs/ids by ``offset``.
+
+    Pure and deterministic: ``seq += offset``, node references move to
+    ``DELTA_NODE_BASE + offset + rel``, and fresh-article titles gain the
+    absolute seq so a second loadgen run against the same server never
+    collides on title.  The runner reads ``offset`` from the server's
+    live ``delta_seq`` (``/healthz``) at send time.
+    """
+    rebased = []
+    for delta in body["deltas"]:
+        moved = dict(delta)
+        moved["seq"] = delta["seq"] + offset
+        for ref in ("node_id", "source", "target"):
+            if ref in moved:
+                moved[ref] = DELTA_NODE_BASE + offset + delta[ref]
+        if "title" in moved:
+            moved["title"] = f"{delta['title']} at {offset + delta['seq']}"
+        rebased.append(moved)
+    return {"deltas": rebased}

@@ -1,0 +1,266 @@
+"""Closed-loop paced replay of planned shapes against a live server.
+
+All requested shapes run *concurrently* — that is the point: the flood
+is only a flood if interactive queries are in flight while it happens.
+Each shape gets its own small worker pool; workers take the next
+planned request, sleep until its scheduled start (``i / rate`` after
+launch), send it, and wait for the response before taking another.
+That closed loop is the feedback: when the server slows down, workers
+fall behind schedule and the *achieved* rate drops instead of requests
+piling up without bound inside the client.
+
+Latency is measured client-side per request; ``/metrics`` is captured
+before and after the run so the report can cross-check those timings
+against the server's own histograms (bucket deltas) and compute cache
+hit and shed rates for exactly this run.
+
+Stdlib only (``http.client`` + threads) — the generator must not drag
+dependencies into the repo.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.loadgen.generator import WorkloadRequest, offset_delta_body
+
+__all__ = [
+    "LoadgenResult",
+    "RequestOutcome",
+    "fetch_healthz",
+    "fetch_metrics",
+    "run_plans",
+]
+
+# The delta trickle is planned at count/8 (see plan_workload); pacing it
+# at rate/8 keeps every shape finishing at roughly the same time.
+_TRICKLE_DIVISOR = 8
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One request's fate as the client saw it."""
+
+    shape: str
+    index: int
+    status: int  # 0 = transport failure before any status line
+    latency_ms: float
+    error_code: str | None = None  # envelope code for >= 400 responses
+    retry_after_s: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 400
+
+    @property
+    def shed(self) -> bool:
+        return self.status == 429
+
+
+@dataclass
+class LoadgenResult:
+    """Everything the report needs about one replay."""
+
+    outcomes: dict[str, list[RequestOutcome]] = field(default_factory=dict)
+    metrics_before: str = ""
+    metrics_after: str = ""
+    wall_s: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(v) for v in self.outcomes.values())
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.total_requests / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None,
+    *,
+    client: str = "",
+    timeout_s: float = 30.0,
+) -> tuple[int, dict | str, dict]:
+    """One HTTP exchange on a fresh connection; returns (status, payload,
+    headers).  JSON bodies are decoded; ``/metrics`` text comes back raw."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        headers = {"Connection": "close"}
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if client:
+            headers["X-Client-Id"] = client
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        response_headers = {k.lower(): v for k, v in response.getheaders()}
+        text = raw.decode("utf-8", "replace")
+        if response_headers.get("content-type", "").startswith("application/json"):
+            return response.status, json.loads(text), response_headers
+        return response.status, text, response_headers
+    finally:
+        conn.close()
+
+
+def fetch_metrics(host: str, port: int, *, timeout_s: float = 30.0) -> str:
+    status, text, _ = _request(host, port, "GET", "/metrics", None,
+                               timeout_s=timeout_s)
+    if status != 200 or not isinstance(text, str):
+        raise RuntimeError(f"GET /metrics failed with status {status}")
+    return text
+
+
+def fetch_healthz(host: str, port: int, *, timeout_s: float = 30.0) -> dict:
+    status, payload, _ = _request(host, port, "GET", "/healthz", None,
+                                  timeout_s=timeout_s)
+    if status != 200 or not isinstance(payload, dict):
+        raise RuntimeError(f"GET /healthz failed with status {status}")
+    return payload
+
+
+class _ShapeRun:
+    """Shared state for one shape's worker pool: cursor + outcomes."""
+
+    def __init__(self, plan: list[WorkloadRequest], rate: float) -> None:
+        self.plan = plan
+        self.rate = rate
+        self.cursor = 0
+        self.lock = threading.Lock()
+        self.outcomes: list[RequestOutcome] = []
+
+    def next_index(self) -> int | None:
+        with self.lock:
+            if self.cursor >= len(self.plan):
+                return None
+            index = self.cursor
+            self.cursor += 1
+            return index
+
+    def record(self, outcome: RequestOutcome) -> None:
+        with self.lock:
+            self.outcomes.append(outcome)
+
+
+def _worker(
+    host: str,
+    port: int,
+    run: _ShapeRun,
+    t0: float,
+    timeout_s: float,
+    delta_offset: int,
+) -> None:
+    while True:
+        index = run.next_index()
+        if index is None:
+            return
+        planned = run.plan[index]
+        # Pacing: request i is due i/rate seconds after launch.  A busy
+        # server pushes workers past their due times — the loop stays
+        # closed and the achieved rate degrades instead of queueing.
+        due = t0 + index / run.rate
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        body = planned.body
+        if planned.path == "/admin/apply_delta":
+            body = offset_delta_body(body, delta_offset)
+        started = time.perf_counter()
+        try:
+            status, payload, headers = _request(
+                host, port, planned.method, planned.path, body,
+                client=planned.client, timeout_s=timeout_s,
+            )
+        except (OSError, http.client.HTTPException):
+            run.record(RequestOutcome(
+                shape=planned.shape, index=index, status=0,
+                latency_ms=(time.perf_counter() - started) * 1000.0,
+                error_code="transport",
+            ))
+            continue
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        error_code = None
+        retry_after = None
+        if status >= 400 and isinstance(payload, dict):
+            error = payload.get("error", {})
+            if isinstance(error, dict):
+                error_code = error.get("code")
+                raw_retry = headers.get("retry-after")
+                if raw_retry is not None:
+                    try:
+                        retry_after = float(raw_retry)
+                    except ValueError:
+                        retry_after = None
+        run.record(RequestOutcome(
+            shape=planned.shape, index=index, status=status,
+            latency_ms=latency_ms, error_code=error_code,
+            retry_after_s=retry_after,
+        ))
+
+
+def run_plans(
+    host: str,
+    port: int,
+    plans: dict[str, list[WorkloadRequest]],
+    *,
+    rate: float,
+    concurrency: int = 4,
+    timeout_s: float = 30.0,
+) -> LoadgenResult:
+    """Replay every shape concurrently at ``rate`` requests/s each.
+
+    The delta trickle runs on a single worker (batches carry contiguous
+    sequence numbers and must apply in order) at ``rate / 8``; its
+    sequence base is read from the live server's ``delta_seq`` once,
+    just before launch.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    delta_offset = 0
+    if any(name == "delta_trickle" for name in plans):
+        delta_offset = int(fetch_healthz(
+            host, port, timeout_s=timeout_s
+        ).get("delta_seq", 0))
+
+    result = LoadgenResult(metrics_before=fetch_metrics(
+        host, port, timeout_s=timeout_s
+    ))
+    runs: dict[str, _ShapeRun] = {}
+    threads: list[threading.Thread] = []
+    t0 = time.monotonic()
+    wall_started = time.perf_counter()
+    for name, plan in plans.items():
+        if not plan:
+            continue
+        trickle = name == "delta_trickle"
+        run = _ShapeRun(plan, rate / _TRICKLE_DIVISOR if trickle else rate)
+        runs[name] = run
+        workers = 1 if trickle else concurrency
+        for worker_id in range(workers):
+            thread = threading.Thread(
+                target=_worker,
+                args=(host, port, run, t0, timeout_s, delta_offset),
+                name=f"loadgen-{name}-{worker_id}",
+                daemon=True,
+            )
+            threads.append(thread)
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.wall_s = time.perf_counter() - wall_started
+    result.metrics_after = fetch_metrics(host, port, timeout_s=timeout_s)
+    for name, run in runs.items():
+        result.outcomes[name] = sorted(run.outcomes, key=lambda o: o.index)
+    return result

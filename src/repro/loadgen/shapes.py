@@ -1,0 +1,190 @@
+"""Traffic shapes: planned request lists with distinct popularity laws.
+
+A *shape* is a named recipe turning a topic pool into a concrete list
+of :class:`~repro.loadgen.generator.WorkloadRequest`.  Each shape plans
+from its own rng (``seeded_rng(seed, name)``), so adding or dropping a
+shape never perturbs another shape's stream — the per-shape streams are
+independently byte-stable.
+
+Shapes (``docs/loadgen.md`` shows the knobs and intended use):
+
+* ``interactive`` — Zipf(s)-skewed single queries over a shuffled pool,
+  a handful of polite clients.  The latency-SLO shape;
+* ``flash_crowd`` — most traffic piles onto one hot entity (cache-hit
+  heaven for the winner, misses for the background tail);
+* ``batch_mix`` — interactive queries interleaved with
+  ``/batch_expand`` batches, the throughput-vs-latency tension;
+* ``flood`` — one greedy client firing cache-missing garbage, the
+  adversarial overload that admission control must absorb;
+* ``delta_trickle`` — a slow stream of ``/admin/apply_delta`` writes so
+  invalidation runs under read pressure, not just in unit tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.loadgen.generator import QueryGenerator, WorkloadRequest, seeded_rng
+
+__all__ = ["SHAPE_NAMES", "plan_shape", "plan_workload", "zipf_indices"]
+
+SHAPE_NAMES = (
+    "interactive",
+    "flash_crowd",
+    "batch_mix",
+    "flood",
+    "delta_trickle",
+)
+
+# Zipf support cap: popularity laws need enough ranks to show a tail but
+# sampling cost must stay flat for huge vocabularies.
+_MAX_RANKED_TOPICS = 512
+
+
+def zipf_indices(
+    rng: random.Random, n_items: int, s: float, count: int
+) -> list[int]:
+    """``count`` draws from a Zipf(s) law over ranks ``0..n_items-1``.
+
+    Cumulative-weight inversion (weight of rank r is ``1/(r+1)^s``) via
+    bisect — exact, no rejection loop, deterministic per rng stream.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    if s < 0:
+        raise ValueError("zipf exponent s must be >= 0")
+    cumulative: list[float] = []
+    total = 0.0
+    for rank in range(n_items):
+        total += 1.0 / float(rank + 1) ** s
+        cumulative.append(total)
+    return [
+        bisect.bisect_left(cumulative, rng.random() * total)
+        for _ in range(count)
+    ]
+
+
+def _ranked_pool(rng: random.Random, pool: list[str]) -> list[str]:
+    """Shuffle a copy so popularity ranks differ per seed and shape."""
+    ranked = list(pool)
+    rng.shuffle(ranked)
+    return ranked[:_MAX_RANKED_TOPICS]
+
+
+def plan_shape(
+    name: str,
+    *,
+    seed: int,
+    pool: list[str],
+    count: int,
+    zipf_s: float = 1.1,
+    top_k: int = 10,
+) -> list[WorkloadRequest]:
+    """Plan ``count`` requests of shape ``name`` (see module docstring)."""
+    if name not in SHAPE_NAMES:
+        raise ValueError(
+            f"unknown shape {name!r} (expected one of {SHAPE_NAMES})"
+        )
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = seeded_rng(seed, name)
+    generator = QueryGenerator(rng, pool)
+    ranked = _ranked_pool(rng, pool)
+    requests: list[WorkloadRequest] = []
+
+    def add(path: str, body: dict, client: str) -> None:
+        requests.append(
+            WorkloadRequest(
+                shape=name,
+                index=len(requests),
+                method="POST",
+                path=path,
+                client=client,
+                body=body,
+            )
+        )
+
+    if name == "interactive":
+        for rank in zipf_indices(rng, len(ranked), zipf_s, count):
+            query = generator.query_for(ranked[rank])
+            add(
+                "/expand",
+                {"query": query, "top_k": top_k},
+                f"interactive-{len(requests) % 4}",
+            )
+    elif name == "flash_crowd":
+        hot = ranked[0]
+        ranks = zipf_indices(rng, len(ranked), zipf_s, count)
+        for rank in ranks:
+            # 70% of the crowd hammers the hot entity regardless of rank.
+            topic = hot if rng.random() < 0.7 else ranked[rank]
+            add(
+                "/expand",
+                {"query": generator.query_for(topic), "top_k": top_k},
+                f"crowd-{len(requests) % 8}",
+            )
+    elif name == "batch_mix":
+        ranks = zipf_indices(rng, len(ranked), zipf_s, count)
+        for i, rank in enumerate(ranks):
+            if i % 4 == 3:
+                size = rng.randint(3, 8)
+                batch_ranks = zipf_indices(rng, len(ranked), zipf_s, size)
+                add(
+                    "/batch_expand",
+                    {
+                        "queries": [
+                            generator.query_for(ranked[r]) for r in batch_ranks
+                        ],
+                        "top_k": top_k,
+                    },
+                    "batch-0",
+                )
+            else:
+                add(
+                    "/search",
+                    {"query": generator.query_for(ranked[rank]), "top_k": top_k},
+                    f"interactive-{len(requests) % 4}",
+                )
+    elif name == "flood":
+        for _ in range(count):
+            add(
+                "/search",
+                {"query": generator.garbage_query(), "top_k": top_k},
+                "flood-0",
+            )
+    else:  # delta_trickle
+        rel_seq = 1
+        tag = f"s{seed}"
+        for _ in range(count):
+            body, rel_seq = generator.delta_batch(rel_seq, tag)
+            add("/admin/apply_delta", body, "delta-0")
+    return requests
+
+
+def plan_workload(
+    *,
+    seed: int,
+    pool: list[str],
+    shapes,
+    count: int,
+    zipf_s: float = 1.1,
+    top_k: int = 10,
+) -> dict[str, list[WorkloadRequest]]:
+    """Plan every requested shape; ``count`` requests each.
+
+    The delta trickle is intentionally sparser than read shapes (one
+    write per ~8 reads) — it is a trickle, not a write benchmark.
+    """
+    plans: dict[str, list[WorkloadRequest]] = {}
+    for name in shapes:
+        shape_count = max(1, count // 8) if name == "delta_trickle" else count
+        plans[name] = plan_shape(
+            name,
+            seed=seed,
+            pool=pool,
+            count=shape_count,
+            zipf_s=zipf_s,
+            top_k=top_k,
+        )
+    return plans

@@ -147,6 +147,21 @@ def render_dashboard(
             f"errors={http.get('errors', 0)} ({status_text})  "
             f"coalesced={http.get('coalesced_requests', 0)}"
         )
+        admission = http.get("admission")
+        if admission:
+            by_reason = admission.get("shed_by_reason", {})
+            reason_text = " ".join(
+                f"{reason}:{count}"
+                for reason, count in sorted(by_reason.items())
+            ) or "none"
+            limit = admission.get("queue_limit")
+            lines.append(
+                f"shed.   queue={admission.get('queue_depth', 0)}"
+                f"/{'∞' if limit is None else limit} "
+                f"(peak={admission.get('peak_queue_depth', 0)})  "
+                f"shed={admission.get('shed_total', 0)} ({reason_text})  "
+                f"clients={admission.get('clients_tracked', 0)}"
+            )
 
     for cache in ("link_cache", "expansion_cache"):
         payload = stats.get(cache)

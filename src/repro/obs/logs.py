@@ -25,13 +25,20 @@ import heapq
 import json
 import threading
 import time
+from pathlib import Path
 
-__all__ = ["RequestLog"]
+__all__ = ["RequestLog", "RECENT_QUERIES_FILENAME"]
 
 # Recent-query retention defaults: how many distinct queries the warm-up
 # ring keeps and how old an entry may grow before age-out drops it.
 DEFAULT_RECENT_CAPACITY = 256
 DEFAULT_RECENT_MAX_AGE_S = 900.0
+
+# On-disk form of the recency set, written next to the snapshot manifest
+# (the snapshot root survives generation compaction, so a restart warms
+# from the queries the *previous* process was serving).
+RECENT_QUERIES_FILENAME = "recent_queries.json"
+_RECENT_FORMAT_VERSION = 1
 
 
 class RequestLog:
@@ -163,6 +170,56 @@ class RequestLog:
                 else:
                     break  # ordered by last-seen: the rest are fresh
             return list(self._recent)
+
+    # ------------------------------------------------------------------
+    # Recency persistence (the cold-start warm-up set, docs/operations.md)
+    # ------------------------------------------------------------------
+
+    def seed_recent(self, queries) -> int:
+        """Pre-populate the warm-up ring (oldest first), as if each query
+        had just been served.  Returns how many entries the ring holds.
+        Used at startup to restore a persisted recency set; capacity
+        still applies, so an oversized file cannot blow up memory."""
+        for query in queries:
+            if isinstance(query, str) and query:
+                self._note_recent(query)
+        with self._lock:
+            return len(self._recent)
+
+    def save_recent(self, directory) -> Path:
+        """Persist the current recency set (oldest first) to
+        ``directory/recent_queries.json`` and return the path.
+
+        The write is atomic (tmp + rename) so a crash mid-save leaves
+        the previous file intact.  Ages are *not* persisted — monotonic
+        clocks do not survive a restart — so a loaded set counts as
+        freshly seen, which is the right bias for warm-up."""
+        directory = Path(directory)
+        path = directory / RECENT_QUERIES_FILENAME
+        payload = {
+            "version": _RECENT_FORMAT_VERSION,
+            "queries": self.recent_queries(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+    def load_recent(self, directory) -> int:
+        """Restore a persisted recency set; returns entries loaded.
+
+        Missing or malformed files load nothing (0) — cold starts with
+        no history are normal, and a corrupt warm-up file must never
+        stop a server from coming up."""
+        path = Path(directory) / RECENT_QUERIES_FILENAME
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return 0
+        queries = payload.get("queries") if isinstance(payload, dict) else None
+        if not isinstance(queries, list):
+            return 0
+        return self.seed_recent(queries)
 
     @property
     def requests(self) -> int:

@@ -33,6 +33,7 @@ network front end) and ``python -m repro.cli snapshot`` (see
 :func:`repro.cli.serve_main`, :func:`repro.cli.snapshot_main`).
 """
 
+from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.artifacts import (
     COMPACT_SNAPSHOT_VERSION,
     MANIFEST_NAME,
@@ -58,6 +59,8 @@ from repro.service.socket_adapter import ShardCallPolicy, SocketShardAdapter
 from repro.service.supervisor import ShardSupervisor
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "Snapshot",
     "ShardedSnapshot",
     "SNAPSHOT_FORMAT",

@@ -30,8 +30,20 @@ Errors are always JSON::
 with 400 (malformed JSON / invalid fields / invalid delta), 404
 (unknown path), 405 (known path, wrong method), 409 (delta batch
 against a stale snapshot generation), 413 (body over
-``max_body_bytes``) and 500 (handler raised; also bumps the router
-error counter via the failed request).
+``max_body_bytes``), 429 (load shedding — see below) and 500 (handler
+raised; also bumps the router error counter via the failed request).
+
+Load shedding: with an :class:`~repro.service.admission.AdmissionPolicy`
+attached (``repro serve --http --queue-limit/--client-rate``), the query
+endpoints (``/expand``, ``/search``, ``/batch_expand``) pass an
+admission gate before any router work happens.  A full admission queue
+answers ``429 over_capacity``; a client that exhausted its token bucket
+(keyed by the ``X-Client-Id`` header, falling back to the peer address)
+answers ``429 client_rate_limited``.  Both carry ``retry_after_s`` in
+the envelope plus a ``Retry-After`` header, count into
+``repro_shed_total{reason}`` and ``errors_by_status``, and cost no
+router work — that is the point.  Monitoring and admin endpoints are
+never shed, so operators can watch an overloaded server.
 
 Concurrency model: the event loop parses requests and dispatches to an
 :class:`~repro.service.async_router.AsyncShardRouter`; shard work runs
@@ -55,9 +67,15 @@ import time
 
 from repro.errors import DeltaError, ShardUnavailableError, StaleGenerationError
 from repro.obs.logs import RequestLog
+from repro.service.admission import (
+    SHED_CLIENT_RATE,
+    SHED_OVER_CAPACITY,
+    AdmissionController,
+    AdmissionPolicy,
+)
 from repro.service.async_router import AsyncShardRouter
 
-__all__ = ["HttpFrontEnd", "DEFAULT_MAX_BODY_BYTES"]
+__all__ = ["HttpFrontEnd", "DEFAULT_MAX_BODY_BYTES", "SHEDDABLE_PATHS"]
 
 # Prometheus text exposition content type (the version is part of it).
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -70,10 +88,22 @@ _MAX_HEADERS = 128
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict",
-    413: "Payload Too Large",
+    413: "Payload Too Large", 429: "Too Many Requests",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
 _MAX_DELTA_BATCH = 4096
+
+# The endpoints admission control may refuse: the ones that cost router
+# work.  Monitoring (/stats /healthz /metrics) and the admin plane stay
+# reachable under overload by design.
+SHEDDABLE_PATHS = frozenset({"/expand", "/search", "/batch_expand"})
+
+_SHED_MESSAGES = {
+    SHED_OVER_CAPACITY:
+        "server at capacity: the admission queue is full; retry later",
+    SHED_CLIENT_RATE:
+        "client over its admission rate: token bucket empty; retry later",
+}
 
 
 class _RequestError(Exception):
@@ -120,6 +150,13 @@ class HttpFrontEnd:
         surfaced under ``/stats``).  A silent default is created when
         omitted; ``repro serve`` passes one that writes slow-query JSON
         lines to stderr.
+    admission:
+        Optional load-shedding configuration: an
+        :class:`~repro.service.admission.AdmissionPolicy` (a controller
+        is built from it) or a prebuilt
+        :class:`~repro.service.admission.AdmissionController` (tests
+        inject one with a fake clock).  ``None`` — the default — turns
+        admission control off entirely; no request is ever shed.
     max_body_bytes:
         Requests with a larger declared body are rejected with 413
         before the body is read.
@@ -139,6 +176,7 @@ class HttpFrontEnd:
         snapshot_format: str = "",
         coordinator=None,
         request_log: RequestLog | None = None,
+        admission: AdmissionPolicy | AdmissionController | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
     ) -> None:
@@ -147,6 +185,10 @@ class HttpFrontEnd:
         self._snapshot_format = snapshot_format
         self._coordinator = coordinator
         self._request_log = request_log or RequestLog()
+        if isinstance(admission, AdmissionPolicy):
+            admission = AdmissionController(admission) if admission.enabled \
+                else None
+        self._admission = admission
         self._max_body_bytes = max_body_bytes
         self._read_timeout = read_timeout
         self._server: asyncio.AbstractServer | None = None
@@ -170,6 +212,18 @@ class HttpFrontEnd:
             "repro_http_errors_total",
             "HTTP error responses, by status code.",
             ("status",),
+        )
+        # Registered unconditionally so the families exist (at zero) on
+        # servers with admission control off — dashboards can rely on
+        # them being scrapeable either way.
+        self._shed_metric = registry.counter(
+            "repro_shed_total",
+            "Requests refused by admission control, by reason.",
+            ("reason",),
+        )
+        self._queue_depth_gauge = registry.gauge(
+            "repro_admission_queue_depth",
+            "Admitted sheddable requests currently in flight.",
         )
 
     # ------------------------------------------------------------------
@@ -214,6 +268,10 @@ class HttpFrontEnd:
     def request_log(self) -> RequestLog:
         return self._request_log
 
+    @property
+    def admission(self) -> AdmissionController | None:
+        return self._admission
+
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
@@ -225,6 +283,9 @@ class HttpFrontEnd:
         if task is not None:
             self._conn_tasks.add(task)
         self._connections.add(writer)
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) and peername \
+            else "unknown"
         async def timed(read_coro):
             """One read step of an in-flight request; a sender that
             stalls past the timeout is disconnected, not waited on."""
@@ -298,7 +359,13 @@ class HttpFrontEnd:
                     break
                 body = await timed(reader.readexactly(length)) if length else b""
 
-                status, payload = await self._dispatch(method, path, body)
+                # Admission keys on the declared client id; the peer
+                # address is the fallback so an anonymous flood is still
+                # attributed to its sender, not pooled with everyone.
+                client = headers.get("x-client-id", "").strip() or peer
+                status, payload = await self._dispatch(
+                    method, path, body, client=client
+                )
                 await self._send(writer, status, payload, keep_alive=keep_alive)
                 self._busy.discard(writer)
                 if not keep_alive or self._closing:
@@ -340,7 +407,7 @@ class HttpFrontEnd:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json"
         retry_after = ""
-        if status == 503 and isinstance(payload, dict):
+        if status in (429, 503) and isinstance(payload, dict):
             seconds = payload.get("error", {}).get("retry_after_s")
             if seconds is not None:
                 # HTTP Retry-After is integral seconds; round up so a
@@ -361,7 +428,9 @@ class HttpFrontEnd:
     # Routing
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, client: str = ""
+    ):
         path = path.split("?", 1)[0]
         routes = {
             "/expand": ("POST", self._handle_expand),
@@ -382,7 +451,36 @@ class HttpFrontEnd:
         self._http_requests_metric.inc(
             endpoint=path if route is not None else "unknown"
         )
-        status, payload = await self._route(route, method, path, body)
+        # Load shedding: query endpoints pass the admission gate before
+        # the handler runs, so a refusal costs parsing only — never
+        # router work.  The slot is held for the handler's full life.
+        admitted = False
+        shed = None
+        if (
+            self._admission is not None
+            and route is not None
+            and method == route[0]
+            and path in SHEDDABLE_PATHS
+        ):
+            decision = self._admission.admit(client)
+            if decision.admitted:
+                admitted = True
+            else:
+                shed = decision
+        try:
+            if shed is not None:
+                self._by_endpoint[path] = self._by_endpoint.get(path, 0) + 1
+                self._shed_metric.inc(reason=shed.reason)
+                payload = _error_body(shed.reason, _SHED_MESSAGES[shed.reason])
+                payload["error"]["retry_after_s"] = round(
+                    shed.retry_after_s, 3
+                )
+                status = 429
+            else:
+                status, payload = await self._route(route, method, path, body)
+        finally:
+            if admitted:
+                self._admission.release()
         if status >= 400:
             self._http_errors += 1
             self._errors_by_status[status] = \
@@ -541,6 +639,8 @@ class HttpFrontEnd:
             "coalesced_requests": self._service.coalesced_requests,
             "by_endpoint": dict(sorted(self._by_endpoint.items())),
         }
+        if self._admission is not None:
+            stats["http"]["admission"] = self._admission.snapshot()
         stats["slow_queries"] = self._request_log.snapshot()
         return stats
 
@@ -597,6 +697,10 @@ class HttpFrontEnd:
             payload["snapshot"] = self._snapshot_info
         if self._snapshot_format:
             payload["snapshot_format"] = self._snapshot_format
+        if self._admission is not None:
+            # Overload triage: current queue depth against the limit,
+            # plus what has been shed and why (docs/operations.md).
+            payload["admission"] = self._admission.snapshot()
         # Load-bearing for live updates: clients read the generation
         # here and echo it in /admin/apply_delta; a mismatch is a 409.
         payload["snapshot_generation"] = stats.generation
@@ -612,6 +716,9 @@ class HttpFrontEnd:
         """
         metrics = self._service.metrics
         metrics.update_from_stats(self._service.stats())
+        self._queue_depth_gauge.set(
+            self._admission.queue_depth if self._admission is not None else 0
+        )
         return metrics.render()
 
     async def _handle_apply_delta(self, payload: dict) -> dict:

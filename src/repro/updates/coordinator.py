@@ -297,6 +297,15 @@ class UpdateCoordinator:
                 # restart lands every process on the new generation.
                 self._supervisor.reload()
             warmed = self._warm_from_request_log()
+            if self._request_log is not None and self._snapshot_dir is not None:
+                # Compaction is the durable checkpoint of the serving
+                # state, so the warm-up set rides along: a process that
+                # restarts after this point cold-starts into the same
+                # hot queries (docs/operations.md, "cold starts").
+                try:
+                    self._request_log.save_recent(self._snapshot_dir)
+                except OSError:
+                    pass  # persistence is best-effort; serving goes on
 
         return {
             "generation": new_generation,

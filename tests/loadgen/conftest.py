@@ -1,0 +1,27 @@
+"""Shared fixtures for loadgen tests: one small snapshot + its pool."""
+
+import pytest
+
+from repro.collection import Benchmark, SyntheticCollectionConfig
+from repro.loadgen import topic_pool
+from repro.service import ShardedSnapshot
+from repro.wiki import SyntheticWikiConfig
+
+
+@pytest.fixture(scope="module")
+def small_benchmark() -> Benchmark:
+    return Benchmark.synthetic(
+        SyntheticWikiConfig(seed=61, num_domains=5, background_articles=80,
+                            background_categories=10),
+        SyntheticCollectionConfig(seed=62, background_docs=40),
+    )
+
+
+@pytest.fixture(scope="module")
+def snapshot(small_benchmark) -> ShardedSnapshot:
+    return ShardedSnapshot.build(small_benchmark, num_shards=1)
+
+
+@pytest.fixture(scope="module")
+def pool(snapshot) -> list[str]:
+    return topic_pool(snapshot)

@@ -21,15 +21,24 @@ End to end, as a real deployment would run it:
    answers ``/expand``, then ``POST /admin/compact`` and assert the
    generation hot-swaps (``snapshot_generation`` advances, ``delta_seq``
    resets) with answers unchanged across the swap;
-8. relaunch with ``--workers 2`` (out-of-process shard workers behind
+8. assert the recency set was persisted on shutdown
+   (``recent_queries.json`` next to the snapshot manifest), then
+   relaunch with admission control (``--queue-limit``/``--client-rate``)
+   and drive a real overload→shed→recover cycle: a greedy client is
+   refused with structured ``429`` envelopes + ``Retry-After`` while a
+   polite client keeps serving, ``repro_shed_total`` advances in
+   ``/metrics``, and once the flood stops the greedy client serves
+   again with the queue drained — and the relaunch must warm-start
+   from the persisted recency set;
+9. relaunch with ``--workers 2`` (out-of-process shard workers behind
    the socket adapter), diff ``/expand`` against the same in-process
    reference, then SIGKILL one worker process mid-run and assert the
    supervisor restarts it (``/healthz`` workers back to ``up``, the
    ``repro_shard_worker_restarts_total`` counter advanced) and that
    post-restart answers are still identical;
-9. repeat the live-update phase in worker mode (delta fan-out over the
-   wire, compaction driving a rolling worker reload);
-10. shut the servers down and fail loudly if anything differed.
+10. repeat the live-update phase in worker mode (delta fan-out over the
+    wire, compaction driving a rolling worker reload);
+11. shut the servers down and fail loudly if anything differed.
 
 Run from the repo root with ``PYTHONPATH=src`` (CI does).
 """
@@ -44,6 +53,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -90,6 +100,23 @@ def get_json(url: str, payload: dict | None = None) -> dict:
     )
     with urllib.request.urlopen(request, timeout=60) as response:
         return json.load(response)
+
+
+def post_as_client(
+    url: str, payload: dict, client: str
+) -> tuple[int, dict, dict]:
+    """POST with an ``X-Client-Id``; 4xx comes back as data, not a raise."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", "X-Client-Id": client},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        body = json.loads(error.read().decode("utf-8") or "{}")
+        return error.code, body, dict(error.headers)
 
 
 def get_text(url: str) -> tuple[str, str]:
@@ -234,6 +261,128 @@ def check_live_updates(
         failures.append(f"{tag}: hot swap changed an unrelated topic's answer")
     print(f"{tag}: apply_delta -> re-query -> compact -> hot swap ok "
           f"(generation {gen0} -> {gen0 + 1})")
+
+
+def check_shedding(snap_dir: Path, query: str, failures: list[str]) -> None:
+    """Relaunch with admission control; overload -> shed -> recover."""
+    from repro.obs import parse_prometheus_text
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--snapshot", str(snap_dir), "--http", "0",
+         "--queue-limit", "16", "--client-rate", "3", "--client-burst", "3"],
+        cwd=ROOT, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # Read startup lines by hand: the warm-start banner prints
+        # before the bound-port line and must be observed here.
+        pattern = re.compile(r"http://[\d.]+:(\d+)")
+        warm_started = False
+        port = None
+        deadline = time.time() + 180
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise SystemExit(
+                    f"shed server exited before binding (rc={proc.poll()})"
+                )
+            sys.stdout.write(f"  server: {line}")
+            if "warm start: replayed" in line:
+                warm_started = True
+            match = pattern.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise SystemExit("timed out waiting for the shed server's port")
+        if not warm_started:
+            failures.append(
+                "relaunch did not warm-start from the persisted recency set"
+            )
+        base = f"http://127.0.0.1:{port}"
+
+        # Overload: one greedy client fires a burst far beyond its
+        # 3 req/s budget; a polite client asks once in the middle.
+        greedy: list[tuple[int, dict, dict]] = []
+        for _ in range(12):
+            greedy.append(post_as_client(
+                f"{base}/expand", {"query": query}, "smoke-greedy"
+            ))
+        polite_status, polite_body, _ = post_as_client(
+            f"{base}/expand", {"query": query}, "smoke-polite"
+        )
+
+        oks = [g for g in greedy if g[0] == 200]
+        sheds = [g for g in greedy if g[0] == 429]
+        if not oks:
+            failures.append("greedy client never served within its burst")
+        if not sheds:
+            failures.append("greedy burst was never shed (no 429s)")
+        if len(oks) + len(sheds) != len(greedy):
+            failures.append(
+                "greedy burst saw statuses other than 200/429: "
+                f"{sorted({g[0] for g in greedy})}"
+            )
+        for status, body, headers in sheds:
+            code = body.get("error", {}).get("code")
+            if code not in ("client_rate_limited", "over_capacity"):
+                failures.append(f"429 envelope has wrong code: {body}")
+                break
+            retry_after = headers.get("Retry-After")
+            if retry_after is None or int(retry_after) < 1:
+                failures.append(f"429 lacks a usable Retry-After: {headers}")
+                break
+        if polite_status != 200 or not polite_body.get("results"):
+            failures.append(
+                f"polite client was shed during the flood: {polite_status}"
+            )
+        print(f"shed: greedy client {len(oks)} served / {len(sheds)} refused "
+              "with structured 429s; polite client untouched")
+
+        health = get_json(f"{base}/healthz")
+        admission = health.get("admission")
+        if not admission:
+            failures.append(f"healthz carries no admission block: {health}")
+        else:
+            if admission.get("shed_total", 0) < len(sheds):
+                failures.append(f"admission shed_total too low: {admission}")
+            if "client_rate_limited" not in admission.get("shed_by_reason", {}):
+                failures.append(
+                    f"shed_by_reason missing client_rate_limited: {admission}"
+                )
+
+        text, _ = get_text(f"{base}/metrics")
+        shed_metric = sum(
+            value
+            for (name, _labels), value
+            in parse_prometheus_text(text)["samples"].items()
+            if name == "repro_shed_total"
+        )
+        if shed_metric < len(sheds):
+            failures.append(
+                f"repro_shed_total ({shed_metric}) did not keep up with "
+                f"the {len(sheds)} refusals"
+            )
+
+        # Recover: the bucket refills at 3/s, so after ~1.5s the greedy
+        # client must serve again and the queue must be drained.
+        time.sleep(1.5)
+        status, body, _ = post_as_client(
+            f"{base}/expand", {"query": query}, "smoke-greedy"
+        )
+        if status != 200 or not body.get("results"):
+            failures.append(f"greedy client did not recover: {status}")
+        health = get_json(f"{base}/healthz")
+        if health.get("admission", {}).get("queue_depth") != 0:
+            failures.append(f"queue not drained after recovery: {health}")
+        print("shed: greedy client recovered after backoff; queue drained")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
 
 
 def check_worker_serving(
@@ -401,6 +550,24 @@ def main() -> int:
             except subprocess.TimeoutExpired:
                 proc.kill()
 
+        recent_path = snap_dir / "recent_queries.json"
+        if not recent_path.exists():
+            failures.append(
+                "shutdown did not persist recent_queries.json next to "
+                "the snapshot manifest"
+            )
+        else:
+            persisted = json.loads(recent_path.read_text(encoding="utf-8"))
+            if query not in persisted.get("queries", []):
+                failures.append(
+                    f"persisted recency set misses the served query: "
+                    f"{persisted}"
+                )
+            else:
+                print(f"warm start: shutdown persisted "
+                      f"{len(persisted['queries'])} recent quer(y/ies)")
+
+        check_shedding(snap_dir, query, failures)
         check_worker_serving(snap_dir, query, ref_results, failures)
 
     if failures:
@@ -409,7 +576,8 @@ def main() -> int:
             print(f"  {failure}")
         return 1
     print("HTTP smoke ok: /healthz, /expand, /metrics, repro top, "
-          "live updates (apply/compact hot swap, in both modes) and "
+          "live updates (apply/compact hot swap, in both modes), "
+          "warm-start persistence, overload shedding (429 -> recover) and "
           "worker-mode serving (with a mid-run kill) agree with the "
           "synchronous path")
     return 0
